@@ -1,0 +1,74 @@
+//! **A1-micro** — the maximal-set algorithms in isolation (no SQL layer):
+//! naive nested-loop (§3.2's abstract selection method) vs BNL vs SFS on
+//! raw slot vectors. Complements the end-to-end A1 sweep by separating
+//! algorithm cost from engine overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql_pref::{maximal_bnl, maximal_naive, maximal_sfs, BasePref, PrefNode, Preference};
+use prefsql_types::Value;
+use prefsql_workload::bks01::{points, Distribution};
+
+fn pareto(d: usize) -> Preference {
+    Preference::new(
+        PrefNode::Pareto((0..d).map(|slot| PrefNode::Base { slot }).collect()),
+        vec![BasePref::Lowest; d],
+    )
+    .expect("well-formed")
+}
+
+fn slot_vectors(n: usize, d: usize, dist: Distribution, seed: u64) -> Vec<Vec<Value>> {
+    points(n, d, dist, seed)
+        .into_iter()
+        .map(|p| p.into_iter().map(Value::Float).collect())
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_micro_algorithms");
+    group.sample_size(20);
+    let d = 3;
+    let pref = pareto(d);
+    for n in [1_000usize, 4_000] {
+        let sv = slot_vectors(n, d, Distribution::Independent, 9);
+        // The O(n²) naive method is only benched at sizes where a single
+        // iteration stays sub-second.
+        group.bench_with_input(BenchmarkId::new("naive", n), &sv, |b, sv| {
+            b.iter(|| maximal_naive(sv, &pref).len())
+        });
+        group.bench_with_input(BenchmarkId::new("bnl", n), &sv, |b, sv| {
+            b.iter(|| maximal_bnl(sv, &pref).len())
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", n), &sv, |b, sv| {
+            b.iter(|| maximal_sfs(sv, &pref).len())
+        });
+    }
+    // BNL/SFS scale further; show them alone at larger n.
+    for n in [16_000usize] {
+        let sv = slot_vectors(n, d, Distribution::Independent, 9);
+        group.bench_with_input(BenchmarkId::new("bnl", n), &sv, |b, sv| {
+            b.iter(|| maximal_bnl(sv, &pref).len())
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", n), &sv, |b, sv| {
+            b.iter(|| maximal_sfs(sv, &pref).len())
+        });
+    }
+    group.finish();
+
+    // The hard case: anti-correlated data, where the window grows large.
+    let mut group = c.benchmark_group("a1_micro_anticorrelated");
+    group.sample_size(10);
+    let pref = pareto(d);
+    for n in [1_000usize, 2_000] {
+        let sv = slot_vectors(n, d, Distribution::AntiCorrelated, 10);
+        group.bench_with_input(BenchmarkId::new("bnl", n), &sv, |b, sv| {
+            b.iter(|| maximal_bnl(sv, &pref).len())
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", n), &sv, |b, sv| {
+            b.iter(|| maximal_sfs(sv, &pref).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

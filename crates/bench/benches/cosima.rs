@@ -1,0 +1,25 @@
+//! **E4** — the §4.3 COSIMA meta-search measurements: preference search
+//! over gathered offer snapshots of increasing size. The paper reports
+//! 1–2 s end-to-end dominated by shop access; the preference layer itself
+//! must stay a small additive overhead, with BMO result sizes mostly in
+//! 1..=20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql_bench::{conn_with, run};
+use prefsql_workload::cosima;
+
+fn bench_cosima(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_cosima");
+    group.sample_size(10);
+    for n in [200usize, 500, 1000, 2000] {
+        let snap = cosima::snapshot(n, 99);
+        let mut conn = conn_with(snap.offers);
+        group.bench_with_input(BenchmarkId::new("preference_search", n), &n, |b, _| {
+            b.iter(|| run(&mut conn, cosima::COMPARISON_QUERY).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosima);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! **A2** — "having the right indices available current SQL optimizers can
+//! efficiently process this SQL query" (§3.2): the same E1 preference
+//! query with index access paths enabled vs. disabled on the host engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql_bench::{e1_query, e1_setup, run, Strategy};
+
+fn bench_index_ablation(c: &mut Criterion) {
+    let mut setup = e1_setup(10_000, 13);
+    let (_, pre, _) = setup.preselections[1].clone(); // the 600-row cell
+    let sql = e1_query(&pre, 0, Strategy::Preference);
+
+    let mut group = c.benchmark_group("a2_index_ablation");
+    group.sample_size(10);
+    for on in [true, false] {
+        setup.conn.engine_mut().set_use_indexes(on);
+        let label = if on { "indexed" } else { "seq_scan" };
+        group.bench_with_input(BenchmarkId::new(label, 600), &sql, |b, sql| {
+            b.iter(|| run(&mut setup.conn, sql).len())
+        });
+    }
+    setup.conn.engine_mut().set_use_indexes(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **E1** — the §3.3 large-scale job-search benchmark.
+//!
+//! Grid: pre-selection result sizes {300, 600, 1000} × two second-selection
+//! condition sets × three strategies (conjunctive SQL, disjunctive SQL,
+//! Preference SQL with four Pareto-accumulated preferences). The paper's
+//! table reports wall-clock per cell; the shape to match is that the
+//! Preference SQL rewrite stays interactive and grows quadratically in the
+//! candidate-set size, not the base-table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql_bench::{bench_rows, e1_query, e1_setup, run, Strategy};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut setup = e1_setup(bench_rows(), 7);
+    let mut group = c.benchmark_group("e1_job_search");
+    group.sample_size(10);
+    for condition_set in [0usize, 1] {
+        for (target, pre, _) in setup.preselections.clone() {
+            for strategy in Strategy::ALL {
+                let sql = e1_query(&pre, condition_set, strategy);
+                let id =
+                    BenchmarkId::new(format!("cond{condition_set}/{}", strategy.label()), target);
+                group.bench_with_input(id, &sql, |b, sql| {
+                    b.iter(|| run(&mut setup.conn, sql).len())
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **E5** — the §3.1 pass-through claim: "queries without preferences are
+//! just passed through to the database system without causing any
+//! noticeable overhead". Compares a battery of standard SQL statements
+//! executed directly on the host engine vs. through the Preference SQL
+//! connection facade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prefsql::PrefSqlConnection;
+use prefsql_engine::Engine;
+use prefsql_workload::jobs;
+
+const QUERIES: [&str; 3] = [
+    "SELECT COUNT(*) FROM profiles WHERE region = 3",
+    "SELECT region, COUNT(*) FROM profiles GROUP BY region",
+    "SELECT id FROM profiles WHERE salary > 60000 ORDER BY salary DESC LIMIT 20",
+];
+
+fn bench_passthrough(c: &mut Criterion) {
+    let table = jobs::table(5_000, 11);
+    let mut direct = Engine::new();
+    direct.catalog_mut().create_table(table.clone()).unwrap();
+    let mut layered = PrefSqlConnection::new();
+    layered
+        .engine_mut()
+        .catalog_mut()
+        .create_table(table)
+        .unwrap();
+
+    let mut group = c.benchmark_group("e5_passthrough");
+    group.bench_function("host_engine_direct", |b| {
+        b.iter(|| {
+            for q in QUERIES {
+                direct.execute_sql(q).unwrap();
+            }
+        })
+    });
+    group.bench_function("through_preference_layer", |b| {
+        b.iter(|| {
+            for q in QUERIES {
+                layered.execute(q).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passthrough);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `prefsql-cli` — an interactive Preference SQL shell.
+//!
+//! ```sh
+//! cargo run -p prefsql --bin prefsql-cli
+//! prefsql> CREATE TABLE trips (dest VARCHAR, duration INTEGER);
+//! prefsql> INSERT INTO trips VALUES ('Rome', 10), ('Oslo', 14);
+//! prefsql> SELECT * FROM trips PREFERRING duration AROUND 14;
+//! prefsql> \help
+//! ```
+//!
+//! With `--demo`, pre-loads the paper's example datasets (oldtimer, cars,
+//! a used-car market, trips, computers, hotels, washing machines).
+
+use prefsql::shell::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    if std::env::args().any(|a| a == "--demo") {
+        load_demo(&mut shell);
+        println!(
+            "Demo datasets loaded: oldtimer, cars, car (market), trips, computers, \
+             hotels, products. Try:\n  {}\n  \\d",
+            prefsql_workload_hint()
+        );
+    }
+    println!("Preference SQL shell — \\help for commands, \\q to quit.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("{}", shell.prompt());
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                print!("{}", shell.feed_line(&line));
+                if shell.should_quit() {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}
+
+fn prefsql_workload_hint() -> &'static str {
+    "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer \
+     PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40;"
+}
+
+fn load_demo(shell: &mut Shell) {
+    use prefsql_workload::*;
+    let catalog = shell.connection_mut().engine_mut().catalog_mut();
+    catalog
+        .create_table(oldtimer::table())
+        .expect("fresh catalog");
+    catalog
+        .create_table(cars::paper_fixture())
+        .expect("fresh catalog");
+    catalog
+        .create_table(cars::market(500, 1))
+        .expect("fresh catalog");
+    catalog
+        .create_table(trips::table(200, 2))
+        .expect("fresh catalog");
+    catalog
+        .create_table(computers::table(200, 3))
+        .expect("fresh catalog");
+    catalog
+        .create_table(hotels::table(200, 4))
+        .expect("fresh catalog");
+    catalog
+        .create_table(products::table(200, 5))
+        .expect("fresh catalog");
+}

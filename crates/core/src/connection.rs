@@ -1,0 +1,311 @@
+//! The connection facade — the in-process equivalent of the paper's
+//! "Preference ODBC/JDBC driver" (§3.1): applications submit Preference
+//! SQL; preference queries are rewritten to standard SQL and forwarded to
+//! the host engine; everything else passes through untouched.
+
+use crate::native::{self, SkylineAlgo};
+use crate::result::ResultSet;
+use prefsql_engine::{Engine, ExecOutcome};
+use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
+use prefsql_parser::{parse_statement, parse_statements};
+use prefsql_rewrite::{RewriteOutput, Rewriter};
+use prefsql_types::{Error, Result};
+
+/// How preference queries are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// The paper's approach: rewrite to SQL92 and let the host engine
+    /// evaluate the `NOT EXISTS` dominance anti-join.
+    #[default]
+    Rewrite,
+    /// Native in-layer evaluation with an explicit skyline algorithm
+    /// (ablation A1: "implementing a generalized skyline operator in the
+    /// kernel ... holds much promise").
+    Native(SkylineAlgo),
+}
+
+/// Result of executing one Preference SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Rows of a SELECT.
+    Rows(ResultSet),
+    /// Affected-row count of an INSERT.
+    Count(usize),
+    /// Acknowledgement of DDL or preference DDL.
+    Message(String),
+    /// EXPLAIN output (includes the rewritten SQL for preference queries).
+    Explain(String),
+}
+
+impl QueryResult {
+    /// The rows of a SELECT result (panics otherwise; test/demo
+    /// convenience).
+    pub fn expect_rows(self) -> ResultSet {
+        match self {
+            QueryResult::Rows(rs) => rs,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}
+
+/// An in-process Preference SQL connection: rewriter + host engine +
+/// named-preference registry.
+pub struct PrefSqlConnection {
+    engine: Engine,
+    rewriter: Rewriter,
+    mode: ExecutionMode,
+}
+
+impl Default for PrefSqlConnection {
+    fn default() -> Self {
+        PrefSqlConnection::new()
+    }
+}
+
+impl PrefSqlConnection {
+    /// A fresh connection with an empty catalog.
+    pub fn new() -> Self {
+        PrefSqlConnection {
+            engine: Engine::new(),
+            rewriter: Rewriter::new(),
+            mode: ExecutionMode::Rewrite,
+        }
+    }
+
+    /// Switch the evaluation strategy for preference queries.
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// The current evaluation strategy.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The underlying host engine (catalog access, stats, index toggles).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable host-engine access (bulk loading, index toggles).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Execute one statement of Preference SQL.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        parse_statements(sql)?
+            .iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
+    }
+
+    /// Execute a query and return its rows (errors on non-SELECT).
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)? {
+            QueryResult::Rows(rs) => Ok(rs),
+            other => Err(Error::Exec(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// The SQL a preference statement is rewritten into (passthrough
+    /// statements return `None`). Purely introspective — nothing is
+    /// executed.
+    pub fn rewritten_sql(&mut self, sql: &str) -> Result<Option<String>> {
+        let stmt = parse_statement(sql)?;
+        match self.rewriter.process(&stmt)? {
+            RewriteOutput::Rewritten { sql, .. } => Ok(Some(sql)),
+            RewriteOutput::Passthrough => Ok(None),
+            RewriteOutput::Handled(_) => Err(Error::Exec(
+                "statement is preference DDL, not a query".into(),
+            )),
+        }
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Native mode evaluates preference SELECTs inside this layer.
+        if let ExecutionMode::Native(algo) = self.mode {
+            if let Statement::Select(q) = stmt {
+                if q.preferring.is_some() {
+                    let rs = native::run_native(&self.engine, self.rewriter.registry(), q, algo)?;
+                    return Ok(QueryResult::Rows(rs));
+                }
+            }
+        }
+        match self.rewriter.process(stmt)? {
+            RewriteOutput::Handled(msg) => Ok(QueryResult::Message(msg)),
+            RewriteOutput::Passthrough => self.forward(stmt, false),
+            RewriteOutput::Rewritten { statement, sql, .. } => {
+                // EXPLAIN of a preference query shows the rewrite first.
+                if let Statement::Explain(inner) = statement.as_ref() {
+                    let plan = match self.engine.execute(&statement)? {
+                        ExecOutcome::Explain(p) => p,
+                        other => {
+                            return Err(Error::Exec(format!(
+                                "EXPLAIN produced unexpected outcome: {other:?}"
+                            )))
+                        }
+                    };
+                    return Ok(QueryResult::Explain(format!(
+                        "Preference SQL rewrite:\n  {}\n\nHost engine plan:\n{plan}",
+                        inner
+                    )));
+                }
+                let _ = sql; // the wire-format text; statement is executed directly
+
+                // INSERT ... SELECT * PREFERRING ...: a wildcard over the
+                // rewritten query exposes the generated level columns, which
+                // must not reach the target table. Materialize, strip, then
+                // insert the clean rows through the engine's validation path.
+                if let Statement::Insert {
+                    table,
+                    columns,
+                    source: InsertSource::Query(q),
+                } = statement.as_ref()
+                {
+                    let rel = self.engine.run_query(q, &[])?;
+                    let rs = ResultSet::new(rel).strip_generated_columns();
+                    let values: Vec<Vec<PExpr>> = rs
+                        .rows()
+                        .iter()
+                        .map(|r| r.values().iter().cloned().map(PExpr::Literal).collect())
+                        .collect();
+                    if values.is_empty() {
+                        return Ok(QueryResult::Count(0));
+                    }
+                    let insert = Statement::Insert {
+                        table: table.clone(),
+                        columns: columns.clone(),
+                        source: InsertSource::Values(values),
+                    };
+                    return self.forward(&insert, false);
+                }
+                self.forward(&statement, true)
+            }
+        }
+    }
+
+    fn forward(&mut self, stmt: &Statement, strip_generated: bool) -> Result<QueryResult> {
+        match self.engine.execute(stmt)? {
+            ExecOutcome::Rows(rel) => {
+                let rs = ResultSet::new(rel);
+                let rs = if strip_generated {
+                    rs.strip_generated_columns()
+                } else {
+                    rs
+                };
+                Ok(QueryResult::Rows(rs))
+            }
+            ExecOutcome::Count(n) => Ok(QueryResult::Count(n)),
+            ExecOutcome::Ddl(msg) => Ok(QueryResult::Message(msg)),
+            ExecOutcome::Explain(text) => Ok(QueryResult::Explain(text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_standard_sql() {
+        let mut c = PrefSqlConnection::new();
+        c.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        assert_eq!(
+            c.execute("INSERT INTO t VALUES (1), (2)").unwrap(),
+            QueryResult::Count(2)
+        );
+        let rs = c.query("SELECT x FROM t ORDER BY x DESC").unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![2, 1]);
+    }
+
+    #[test]
+    fn preference_query_executes_via_rewrite() {
+        let mut c = PrefSqlConnection::new();
+        c.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.execute("INSERT INTO t VALUES (5), (9), (14), (20)")
+            .unwrap();
+        let rs = c.query("SELECT x FROM t PREFERRING x AROUND 13").unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![14]);
+    }
+
+    #[test]
+    fn select_star_hides_level_columns() {
+        let mut c = PrefSqlConnection::new();
+        c.execute("CREATE TABLE t (x INTEGER, y VARCHAR)").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        let rs = c.query("SELECT * FROM t PREFERRING LOWEST(x)").unwrap();
+        assert_eq!(rs.column_names(), vec!["x", "y"]);
+        assert_eq!(rs.rows().len(), 1);
+    }
+
+    #[test]
+    fn rewritten_sql_introspection() {
+        let mut c = PrefSqlConnection::new();
+        let sql = c
+            .rewritten_sql("SELECT * FROM t PREFERRING LOWEST(x)")
+            .unwrap()
+            .unwrap();
+        assert!(sql.contains("NOT EXISTS"), "{sql}");
+        assert!(c.rewritten_sql("SELECT * FROM t").unwrap().is_none());
+    }
+
+    #[test]
+    fn preference_ddl_is_handled_in_layer() {
+        let mut c = PrefSqlConnection::new();
+        c.execute("CREATE TABLE cars (price INTEGER)").unwrap();
+        c.execute("INSERT INTO cars VALUES (10), (20)").unwrap();
+        let r = c
+            .execute("CREATE PREFERENCE cheap AS LOWEST(price)")
+            .unwrap();
+        assert!(matches!(r, QueryResult::Message(_)));
+        let rs = c
+            .query("SELECT price FROM cars PREFERRING PREFERENCE cheap")
+            .unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![10]);
+        c.execute("DROP PREFERENCE cheap").unwrap();
+        assert!(c
+            .query("SELECT price FROM cars PREFERRING PREFERENCE cheap")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_shows_rewrite_and_plan() {
+        let mut c = PrefSqlConnection::new();
+        c.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        let out = c
+            .execute("EXPLAIN SELECT * FROM t PREFERRING LOWEST(x)")
+            .unwrap();
+        match out {
+            QueryResult::Explain(text) => {
+                assert!(text.contains("Preference SQL rewrite:"), "{text}");
+                assert!(text.contains("NOT EXISTS"), "{text}");
+                assert!(text.contains("Host engine plan:"), "{text}");
+            }
+            other => panic!("expected explain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_execution() {
+        let mut c = PrefSqlConnection::new();
+        let results = c
+            .execute_script(
+                "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (3), (1); \
+                 SELECT x FROM t PREFERRING LOWEST(x);",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(matches!(&results[2], QueryResult::Rows(rs) if rs.len() == 1));
+    }
+}

@@ -1,0 +1,450 @@
+//! Native preference evaluation — the "skyline operator in the kernel"
+//! alternative the paper's outlook points at (§3.3: "implementing a
+//! generalized skyline operator in the kernel of an SQL-system clearly
+//! holds much promise").
+//!
+//! Instead of rewriting to a `NOT EXISTS` anti-join, this path evaluates
+//! the base-preference expressions of every WHERE-qualified tuple into
+//! *slot vectors* and runs an explicit maximal-set algorithm from
+//! `prefsql-pref` (naive nested loop, BNL, or SFS). Semantics are identical
+//! to the rewrite path — the `rewrite_vs_native` differential test suite
+//! and ablation benchmark A1 depend on that.
+
+use crate::result::ResultSet;
+use prefsql_engine::eval::{eval, truth, Frame, SubqueryEval};
+use prefsql_engine::{Engine, Relation};
+use prefsql_parser::ast::{Expr, Query, SelectItem};
+use prefsql_pref::{bmo_grouped, maximal_bnl, maximal_naive, maximal_sfs, BasePref};
+use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
+use prefsql_rewrite::PreferenceRegistry;
+use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
+
+/// Which maximal-set algorithm evaluates the preference natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkylineAlgo {
+    /// The paper's abstract selection method (§3.2): O(n²) nested loop.
+    Naive,
+    /// Block-nested-loops \[BKS01\].
+    Bnl,
+    /// Sort-filter-skyline (pre-sort by a dominance-compatible order).
+    Sfs,
+}
+
+/// Evaluate a preference query natively. The hard part of the query
+/// (FROM/WHERE) still runs on the host engine; preference selection runs
+/// in this layer.
+pub fn run_native(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    algo: SkylineAlgo,
+) -> Result<ResultSet> {
+    let pref_ast = query
+        .preferring
+        .as_ref()
+        .ok_or_else(|| Error::Plan("native evaluation requires a PREFERRING clause".into()))?;
+    if !query.group_by.is_empty() || query.having.is_some() {
+        return Err(Error::Unsupported(
+            "GROUP BY/HAVING combined with PREFERRING is only supported in \
+             rewrite mode"
+                .into(),
+        ));
+    }
+    let resolved = registry.resolve(pref_ast)?;
+    let compiled = compile_preference(&resolved)?;
+    let arity = compiled.preference.arity();
+
+    // Fetch WHERE-qualified tuples with slot and grouping columns appended.
+    let mut aux_select: Vec<SelectItem> = vec![SelectItem::Wildcard];
+    for (i, e) in compiled.base_exprs.iter().enumerate() {
+        aux_select.push(SelectItem::Expr {
+            expr: e.clone(),
+            alias: Some(format!("prefsql_s{i}")),
+        });
+    }
+    for (j, g) in query.grouping.iter().enumerate() {
+        aux_select.push(SelectItem::Expr {
+            expr: g.clone(),
+            alias: Some(format!("prefsql_g{j}")),
+        });
+    }
+    let aux = Query {
+        select: aux_select,
+        from: query.from.clone(),
+        where_clause: query.where_clause.clone(),
+        ..Default::default()
+    };
+    let rel = engine.run_query(&aux, &[])?;
+    let n_groups = query.grouping.len();
+    let n_orig = rel.schema.len() - arity - n_groups;
+
+    let slot_of =
+        |row: &Tuple| -> Vec<Value> { (0..arity).map(|i| row[n_orig + i].clone()).collect() };
+    let group_of = |row: &Tuple| -> Vec<Value> {
+        (0..n_groups)
+            .map(|j| row[n_orig + arity + j].clone())
+            .collect()
+    };
+
+    // Data-dependent optima for LOWEST/HIGHEST quality functions.
+    let best_scores: Vec<Option<f64>> = (0..arity)
+        .map(|i| {
+            rel.rows
+                .iter()
+                .filter_map(|r| compiled.preference.bases()[i].score(&r[n_orig + i]))
+                .min_by(|a, b| a.total_cmp(b))
+        })
+        .collect();
+
+    // BUT ONLY filters candidates before dominance (§2.2.5).
+    let ctx = EngineSubqueries { engine };
+    let candidates: Vec<&Tuple> = match &query.but_only {
+        None => rel.rows.iter().collect(),
+        Some(b) => {
+            let mut kept = Vec::new();
+            for row in &rel.rows {
+                let substituted =
+                    substitute_quality(b, &compiled, &slot_of(row), &best_scores, n_orig)?;
+                let frames = [Frame {
+                    schema: &rel.schema,
+                    tuple: row,
+                }];
+                if truth(&eval(&substituted, &frames, &ctx)?) == Some(true) {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+    };
+
+    // Maximal-set selection.
+    let slot_vectors: Vec<Vec<Value>> = candidates.iter().map(|r| slot_of(r)).collect();
+    let winner_indices: Vec<usize> = if n_groups > 0 {
+        let keys: Vec<Vec<Value>> = candidates.iter().map(|r| group_of(r)).collect();
+        bmo_grouped(&slot_vectors, &keys, &compiled.preference)
+    } else {
+        match algo {
+            SkylineAlgo::Naive => maximal_naive(&slot_vectors, &compiled.preference),
+            SkylineAlgo::Bnl => maximal_bnl(&slot_vectors, &compiled.preference),
+            SkylineAlgo::Sfs => maximal_sfs(&slot_vectors, &compiled.preference),
+        }
+    };
+    let mut winners: Vec<&Tuple> = winner_indices.iter().map(|&i| candidates[i]).collect();
+
+    // ORDER BY (quality functions allowed).
+    if !query.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, &Tuple)> = Vec::with_capacity(winners.len());
+        for row in winners {
+            let mut key = Vec::with_capacity(query.order_by.len());
+            for o in &query.order_by {
+                let substituted =
+                    substitute_quality(&o.expr, &compiled, &slot_of(row), &best_scores, n_orig)?;
+                let frames = [Frame {
+                    schema: &rel.schema,
+                    tuple: row,
+                }];
+                key.push(eval(&substituted, &frames, &ctx)?);
+            }
+            keyed.push((key, row));
+        }
+        keyed.sort_by(|a, b| {
+            for (i, o) in query.order_by.iter().enumerate() {
+                let ord = a.0[i].total_cmp(&b.0[i]);
+                let ord = if o.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        winners = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // Projection.
+    let mut columns: Vec<Column> = Vec::new();
+    let mut cells_per_row: Vec<Vec<Value>> = vec![Vec::new(); winners.len()];
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                for c in rel.schema.columns().iter().take(n_orig) {
+                    let mut col = c.clone();
+                    col.qualifier = None;
+                    columns.push(col);
+                }
+                for (out, row) in cells_per_row.iter_mut().zip(&winners) {
+                    out.extend(row.values().iter().take(n_orig).cloned());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    Expr::Function { name, args } => match args.first() {
+                        Some(Expr::Column { name: col, .. })
+                            if matches!(name.as_str(), "top" | "level" | "distance") =>
+                        {
+                            format!("{name}_{col}")
+                        }
+                        _ => name.clone(),
+                    },
+                    other => other.to_string().to_ascii_lowercase(),
+                });
+                let mut dtype = DataType::Str;
+                for (out, row) in cells_per_row.iter_mut().zip(&winners) {
+                    let substituted =
+                        substitute_quality(expr, &compiled, &slot_of(row), &best_scores, n_orig)?;
+                    let frames = [Frame {
+                        schema: &rel.schema,
+                        tuple: row,
+                    }];
+                    let v = eval(&substituted, &frames, &ctx)?;
+                    if let Some(t) = v.data_type() {
+                        dtype = t;
+                    }
+                    out.push(v);
+                }
+                columns.push(Column::new(name, dtype));
+            }
+        }
+    }
+    // Unique output names (mirrors the engine's projection behaviour).
+    let mut seen: Vec<String> = Vec::new();
+    for c in &mut columns {
+        if seen.contains(&c.name) {
+            let mut k = 2;
+            while seen.contains(&format!("{}_{k}", c.name)) {
+                k += 1;
+            }
+            c.name = format!("{}_{k}", c.name);
+        }
+        seen.push(c.name.clone());
+    }
+    let schema = Schema::new(columns)?;
+    let mut rows: Vec<Tuple> = cells_per_row.into_iter().map(Tuple::new).collect();
+
+    // DISTINCT and LIMIT.
+    if query.distinct {
+        let mut kept: Vec<Tuple> = Vec::new();
+        for row in rows {
+            if !kept.iter().any(|k| {
+                k.values()
+                    .iter()
+                    .zip(row.values())
+                    .all(|(a, b)| a.key_eq(b))
+            }) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+    if let Some(n) = query.limit {
+        rows.truncate(n as usize);
+    }
+    Ok(ResultSet::new(Relation { schema, rows }))
+}
+
+/// Replace `TOP`/`LEVEL`/`DISTANCE` calls with their computed values for
+/// one tuple. Non-quality sub-expressions are left for the engine
+/// evaluator.
+fn substitute_quality(
+    expr: &Expr,
+    compiled: &CompiledPreference,
+    slots: &[Value],
+    best_scores: &[Option<f64>],
+    _n_orig: usize,
+) -> Result<Expr> {
+    if let Expr::Function { name, args } = expr {
+        if matches!(name.as_str(), "top" | "level" | "distance") {
+            if args.len() != 1 {
+                return Err(Error::Plan(format!(
+                    "{name}() expects exactly one attribute argument"
+                )));
+            }
+            let slot = compiled.slot_of(&args[0]).ok_or_else(|| {
+                Error::Rewrite(format!(
+                    "{name}({}) does not match any base preference",
+                    args[0]
+                ))
+            })?;
+            let base = &compiled.preference.bases()[slot];
+            let v = &slots[slot];
+            return Ok(Expr::Literal(native_quality_value(
+                name,
+                base,
+                v,
+                best_scores[slot],
+            )?));
+        }
+    }
+    // Rebuild with substituted children.
+    let rebuilt = match expr {
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_quality(
+                e,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(substitute_quality(
+                left,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            op: *op,
+            right: Box::new(substitute_quality(
+                right,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+        },
+        Expr::IsNull { expr: e, negated } => Expr::IsNull {
+            expr: Box::new(substitute_quality(
+                e,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(substitute_quality(
+                e,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            low: Box::new(substitute_quality(
+                low,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            high: Box::new(substitute_quality(
+                high,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(substitute_quality(
+                e,
+                compiled,
+                slots,
+                best_scores,
+                _n_orig,
+            )?),
+            list: list
+                .iter()
+                .map(|i| substitute_quality(i, compiled, slots, best_scores, _n_orig))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| substitute_quality(o, compiled, slots, best_scores, _n_orig).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        substitute_quality(w, compiled, slots, best_scores, _n_orig)?,
+                        substitute_quality(t, compiled, slots, best_scores, _n_orig)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_result: else_result
+                .as_ref()
+                .map(|e| substitute_quality(e, compiled, slots, best_scores, _n_orig).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute_quality(a, compiled, slots, best_scores, _n_orig))
+                .collect::<Result<_>>()?,
+        },
+        other => other.clone(),
+    };
+    Ok(rebuilt)
+}
+
+/// The value of one quality function for one attribute value.
+fn native_quality_value(
+    func: &str,
+    base: &BasePref,
+    v: &Value,
+    best_score: Option<f64>,
+) -> Result<Value> {
+    match func {
+        "level" => Ok(base.level(v).map(Value::Int).unwrap_or(Value::Null)),
+        "distance" => match base {
+            BasePref::Around { .. } | BasePref::Between { .. } => {
+                Ok(base.score(v).map(float_or_int).unwrap_or(Value::Null))
+            }
+            BasePref::Lowest | BasePref::Highest => match (base.score(v), best_score) {
+                (Some(s), Some(b)) => Ok(float_or_int(s - b)),
+                _ => Ok(Value::Null),
+            },
+            _ => Err(Error::Plan(
+                "DISTANCE() applies to numeric preferences; use LEVEL() for \
+                 categorical preferences"
+                    .into(),
+            )),
+        },
+        "top" => match base {
+            BasePref::Lowest | BasePref::Highest => Ok(Value::Bool(
+                matches!((base.score(v), best_score), (Some(s), Some(b)) if s == b),
+            )),
+            _ => Ok(Value::Bool(base.top(v, None))),
+        },
+        other => Err(Error::Plan(format!("unknown quality function '{other}'"))),
+    }
+}
+
+/// Distances are conceptually numeric; keep integers integral for display
+/// parity with the rewrite path.
+fn float_or_int(f: f64) -> Value {
+    if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+        Value::Int(f as i64)
+    } else {
+        Value::Float(f)
+    }
+}
+
+struct EngineSubqueries<'e> {
+    engine: &'e Engine,
+}
+
+impl SubqueryEval for EngineSubqueries<'_> {
+    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
+        Ok(self.engine.run_query(query, frames)?.rows)
+    }
+}

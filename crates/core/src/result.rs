@@ -1,0 +1,196 @@
+//! Result sets returned to the application.
+
+use prefsql_engine::Relation;
+use prefsql_types::{Schema, Tuple, Value};
+use std::fmt;
+
+/// A query result: schema plus rows, with display helpers for the
+/// examples and the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    /// Wrap an engine relation.
+    pub fn new(rel: Relation) -> Self {
+        ResultSet {
+            schema: rel.schema,
+            rows: rel.rows,
+        }
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names, in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// All values of column `idx`.
+    pub fn column(&self, idx: usize) -> Vec<&Value> {
+        self.rows.iter().map(|r| &r[idx]).collect()
+    }
+
+    /// All values of column `idx` rendered as strings.
+    pub fn column_as_strings(&self, idx: usize) -> Vec<String> {
+        self.rows.iter().map(|r| r[idx].to_string()).collect()
+    }
+
+    /// All values of column `idx` as i64 (panics on non-integers; test and
+    /// example convenience).
+    pub fn column_as_ints(&self, idx: usize) -> Vec<i64> {
+        self.rows
+            .iter()
+            .map(|r| r[idx].as_int().expect("integer column"))
+            .collect()
+    }
+
+    /// Drop the internal `prefsql_*` level/grouping columns that a
+    /// `SELECT *` preference query exposes through the rewrite.
+    pub(crate) fn strip_generated_columns(self) -> Self {
+        let keep: Vec<usize> = self
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.name.starts_with(prefsql_rewrite::levels::GEN_PREFIX))
+            .map(|(i, _)| i)
+            .collect();
+        if keep.len() == self.schema.len() {
+            return self;
+        }
+        let columns = keep
+            .iter()
+            .map(|&i| self.schema.column(i).clone())
+            .collect();
+        let schema = Schema::new(columns).expect("stripping preserves uniqueness");
+        let rows = self.rows.iter().map(|r| r.project(&keep)).collect();
+        ResultSet { schema, rows }
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// ASCII table rendering, aligned, with a header row.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:w$} |")?;
+        }
+        writeln!(f)?;
+        sep(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (v, w) in row.iter().zip(&widths) {
+                write!(f, " {v:w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        sep(f)?;
+        writeln!(f, "({} rows)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::{tuple, Column, DataType};
+
+    fn sample() -> ResultSet {
+        ResultSet::new(Relation {
+            schema: Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("make", DataType::Str),
+            ])
+            .unwrap(),
+            rows: vec![tuple![1, "audi"], tuple![2, "bmw"]],
+        })
+    }
+
+    #[test]
+    fn accessors() {
+        let rs = sample();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.column_names(), vec!["id", "make"]);
+        assert_eq!(rs.column_as_ints(0), vec![1, 2]);
+        assert_eq!(rs.column_as_strings(1), vec!["audi", "bmw"]);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let out = sample().to_string();
+        assert!(out.contains("| id | make |"), "{out}");
+        assert!(out.contains("| 1  | audi |"), "{out}");
+        assert!(out.contains("(2 rows)"), "{out}");
+    }
+
+    #[test]
+    fn strip_generated_columns_removes_internal_names() {
+        let rs = ResultSet::new(Relation {
+            schema: Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("prefsql_p0", DataType::Int),
+                Column::new("prefsql_g0", DataType::Str),
+            ])
+            .unwrap(),
+            rows: vec![tuple![1, 5, "x"]],
+        });
+        let stripped = rs.strip_generated_columns();
+        assert_eq!(stripped.column_names(), vec!["id"]);
+        assert_eq!(stripped.rows()[0].len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! An interactive Preference SQL shell (the engine behind the
+//! `prefsql-cli` binary).
+//!
+//! Statements are buffered until a terminating `;`. Backslash
+//! meta-commands control the session:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `\d` | list tables, views and named preferences |
+//! | `\d <table>` | show a table's schema and indexes |
+//! | `\mode [rewrite\|naive\|bnl\|sfs]` | show/switch the execution mode |
+//! | `\timing` | toggle per-statement timing |
+//! | `\rewrite <query>` | show the SQL a preference query rewrites into |
+//! | `\help` | list commands |
+//! | `\q` | quit |
+
+use crate::connection::{ExecutionMode, PrefSqlConnection, QueryResult};
+use crate::native::SkylineAlgo;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A line-oriented shell session over a [`PrefSqlConnection`].
+pub struct Shell {
+    conn: PrefSqlConnection,
+    buffer: String,
+    timing: bool,
+    quit: bool,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    /// A fresh session with an empty catalog.
+    pub fn new() -> Self {
+        Shell {
+            conn: PrefSqlConnection::new(),
+            buffer: String::new(),
+            timing: false,
+            quit: false,
+        }
+    }
+
+    /// Access the underlying connection (for pre-loading data).
+    pub fn connection_mut(&mut self) -> &mut PrefSqlConnection {
+        &mut self.conn
+    }
+
+    /// True after `\q`.
+    pub fn should_quit(&self) -> bool {
+        self.quit
+    }
+
+    /// The prompt reflecting buffer state: `prefsql>` or continuation `...>`.
+    pub fn prompt(&self) -> &'static str {
+        if self.buffer.trim().is_empty() {
+            "prefsql> "
+        } else {
+            "    ...> "
+        }
+    }
+
+    /// Feed one input line; returns the text to print.
+    pub fn feed_line(&mut self, line: &str) -> String {
+        let trimmed = line.trim();
+        if self.buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            return self.meta_command(trimmed);
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        // Execute every complete `;`-terminated statement in the buffer.
+        let mut out = String::new();
+        while let Some(pos) = statement_end(&self.buffer) {
+            let stmt: String = self.buffer.drain(..=pos).collect();
+            let stmt = stmt.trim().trim_end_matches(';').trim().to_string();
+            if stmt.is_empty() {
+                continue;
+            }
+            out.push_str(&self.run_statement(&stmt));
+        }
+        out
+    }
+
+    fn run_statement(&mut self, sql: &str) -> String {
+        let t0 = Instant::now();
+        let result = self.conn.execute(sql);
+        let elapsed = t0.elapsed();
+        let mut out = match result {
+            Ok(QueryResult::Rows(rs)) => rs.to_string(),
+            Ok(QueryResult::Count(n)) => format!("INSERT {n}\n"),
+            Ok(QueryResult::Message(m)) => format!("{m}\n"),
+            Ok(QueryResult::Explain(text)) => text,
+            Err(e) => format!("ERROR: {e}\n"),
+        };
+        if self.timing {
+            let _ = writeln!(out, "Time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+        out
+    }
+
+    fn meta_command(&mut self, cmd: &str) -> String {
+        let mut parts = cmd.splitn(2, char::is_whitespace);
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next().map(str::trim).unwrap_or("");
+        match head {
+            "\\q" | "\\quit" => {
+                self.quit = true;
+                "bye\n".into()
+            }
+            "\\help" | "\\?" => "\\d [table]   list relations / describe a table\n\
+                 \\mode [m]    show or set execution mode (rewrite|naive|bnl|sfs)\n\
+                 \\rewrite q   show the standard SQL a preference query becomes\n\
+                 \\timing      toggle timing\n\
+                 \\q           quit\n"
+                .into(),
+            "\\timing" => {
+                self.timing = !self.timing;
+                format!("timing {}\n", if self.timing { "on" } else { "off" })
+            }
+            "\\mode" => match arg {
+                "" => format!("mode: {}\n", mode_label(self.conn.mode())),
+                "rewrite" => {
+                    self.conn.set_mode(ExecutionMode::Rewrite);
+                    "mode: rewrite\n".into()
+                }
+                "naive" => {
+                    self.conn
+                        .set_mode(ExecutionMode::Native(SkylineAlgo::Naive));
+                    "mode: native (naive)\n".into()
+                }
+                "bnl" => {
+                    self.conn.set_mode(ExecutionMode::Native(SkylineAlgo::Bnl));
+                    "mode: native (bnl)\n".into()
+                }
+                "sfs" => {
+                    self.conn.set_mode(ExecutionMode::Native(SkylineAlgo::Sfs));
+                    "mode: native (sfs)\n".into()
+                }
+                other => format!("unknown mode '{other}' (rewrite|naive|bnl|sfs)\n"),
+            },
+            "\\rewrite" => match self.conn.rewritten_sql(arg) {
+                Ok(Some(sql)) => format!("{sql}\n"),
+                Ok(None) => "query contains no preference constructs\n".into(),
+                Err(e) => format!("ERROR: {e}\n"),
+            },
+            "\\d" => {
+                if arg.is_empty() {
+                    self.list_relations()
+                } else {
+                    self.describe_table(arg)
+                }
+            }
+            other => format!("unknown command '{other}' (try \\help)\n"),
+        }
+    }
+
+    fn list_relations(&mut self) -> String {
+        let catalog = self.conn.engine().catalog();
+        let mut out = String::new();
+        let tables = catalog.table_names();
+        let views = catalog.view_names();
+        let _ = writeln!(out, "tables ({}):", tables.len());
+        for t in tables {
+            let n = catalog.table(&t).map(|t| t.len()).unwrap_or(0);
+            let _ = writeln!(out, "  {t} ({n} rows)");
+        }
+        if !views.is_empty() {
+            let _ = writeln!(out, "views ({}):", views.len());
+            for v in views {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        out
+    }
+
+    fn describe_table(&mut self, name: &str) -> String {
+        match self.conn.engine().catalog().table(name) {
+            Ok(t) => {
+                let mut out = format!("table {} {}\n", t.name(), t.schema());
+                let idx = t.index_names();
+                if !idx.is_empty() {
+                    let _ = writeln!(out, "indexes: {}", idx.join(", "));
+                }
+                out
+            }
+            Err(e) => format!("ERROR: {e}\n"),
+        }
+    }
+}
+
+fn mode_label(mode: ExecutionMode) -> &'static str {
+    match mode {
+        ExecutionMode::Rewrite => "rewrite",
+        ExecutionMode::Native(SkylineAlgo::Naive) => "native (naive)",
+        ExecutionMode::Native(SkylineAlgo::Bnl) => "native (bnl)",
+        ExecutionMode::Native(SkylineAlgo::Sfs) => "native (sfs)",
+    }
+}
+
+/// Index of the `;` ending the first complete statement, respecting
+/// string literals (quoted semicolons do not terminate).
+fn statement_end(buffer: &str) -> Option<usize> {
+    let mut in_string = false;
+    for (i, c) in buffer.char_indices() {
+        match c {
+            '\'' => in_string = !in_string,
+            ';' if !in_string => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_complete_statements() {
+        let mut sh = Shell::new();
+        assert_eq!(
+            sh.feed_line("CREATE TABLE t (x INTEGER);"),
+            "created table t\n"
+        );
+        assert_eq!(sh.feed_line("INSERT INTO t VALUES (1), (2);"), "INSERT 2\n");
+        let out = sh.feed_line("SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(out.contains("| 1 |"), "{out}");
+        assert!(out.contains("(1 rows)"), "{out}");
+    }
+
+    #[test]
+    fn buffers_across_lines() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.prompt(), "prefsql> ");
+        assert_eq!(sh.feed_line("CREATE TABLE t"), "");
+        assert_eq!(sh.prompt(), "    ...> ");
+        assert_eq!(sh.feed_line("(x INTEGER);"), "created table t\n");
+        assert_eq!(sh.prompt(), "prefsql> ");
+    }
+
+    #[test]
+    fn semicolons_inside_strings_do_not_split() {
+        let mut sh = Shell::new();
+        sh.feed_line("CREATE TABLE t (s VARCHAR);");
+        assert_eq!(sh.feed_line("INSERT INTO t VALUES ('a;b');"), "INSERT 1\n");
+        let out = sh.feed_line("SELECT s FROM t;");
+        assert!(out.contains("a;b"), "{out}");
+    }
+
+    #[test]
+    fn multiple_statements_one_line() {
+        let mut sh = Shell::new();
+        let out = sh.feed_line("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1);");
+        assert!(out.contains("created table t"));
+        assert!(out.contains("INSERT 1"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut sh = Shell::new();
+        let out = sh.feed_line("SELECT * FROM missing;");
+        assert!(out.starts_with("ERROR:"), "{out}");
+        assert!(!sh.should_quit());
+        assert_eq!(
+            sh.feed_line("CREATE TABLE t (x INTEGER);"),
+            "created table t\n"
+        );
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut sh = Shell::new();
+        sh.feed_line("CREATE TABLE cars (make VARCHAR, price INTEGER);");
+        sh.feed_line("CREATE INDEX i ON cars (price);");
+        let out = sh.feed_line("\\d");
+        assert!(out.contains("cars (0 rows)"), "{out}");
+        let out = sh.feed_line("\\d cars");
+        assert!(out.contains("make VARCHAR"), "{out}");
+        assert!(out.contains("indexes: i"), "{out}");
+        let out = sh.feed_line("\\d nope");
+        assert!(out.starts_with("ERROR"), "{out}");
+        assert!(sh.feed_line("\\help").contains("\\mode"));
+        assert!(sh.feed_line("\\nosuch").contains("unknown command"));
+    }
+
+    #[test]
+    fn mode_switching() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\mode"), "mode: rewrite\n");
+        assert_eq!(sh.feed_line("\\mode bnl"), "mode: native (bnl)\n");
+        assert_eq!(sh.feed_line("\\mode"), "mode: native (bnl)\n");
+        sh.feed_line("CREATE TABLE t (x INTEGER);");
+        sh.feed_line("INSERT INTO t VALUES (2), (1);");
+        let out = sh.feed_line("SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(out.contains("| 1 |"), "{out}");
+        assert!(sh.feed_line("\\mode warp").contains("unknown mode"));
+    }
+
+    #[test]
+    fn rewrite_inspection() {
+        let mut sh = Shell::new();
+        let out = sh.feed_line("\\rewrite SELECT * FROM t PREFERRING LOWEST(x)");
+        assert!(out.contains("NOT EXISTS"), "{out}");
+        let out = sh.feed_line("\\rewrite SELECT * FROM t");
+        assert!(out.contains("no preference constructs"), "{out}");
+    }
+
+    #[test]
+    fn timing_toggle_and_quit() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\timing"), "timing on\n");
+        sh.feed_line("CREATE TABLE t (x INTEGER);");
+        let out = sh.feed_line("SELECT 1;");
+        assert!(out.contains("Time:"), "{out}");
+        assert_eq!(sh.feed_line("\\timing"), "timing off\n");
+        assert_eq!(sh.feed_line("\\q"), "bye\n");
+        assert!(sh.should_quit());
+    }
+}

@@ -1,0 +1,132 @@
+//! `EXPLAIN`: a textual rendering of how the engine will execute a
+//! statement — FROM sources with their access paths, predicates, and the
+//! post-processing steps. The Preference SQL facade additionally prefixes
+//! the rewritten SQL, so `EXPLAIN SELECT ... PREFERRING ...` shows both the
+//! rewrite and the host plan.
+
+use crate::access::{choose_access_path, AccessPath};
+use crate::Engine;
+use prefsql_parser::ast::{Query, SelectItem, Statement, TableRef};
+use prefsql_types::{Error, Result};
+use std::fmt::Write as _;
+
+/// Render an execution plan for `stmt`.
+pub fn explain(engine: &Engine, stmt: &Statement) -> Result<String> {
+    match stmt {
+        Statement::Select(q) => {
+            let mut out = String::new();
+            explain_query(engine, q, 0, &mut out)?;
+            Ok(out)
+        }
+        Statement::Insert { table, source, .. } => {
+            let mut out = format!("Insert into {table}\n");
+            if let prefsql_parser::ast::InsertSource::Query(q) = source {
+                explain_query(engine, q, 1, &mut out)?;
+            } else {
+                out.push_str("  Values\n");
+            }
+            Ok(out)
+        }
+        Statement::Explain(inner) => explain(engine, inner),
+        other => Ok(format!("Utility statement: {other}\n")),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn explain_query(engine: &Engine, q: &Query, depth: usize, out: &mut String) -> Result<()> {
+    indent(out, depth);
+    let agg = !q.group_by.is_empty()
+        || q.select.iter().any(|s| match s {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+    let mut steps: Vec<String> = Vec::new();
+    if q.distinct {
+        steps.push("distinct".into());
+    }
+    if agg {
+        steps.push(format!("aggregate({} keys)", q.group_by.len()));
+    }
+    if !q.order_by.is_empty() {
+        steps.push(format!("sort({} keys)", q.order_by.len()));
+    }
+    if let Some(n) = q.limit {
+        steps.push(format!("limit {n}"));
+    }
+    let steps = if steps.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", steps.join(", "))
+    };
+    writeln!(out, "Select{steps}").map_err(|e| Error::Exec(e.to_string()))?;
+    if let Some(w) = &q.where_clause {
+        indent(out, depth + 1);
+        writeln!(out, "Filter: {w}").map_err(|e| Error::Exec(e.to_string()))?;
+    }
+    for item in &q.from {
+        explain_table_ref(engine, item, q, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+fn explain_table_ref(
+    engine: &Engine,
+    item: &TableRef,
+    q: &Query,
+    depth: usize,
+    out: &mut String,
+) -> Result<()> {
+    match item {
+        TableRef::Named { name, alias } => {
+            indent(out, depth);
+            let shown = match alias {
+                Some(a) => format!("{name} AS {a}"),
+                None => name.clone(),
+            };
+            if engine.catalog().view(name).is_some() {
+                writeln!(out, "View expansion: {shown}").map_err(|e| Error::Exec(e.to_string()))?;
+            } else {
+                let table = engine.catalog().table(name)?;
+                let single = q.from.len() == 1 && matches!(&q.from[0], TableRef::Named { .. });
+                let path = if engine.use_indexes() && single {
+                    choose_access_path(table, q.where_clause.as_ref())
+                } else {
+                    AccessPath::SeqScan
+                };
+                match path {
+                    AccessPath::SeqScan => {
+                        writeln!(out, "Seq scan: {shown} ({} rows)", table.len())
+                            .map_err(|e| Error::Exec(e.to_string()))?
+                    }
+                    AccessPath::Index { describe, row_ids } => writeln!(
+                        out,
+                        "Index probe: {shown} via {describe} ({} candidates)",
+                        row_ids.len()
+                    )
+                    .map_err(|e| Error::Exec(e.to_string()))?,
+                }
+            }
+        }
+        TableRef::Derived { query, alias } => {
+            indent(out, depth);
+            writeln!(out, "Derived table {alias}:").map_err(|e| Error::Exec(e.to_string()))?;
+            explain_query(engine, query, depth + 1, out)?;
+        }
+        TableRef::Join { left, right, on } => {
+            indent(out, depth);
+            match on {
+                Some(on) => writeln!(out, "Nested-loop join on {on}")
+                    .map_err(|e| Error::Exec(e.to_string()))?,
+                None => writeln!(out, "Cross join").map_err(|e| Error::Exec(e.to_string()))?,
+            }
+            explain_table_ref(engine, left, q, depth + 1, out)?;
+            explain_table_ref(engine, right, q, depth + 1, out)?;
+        }
+    }
+    Ok(())
+}

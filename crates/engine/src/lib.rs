@@ -1,0 +1,28 @@
+//! # prefsql-engine
+//!
+//! A SQL92-entry-level execution engine over `prefsql-storage` — the *host
+//! DBMS* of the paper's architecture (§3.1). The Preference SQL rewriter
+//! emits plain SQL; this engine executes it, exactly as Informix/Oracle/DB2
+//! did for the original system.
+//!
+//! Supported: SELECT (projection, `*`/`t.*`, expressions, aliases,
+//! DISTINCT), FROM (tables, views, derived tables, INNER/CROSS JOIN),
+//! WHERE with three-valued logic, correlated and uncorrelated sub-queries
+//! (`EXISTS`, `IN`, scalar), `CASE`, `LIKE`, arithmetic, `ABS` and friends,
+//! GROUP BY / HAVING with `COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, ORDER BY, LIMIT,
+//! INSERT (VALUES and SELECT), CREATE/DROP TABLE/VIEW/INDEX, and EXPLAIN.
+//!
+//! Not supported (by design — the engine is the *target* of the rewrite):
+//! the `PREFERRING`/`GROUPING`/`BUT ONLY` clauses and the quality
+//! functions. Feeding a preference query to the engine is an error; the
+//! `prefsql` facade crate rewrites such queries first.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod eval;
+pub mod exec;
+pub mod explain;
+
+pub use exec::{Engine, ExecOutcome, Relation};

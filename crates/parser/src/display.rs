@@ -1,0 +1,428 @@
+//! SQL pretty-printer: `Display` impls that emit parseable SQL.
+//!
+//! The rewriter builds standard-SQL ASTs and uses these impls to produce the
+//! text submitted to the host engine (mirroring the paper's pre-processor
+//! that "forwards the transformed SQL program to the underlying SQL database
+//! system"). Round-trip tests (`parse(print(ast)) == ast`) live in the
+//! crate's test suite.
+
+use crate::ast::*;
+use std::fmt;
+
+fn sql_string_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+fn fmt_value(v: &prefsql_types::Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use prefsql_types::Value;
+    match v {
+        Value::Str(s) => write!(f, "'{}'", sql_string_escape(s)),
+        Value::Date(d) => write!(f, "DATE '{d}'"),
+        other => write!(f, "{other}"),
+    }
+}
+
+/// Wrapper rendering a [`prefsql_types::Value`] as a SQL literal
+/// (strings quoted and escaped, dates as `DATE '...'`).
+struct ValueSql<'a>(&'a prefsql_types::Value);
+
+impl fmt::Display for ValueSql<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_value(self.0, f)
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                match source {
+                    InsertSource::Values(rows) => {
+                        f.write_str(" VALUES ")?;
+                        for (i, row) in rows.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            f.write_str("(")?;
+                            for (j, e) in row.iter().enumerate() {
+                                if j > 0 {
+                                    f.write_str(", ")?;
+                                }
+                                write!(f, "{e}")?;
+                            }
+                            f.write_str(")")?;
+                        }
+                        Ok(())
+                    }
+                    InsertSource::Query(q) => write!(f, " {q}"),
+                }
+            }
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", c.name, c.data_type.sql_name())?;
+                    if c.not_null {
+                        f.write_str(" NOT NULL")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Statement::CreateView { name, query } => {
+                write!(f, "CREATE VIEW {name} AS {query}")
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                hash,
+            } => {
+                write!(f, "CREATE INDEX {name} ON {table} ({})", columns.join(", "))?;
+                if *hash {
+                    f.write_str(" USING hash")?;
+                }
+                Ok(())
+            }
+            Statement::CreatePreference { name, pref } => {
+                write!(f, "CREATE PREFERENCE {name} AS {pref}")
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::DropTable(n) => write!(f, "DROP TABLE {n}"),
+            Statement::DropView(n) => write!(f, "DROP VIEW {n}"),
+            Statement::DropPreference(n) => write!(f, "DROP PREFERENCE {n}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(p) = &self.preferring {
+            write!(f, " PREFERRING {p}")?;
+        }
+        if !self.grouping.is_empty() {
+            f.write_str(" GROUPING ")?;
+            for (i, g) in self.grouping.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(b) = &self.but_only {
+            write!(f, " BUT ONLY {b}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if !o.asc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                f.write_str(name)?;
+                if let Some(a) = alias {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Derived { query, alias } => write!(f, "({query}) {alias}"),
+            TableRef::Join { left, right, on } => match on {
+                Some(on) => write!(f, "{left} JOIN {right} ON {on}"),
+                None => write!(f, "{left} CROSS JOIN {right}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{}", ValueSql(v)),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => f.write_str(name),
+            },
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT ({expr})"),
+                UnaryOp::Neg => write!(f, "-({expr})"),
+            },
+            Expr::Binary { left, op, right } => {
+                // Parenthesize conservatively: correctness over prettiness.
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}IN ({query})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { query, negated } => {
+                write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+impl fmt::Display for PrefExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, values: &[prefsql_types::Value]) -> fmt::Result {
+            f.write_str("(")?;
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", ValueSql(v))?;
+            }
+            f.write_str(")")
+        }
+        match self {
+            PrefExpr::Around { expr, target } => write!(f, "{expr} AROUND {target}"),
+            PrefExpr::Between { expr, low, up } => {
+                write!(f, "{expr} BETWEEN {low}, {up}")
+            }
+            PrefExpr::Lowest { expr } => write!(f, "LOWEST({expr})"),
+            PrefExpr::Highest { expr } => write!(f, "HIGHEST({expr})"),
+            PrefExpr::Pos { expr, values } => {
+                write!(f, "{expr} IN ")?;
+                list(f, values)
+            }
+            PrefExpr::Neg { expr, values } => {
+                write!(f, "{expr} NOT IN ")?;
+                list(f, values)
+            }
+            PrefExpr::PosPos {
+                expr,
+                first,
+                second,
+            } => {
+                write!(f, "{expr} IN ")?;
+                list(f, first)?;
+                write!(f, " ELSE {expr} IN ")?;
+                list(f, second)
+            }
+            PrefExpr::PosNeg { expr, pos, neg } => {
+                write!(f, "{expr} IN ")?;
+                list(f, pos)?;
+                write!(f, " ELSE {expr} NOT IN ")?;
+                list(f, neg)
+            }
+            PrefExpr::Explicit { expr, edges } => {
+                write!(f, "{expr} EXPLICIT (")?;
+                for (i, (b, w)) in edges.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} BETTER {}", ValueSql(b), ValueSql(w))?;
+                }
+                f.write_str(")")
+            }
+            PrefExpr::Contains { expr, terms } => {
+                write!(f, "{expr} CONTAINS (")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "'{}'", sql_string_escape(t))?;
+                }
+                f.write_str(")")
+            }
+            PrefExpr::Named(n) => write!(f, "PREFERENCE {n}"),
+            PrefExpr::Pareto(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    // Parenthesize nested combinators to keep precedence.
+                    match p {
+                        PrefExpr::Prioritized(_) | PrefExpr::Pareto(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            PrefExpr::Prioritized(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" CASCADE ")?;
+                    }
+                    match p {
+                        PrefExpr::Prioritized(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}

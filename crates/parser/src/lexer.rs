@@ -1,0 +1,447 @@
+//! The lexer: SQL text → token stream with source positions.
+
+use crate::token::{Keyword, Token, TokenKind};
+use prefsql_types::{Error, Result};
+
+/// Streaming lexer over SQL source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lex the whole input, appending a final [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                // `/* block comment */`
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::Parse(format!(
+                                    "unterminated block comment at line {l}, column {c}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_whitespace_and_comments()?;
+        let (line, col) = (self.line, self.col);
+        let mk = |kind| Ok(Token::new(kind, line, col));
+        let Some(c) = self.peek() else {
+            return mk(TokenKind::Eof);
+        };
+        match c {
+            b'\'' => {
+                // Smart quotes from the paper's PDF are not handled; plain
+                // SQL single quotes with '' escaping are.
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => {
+                            if self.peek() == Some(b'\'') {
+                                self.bump();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated string literal at line {line}, column {col}"
+                            )))
+                        }
+                    }
+                }
+                mk(TokenKind::StringLit(s))
+            }
+            b'"' => {
+                // Delimited identifier.
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(c) => s.push((c as char).to_ascii_lowercase()),
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated quoted identifier at line {line}, column {col}"
+                            )))
+                        }
+                    }
+                }
+                mk(TokenKind::Ident(s))
+            }
+            b'0'..=b'9' => self.lex_number(line, col),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push((c as char).to_ascii_lowercase());
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match Keyword::lookup(&s) {
+                    Some(k) => mk(TokenKind::Keyword(k)),
+                    None => mk(TokenKind::Ident(s)),
+                }
+            }
+            b'=' => {
+                self.bump();
+                mk(TokenKind::Eq)
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        mk(TokenKind::LtEq)
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        mk(TokenKind::NotEq)
+                    }
+                    _ => mk(TokenKind::Lt),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    mk(TokenKind::GtEq)
+                } else {
+                    mk(TokenKind::Gt)
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    mk(TokenKind::NotEq)
+                } else {
+                    Err(Error::Parse(format!(
+                        "unexpected character '!' at line {line}, column {col}"
+                    )))
+                }
+            }
+            b'+' => {
+                self.bump();
+                mk(TokenKind::Plus)
+            }
+            b'-' => {
+                self.bump();
+                mk(TokenKind::Minus)
+            }
+            b'*' => {
+                self.bump();
+                mk(TokenKind::Star)
+            }
+            b'/' => {
+                self.bump();
+                mk(TokenKind::Slash)
+            }
+            b'(' => {
+                self.bump();
+                mk(TokenKind::LParen)
+            }
+            b')' => {
+                self.bump();
+                mk(TokenKind::RParen)
+            }
+            b',' => {
+                self.bump();
+                mk(TokenKind::Comma)
+            }
+            b'.' => {
+                self.bump();
+                mk(TokenKind::Dot)
+            }
+            b';' => {
+                self.bump();
+                mk(TokenKind::Semicolon)
+            }
+            other => Err(Error::Parse(format!(
+                "unexpected character '{}' at line {line}, column {col}",
+                other as char
+            ))),
+        }
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) -> Result<Token> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        // Fractional part: only if the dot is followed by a digit, so that
+        // `t.col` still lexes as ident-dot-ident.
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            s.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = (self.pos, self.line, self.col);
+            let mut exp = String::from("e");
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                exp.push(self.bump().unwrap() as char);
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        exp.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                s.push_str(&exp);
+                is_float = true;
+            } else {
+                // Not an exponent after all (e.g. `1e` then identifier);
+                // rewind.
+                self.pos = save.0;
+                self.line = save.1;
+                self.col = save.2;
+            }
+        }
+        if is_float {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| Error::Parse(format!("bad float literal '{s}' at line {line}")))?;
+            Ok(Token::new(TokenKind::FloatLit(v), line, col))
+        } else {
+            let v: i64 = s
+                .parse()
+                .map_err(|_| Error::Parse(format!("bad integer literal '{s}' at line {line}")))?;
+            Ok(Token::new(TokenKind::IntLit(v), line, col))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_paper_query() {
+        let ks = kinds("SELECT * FROM trips PREFERRING duration AROUND 14;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Star,
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("trips".into()),
+                TokenKind::Keyword(Keyword::Preferring),
+                TokenKind::Ident("duration".into()),
+                TokenKind::Keyword(Keyword::Around),
+                TokenKind::IntLit(14),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::StringLit("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 0.9 1e3 2E-2 40000"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::FloatLit(2.5),
+                TokenKind::FloatLit(0.9),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.02),
+                TokenKind::IntLit(40000),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_column_is_not_a_float() {
+        assert_eq!(
+            kinds("a1.price"),
+            vec![
+                TokenKind::Ident("a1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("price".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- line comment\n 1 /* block\n comment */ + 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::IntLit(1),
+                TokenKind::Plus,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(Lexer::new("/* never ends").tokenize().is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds("\"Order\""),
+            vec![TokenKind::Ident("order".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("SELECT\n  *").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = Lexer::new("SELECT #").tokenize().unwrap_err();
+        assert!(err.to_string().contains("unexpected character '#'"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # prefsql-parser
+//!
+//! A hand-written lexer and recursive-descent parser for the Preference SQL
+//! language: SQL92 entry level plus the paper's extensions —
+//!
+//! * the `PREFERRING` clause with base preference constructors
+//!   (`AROUND`, `BETWEEN low, up`, `LOWEST`/`HIGHEST`, `POS`/`NEG` via
+//!   `IN`/`=`/`<>`, `ELSE` combinations, `EXPLICIT`, `CONTAINS`),
+//! * `AND` (Pareto accumulation) and `CASCADE`/`,` (prioritization),
+//! * `GROUPING`, `BUT ONLY`, and the quality functions `TOP`, `LEVEL`,
+//!   `DISTANCE`,
+//! * a small Preference Definition Language
+//!   (`CREATE PREFERENCE name AS ...`).
+//!
+//! The crate also contains a pretty-printer ([`std::fmt::Display`] impls on
+//! the AST) that emits valid SQL — the rewriter uses it to produce the
+//! SQL92 text submitted to the host engine, and round-trip property tests
+//! (`parse(print(ast)) == ast`) keep the two sides honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    ColumnDef, Expr, InsertSource, OrderByItem, PrefExpr, Query, SelectItem, Statement, TableRef,
+};
+pub use lexer::Lexer;
+pub use parser::{parse_expression, parse_statement, parse_statements, Parser};
+pub use token::{Keyword, Token, TokenKind};

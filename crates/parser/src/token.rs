@@ -1,0 +1,294 @@
+//! Tokens and keywords of the Preference SQL language.
+
+use std::fmt;
+
+/// All keywords recognized by the lexer. SQL identifiers are
+/// case-insensitive, so `select`, `Select` and `SELECT` all lex to
+/// [`Keyword::Select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are self-describing keyword names
+pub enum Keyword {
+    // Standard SQL.
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Insert,
+    Into,
+    Values,
+    Create,
+    Drop,
+    Table,
+    View,
+    Index,
+    Unique,
+    On,
+    Using,
+    As,
+    And,
+    Or,
+    Not,
+    Null,
+    True,
+    False,
+    Is,
+    In,
+    Between,
+    Like,
+    Exists,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Join,
+    Inner,
+    Left,
+    Outer,
+    Cross,
+    Integer,
+    Int,
+    Float,
+    Double,
+    Numeric,
+    Varchar,
+    Text,
+    Boolean,
+    Date,
+    Primary,
+    Key,
+    Limit,
+    Explain,
+    Delete,
+    Update,
+    Set,
+    Union,
+    All,
+    // Preference SQL extensions (paper §2.2).
+    Preferring,
+    Grouping,
+    But,
+    Only,
+    Around,
+    Lowest,
+    Highest,
+    Cascade,
+    Explicit,
+    Better,
+    Contains,
+    Preference,
+    Top,
+    Level,
+    Distance,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier (case-insensitive).
+    /// (Named `lookup`, not `from_str`, to avoid `FromStr` confusion —
+    /// a miss is an identifier, not an error.)
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "CREATE" => Create,
+            "DROP" => Drop,
+            "TABLE" => Table,
+            "VIEW" => View,
+            "INDEX" => Index,
+            "UNIQUE" => Unique,
+            "ON" => On,
+            "USING" => Using,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "IS" => Is,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "EXISTS" => Exists,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "OUTER" => Outer,
+            "CROSS" => Cross,
+            "INTEGER" => Integer,
+            "INT" => Int,
+            "FLOAT" => Float,
+            "DOUBLE" => Double,
+            "NUMERIC" => Numeric,
+            "VARCHAR" => Varchar,
+            "TEXT" => Text,
+            "BOOLEAN" => Boolean,
+            "DATE" => Date,
+            "PRIMARY" => Primary,
+            "KEY" => Key,
+            "LIMIT" => Limit,
+            "EXPLAIN" => Explain,
+            "DELETE" => Delete,
+            "UPDATE" => Update,
+            "SET" => Set,
+            "UNION" => Union,
+            "ALL" => All,
+            "PREFERRING" => Preferring,
+            "GROUPING" => Grouping,
+            "BUT" => But,
+            "ONLY" => Only,
+            "AROUND" => Around,
+            "LOWEST" => Lowest,
+            "HIGHEST" => Highest,
+            "CASCADE" => Cascade,
+            "EXPLICIT" => Explicit,
+            "BETTER" => Better,
+            "CONTAINS" => Contains,
+            "PREFERENCE" => Preference,
+            "TOP" => Top,
+            "LEVEL" => Level,
+            "DISTANCE" => Distance,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognized keyword.
+    Keyword(Keyword),
+    /// An identifier (lower-cased; SQL identifiers are case-insensitive).
+    Ident(String),
+    /// A `'...'` string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A float literal.
+    FloatLit(f64),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}").map(|()| ()),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::StringLit(s) => write!(f, "string '{s}'"),
+            TokenKind::IntLit(v) => write!(f, "integer {v}"),
+            TokenKind::FloatLit(v) => write!(f, "float {v}"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::NotEq => f.write_str("'<>'"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::LtEq => f.write_str("'<='"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::GtEq => f.write_str("'>='"),
+            TokenKind::Plus => f.write_str("'+'"),
+            TokenKind::Minus => f.write_str("'-'"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Semicolon => f.write_str("';'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, line: u32, col: u32) -> Self {
+        Token { kind, line, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("PREFERRING"), Some(Keyword::Preferring));
+        assert_eq!(Keyword::lookup("cascade"), Some(Keyword::Cascade));
+        assert_eq!(Keyword::lookup("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(TokenKind::Eq.to_string(), "'='");
+        assert_eq!(
+            TokenKind::Ident("cars".into()).to_string(),
+            "identifier 'cars'"
+        );
+    }
+}

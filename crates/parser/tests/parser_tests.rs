@@ -1,0 +1,497 @@
+//! Parser integration tests, centred on every query that appears verbatim
+//! in the paper, plus round-trip (print → re-parse) property checks.
+
+use prefsql_parser::ast::*;
+use prefsql_parser::{parse_expression, parse_statement, parse_statements};
+use prefsql_types::Value;
+
+fn query(sql: &str) -> Query {
+    match parse_statement(sql).unwrap() {
+        Statement::Select(q) => *q,
+        other => panic!("expected SELECT, got {other:?}"),
+    }
+}
+
+fn pref(sql: &str) -> PrefExpr {
+    query(sql).preferring.expect("query has PREFERRING")
+}
+
+// ------------------------------------------------------------------ §2.2.1
+
+#[test]
+fn paper_around_trips() {
+    let p = pref("SELECT * FROM trips PREFERRING duration AROUND 14;");
+    assert_eq!(
+        p,
+        PrefExpr::Around {
+            expr: Expr::col("duration"),
+            target: Box::new(Expr::lit(14)),
+        }
+    );
+}
+
+#[test]
+fn paper_highest_area() {
+    let p = pref("SELECT * FROM apartments PREFERRING HIGHEST(area);");
+    assert_eq!(
+        p,
+        PrefExpr::Highest {
+            expr: Expr::col("area")
+        }
+    );
+}
+
+#[test]
+fn paper_pos_programmers() {
+    let p = pref("SELECT * FROM programmers PREFERRING exp IN ('java', 'C++');");
+    assert_eq!(
+        p,
+        PrefExpr::Pos {
+            expr: Expr::col("exp"),
+            values: vec![Value::str("java"), Value::str("C++")],
+        }
+    );
+}
+
+#[test]
+fn paper_neg_hotels() {
+    let p = pref("SELECT * FROM hotels PREFERRING location <> 'downtown';");
+    assert_eq!(
+        p,
+        PrefExpr::Neg {
+            expr: Expr::col("location"),
+            values: vec![Value::str("downtown")],
+        }
+    );
+}
+
+// ------------------------------------------------------------------ §2.2.2
+
+#[test]
+fn paper_pareto_computers() {
+    let p = pref("SELECT * FROM computers PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed);");
+    assert_eq!(
+        p,
+        PrefExpr::Pareto(vec![
+            PrefExpr::Highest {
+                expr: Expr::col("main_memory")
+            },
+            PrefExpr::Highest {
+                expr: Expr::col("cpu_speed")
+            },
+        ])
+    );
+}
+
+#[test]
+fn paper_cascade_computers() {
+    let p = pref(
+        "SELECT * FROM computers \
+         PREFERRING HIGHEST(main_memory) CASCADE color IN ('black','brown');",
+    );
+    assert_eq!(
+        p,
+        PrefExpr::Prioritized(vec![
+            PrefExpr::Highest {
+                expr: Expr::col("main_memory")
+            },
+            PrefExpr::Pos {
+                expr: Expr::col("color"),
+                values: vec![Value::str("black"), Value::str("brown")],
+            },
+        ])
+    );
+}
+
+#[test]
+fn paper_opel_query_full_shape() {
+    // The flagship example of §2.2.2: hard WHERE + POS/NEG ELSE + Pareto +
+    // two CASCADE levels.
+    let q = query(
+        "SELECT * FROM car WHERE make = 'Opel' \
+         PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+         price AROUND 40000 AND HIGHEST(power)) \
+         CASCADE color = 'red' CASCADE LOWEST(mileage);",
+    );
+    assert!(q.where_clause.is_some());
+    let p = q.preferring.unwrap();
+    match &p {
+        PrefExpr::Prioritized(levels) => {
+            assert_eq!(levels.len(), 3, "three CASCADE levels");
+            match &levels[0] {
+                PrefExpr::Pareto(parts) => {
+                    assert_eq!(parts.len(), 3, "POS/NEG, AROUND, HIGHEST");
+                    assert!(matches!(parts[0], PrefExpr::PosNeg { .. }));
+                    assert!(matches!(parts[1], PrefExpr::Around { .. }));
+                    assert!(matches!(parts[2], PrefExpr::Highest { .. }));
+                }
+                other => panic!("expected Pareto at level 0, got {other:?}"),
+            }
+            assert!(matches!(&levels[1], PrefExpr::Pos { .. }));
+            assert!(matches!(&levels[2], PrefExpr::Lowest { .. }));
+        }
+        other => panic!("expected Prioritized, got {other:?}"),
+    }
+}
+
+#[test]
+fn else_binds_tighter_than_pareto_and() {
+    // §2.2.3 oldtimer query: ELSE groups the two color conditions; AND
+    // Pareto-combines with the AROUND preference.
+    let p = pref(
+        "SELECT * FROM oldtimer \
+         PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40;",
+    );
+    assert_eq!(
+        p,
+        PrefExpr::Pareto(vec![
+            PrefExpr::PosPos {
+                expr: Expr::col("color"),
+                first: vec![Value::str("white")],
+                second: vec![Value::str("yellow")],
+            },
+            PrefExpr::Around {
+                expr: Expr::col("age"),
+                target: Box::new(Expr::lit(40)),
+            },
+        ])
+    );
+}
+
+#[test]
+fn comma_is_cascade_synonym() {
+    let a = pref("SELECT * FROM t PREFERRING LOWEST(x), HIGHEST(y);");
+    let b = pref("SELECT * FROM t PREFERRING LOWEST(x) CASCADE HIGHEST(y);");
+    assert_eq!(a, b);
+}
+
+// ------------------------------------------------------------------ §2.2.3/4
+
+#[test]
+fn paper_quality_functions_in_select() {
+    let q = query(
+        "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer \
+         PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40;",
+    );
+    assert_eq!(q.select.len(), 5);
+    assert!(matches!(
+        &q.select[3],
+        SelectItem::Expr {
+            expr: Expr::Function { name, .. },
+            ..
+        } if name == "level"
+    ));
+}
+
+#[test]
+fn paper_but_only_trips() {
+    let q = query(
+        "SELECT * FROM trips \
+         PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 \
+         BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2;",
+    );
+    assert!(q.but_only.is_some());
+    let p = q.preferring.unwrap();
+    assert!(matches!(p, PrefExpr::Pareto(ref v) if v.len() == 2));
+}
+
+#[test]
+fn but_only_without_preferring_rejected() {
+    let r = parse_statement("SELECT * FROM t BUT ONLY DISTANCE(x) <= 2;");
+    assert!(r.is_err());
+}
+
+#[test]
+fn grouping_clause() {
+    let q = query(
+        "SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make BUT ONLY LEVEL(price) <= 2;",
+    );
+    assert_eq!(q.grouping, vec![Expr::col("make")]);
+    assert!(q.but_only.is_some());
+}
+
+#[test]
+fn grouping_without_preferring_rejected() {
+    assert!(parse_statement("SELECT * FROM t GROUPING make;").is_err());
+}
+
+// ------------------------------------------------------------------ §4.1
+
+#[test]
+fn paper_washing_machine_query() {
+    let q = query(
+        "SELECT * FROM products WHERE manufacturer = 'Aturi' \
+         PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE \
+         (powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption) \
+         AND price BETWEEN 1500, 2000);",
+    );
+    let p = q.preferring.unwrap();
+    match p {
+        PrefExpr::Prioritized(levels) => {
+            assert_eq!(levels.len(), 2);
+            match &levels[1] {
+                PrefExpr::Pareto(parts) => {
+                    assert_eq!(parts.len(), 3);
+                    assert!(matches!(
+                        &parts[0],
+                        PrefExpr::Between { low, up, .. }
+                        if **low == Expr::lit(0) && **up == Expr::lit(0.9)
+                    ));
+                }
+                other => panic!("expected Pareto, got {other:?}"),
+            }
+        }
+        other => panic!("expected Prioritized, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------------ §3.2
+
+#[test]
+fn paper_rewritten_sql_parses() {
+    // The hand-written SQL92 output shown in the paper must be parseable by
+    // our standard-SQL grammar (it is what our own rewriter emits).
+    let stmts = parse_statements(
+        "CREATE VIEW Aux AS \
+         SELECT *, CASE WHEN Make = 'Audi' THEN 1 ELSE 2 END AS Makelevel, \
+         CASE WHEN Diesel = 'yes' THEN 1 ELSE 2 END AS Diesellevel \
+         FROM Cars; \
+         INSERT INTO Max \
+         SELECT Identifier, Make, Model, Price, Mileage, Airbag, Diesel \
+         FROM Aux A1 \
+         WHERE NOT EXISTS (SELECT 1 FROM Aux A2 \
+         WHERE A2.Makelevel <= A1.Makelevel AND \
+         A2.Diesellevel <= A1.Diesellevel AND \
+         (A2.Makelevel < A1.Makelevel OR \
+         A2.Diesellevel < A1.Diesellevel));",
+    )
+    .unwrap();
+    assert_eq!(stmts.len(), 2);
+    assert!(matches!(&stmts[0], Statement::CreateView { name, .. } if name == "aux"));
+    match &stmts[1] {
+        Statement::Insert { table, source, .. } => {
+            assert_eq!(table, "max");
+            match source {
+                InsertSource::Query(q) => {
+                    assert!(matches!(
+                        q.where_clause,
+                        Some(Expr::Exists { negated: true, .. })
+                    ));
+                }
+                other => panic!("expected INSERT..SELECT, got {other:?}"),
+            }
+        }
+        other => panic!("expected INSERT, got {other:?}"),
+    }
+}
+
+// -------------------------------------------------------- other constructs
+
+#[test]
+fn explicit_preference() {
+    let p = pref(
+        "SELECT * FROM t PREFERRING color EXPLICIT ('red' BETTER 'blue', 'blue' BETTER 'grey');",
+    );
+    assert_eq!(
+        p,
+        PrefExpr::Explicit {
+            expr: Expr::col("color"),
+            edges: vec![
+                (Value::str("red"), Value::str("blue")),
+                (Value::str("blue"), Value::str("grey")),
+            ],
+        }
+    );
+}
+
+#[test]
+fn contains_preference() {
+    let p = pref("SELECT * FROM docs PREFERRING body CONTAINS ('skyline', 'pareto');");
+    assert_eq!(
+        p,
+        PrefExpr::Contains {
+            expr: Expr::col("body"),
+            terms: vec!["skyline".into(), "pareto".into()],
+        }
+    );
+    let single = pref("SELECT * FROM docs PREFERRING body CONTAINS 'skyline';");
+    assert!(matches!(single, PrefExpr::Contains { terms, .. } if terms.len() == 1));
+}
+
+#[test]
+fn named_preference_and_pdl() {
+    let s = parse_statement("CREATE PREFERENCE cheap AS LOWEST(price);").unwrap();
+    assert!(matches!(
+        s,
+        Statement::CreatePreference { ref name, .. } if name == "cheap"
+    ));
+    let p = pref("SELECT * FROM cars PREFERRING PREFERENCE cheap;");
+    assert_eq!(p, PrefExpr::Named("cheap".into()));
+    assert!(matches!(
+        parse_statement("DROP PREFERENCE cheap;").unwrap(),
+        Statement::DropPreference(ref n) if n == "cheap"
+    ));
+}
+
+#[test]
+fn around_on_arithmetic_expression() {
+    // §2.2.1: "instead of a single attribute an arithmetic expression over
+    // several attributes ... [is] admissible".
+    let p = pref("SELECT * FROM cars PREFERRING (price + tax) AROUND 100;");
+    match p {
+        PrefExpr::Around { expr, .. } => {
+            assert!(matches!(expr, Expr::Binary { .. }));
+        }
+        other => panic!("expected AROUND, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_values_in_pos_list() {
+    let p = pref("SELECT * FROM t PREFERRING x IN (-5, 3);");
+    assert_eq!(
+        p,
+        PrefExpr::Pos {
+            expr: Expr::col("x"),
+            values: vec![Value::Int(-5), Value::Int(3)],
+        }
+    );
+}
+
+#[test]
+fn else_requires_same_attribute() {
+    assert!(parse_statement("SELECT * FROM t PREFERRING a = 'x' ELSE b = 'y';").is_err());
+}
+
+#[test]
+fn else_requires_pos_shape() {
+    assert!(parse_statement("SELECT * FROM t PREFERRING LOWEST(a) ELSE a = 'y';").is_err());
+}
+
+// ------------------------------------------------------------ standard SQL
+
+#[test]
+fn standard_sql_suite() {
+    for sql in [
+        "SELECT 1",
+        "SELECT DISTINCT make FROM cars",
+        "SELECT * FROM a, b WHERE a.x = b.y",
+        "SELECT * FROM a JOIN b ON a.x = b.y",
+        "SELECT * FROM a CROSS JOIN b",
+        "SELECT make, COUNT(*), AVG(price) FROM cars GROUP BY make HAVING COUNT(*) > 2",
+        "SELECT * FROM cars ORDER BY price DESC, make ASC LIMIT 10",
+        "SELECT * FROM (SELECT * FROM cars WHERE price < 100) c WHERE c.make = 'vw'",
+        "SELECT * FROM cars WHERE price BETWEEN 10 AND 20",
+        "SELECT * FROM cars WHERE make IN ('audi', 'bmw')",
+        "SELECT * FROM cars WHERE make NOT IN (SELECT make FROM banned)",
+        "SELECT * FROM cars WHERE EXISTS (SELECT 1 FROM dealers d WHERE d.make = cars.make)",
+        "SELECT * FROM cars WHERE make LIKE 'au%'",
+        "SELECT * FROM cars WHERE price IS NOT NULL",
+        "SELECT CASE WHEN price < 10 THEN 'cheap' ELSE 'pricey' END FROM cars",
+        "SELECT CASE make WHEN 'audi' THEN 1 WHEN 'bmw' THEN 2 END FROM cars",
+        "SELECT ABS(price - 40000) FROM cars",
+        "SELECT (SELECT MAX(price) FROM cars) AS top_price",
+        "INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+        "INSERT INTO t (x, y) VALUES (1, 2)",
+        "INSERT INTO t SELECT * FROM s",
+        "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(40), price FLOAT, ok BOOLEAN, d DATE)",
+        "CREATE VIEW v AS SELECT * FROM t",
+        "CREATE INDEX i ON t (x, y)",
+        "CREATE INDEX i ON t (x) USING hash",
+        "DROP TABLE t",
+        "DROP VIEW v",
+        "DELETE FROM t",
+        "DELETE FROM t WHERE x > 3",
+        "UPDATE t SET x = 1",
+        "UPDATE t SET x = x + 1, y = 'z' WHERE x IS NOT NULL",
+        "EXPLAIN SELECT * FROM t",
+        "SELECT * FROM t WHERE d = DATE '1999-07-03'",
+        "SELECT -price, +price, 2 * (price + 1) FROM t",
+        "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
+    ] {
+        parse_statement(sql).unwrap_or_else(|e| panic!("failed on {sql}: {e}"));
+    }
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let err = parse_statement("SELECT FROM").unwrap_err();
+    assert!(err.to_string().contains("line 1"), "got: {err}");
+    assert!(parse_statement("SELECT * FROM").is_err());
+    assert!(parse_statement("SELECT * FROM t WHERE").is_err());
+    assert!(parse_statement("SELECT * FROM (SELECT 1)").is_err()); // missing alias
+    assert!(parse_statement("frobnicate").is_err());
+}
+
+#[test]
+fn multiple_statements_and_empty_input() {
+    let stmts = parse_statements("SELECT 1; SELECT 2;;").unwrap();
+    assert_eq!(stmts.len(), 2);
+    assert!(parse_statements("").unwrap().is_empty());
+    assert!(parse_statements(" ; ; ").unwrap().is_empty());
+}
+
+#[test]
+fn expression_precedence() {
+    let e = parse_expression("1 + 2 * 3").unwrap();
+    assert_eq!(
+        e,
+        Expr::binary(
+            Expr::lit(1),
+            BinaryOp::Plus,
+            Expr::binary(Expr::lit(2), BinaryOp::Mul, Expr::lit(3))
+        )
+    );
+    let e = parse_expression("a = 1 AND b = 2 OR c = 3").unwrap();
+    // ((a=1 AND b=2) OR c=3)
+    assert!(matches!(
+        e,
+        Expr::Binary {
+            op: BinaryOp::Or,
+            ..
+        }
+    ));
+}
+
+// ------------------------------------------------------------- round trips
+
+#[test]
+fn display_roundtrip_statements() {
+    for sql in [
+        "SELECT * FROM trips PREFERRING duration AROUND 14",
+        "SELECT * FROM computers PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed)",
+        "SELECT * FROM car WHERE make = 'Opel' \
+         PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+         price AROUND 40000 AND HIGHEST(power)) \
+         CASCADE color = 'red' CASCADE LOWEST(mileage)",
+        "SELECT * FROM trips \
+         PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 \
+         BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2",
+        "SELECT make, COUNT(*) FROM cars GROUP BY make HAVING COUNT(*) > 2 ORDER BY make",
+        "SELECT * FROM (SELECT * FROM cars) c JOIN dealers d ON c.make = d.make",
+        "INSERT INTO t (x) SELECT x FROM s PREFERRING LOWEST(x)",
+        "CREATE PREFERENCE p AS LOWEST(price) CASCADE color IN ('red')",
+        "DELETE FROM t WHERE x BETWEEN 1 AND 2",
+        "UPDATE t SET x = x * 2, y = NULL WHERE z LIKE 'a%'",
+        "SELECT * FROM docs PREFERRING body CONTAINS ('a', 'b')",
+        "SELECT * FROM t PREFERRING color EXPLICIT ('red' BETTER 'blue')",
+        "SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make",
+    ] {
+        let ast1 = parse_statement(sql).unwrap();
+        let printed = ast1.to_string();
+        let ast2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+        assert_eq!(
+            ast1, ast2,
+            "round-trip mismatch for: {sql}\nprinted: {printed}"
+        );
+    }
+}
+
+#[test]
+fn string_escaping_roundtrip() {
+    let ast1 = parse_statement("SELECT * FROM t WHERE name = 'O''Hara'").unwrap();
+    let printed = ast1.to_string();
+    let ast2 = parse_statement(&printed).unwrap();
+    assert_eq!(ast1, ast2);
+}

@@ -1,0 +1,272 @@
+//! Maximal-set (generalized skyline) algorithms.
+//!
+//! Three implementations with identical semantics:
+//!
+//! * [`maximal_naive`] — the paper's "abstract selection method" (§3.2):
+//!   keep a tuple iff no other tuple is better. O(n²) comparisons, no
+//!   extra memory. This is also the computational shape of the SQL
+//!   `NOT EXISTS` rewrite.
+//! * [`maximal_bnl`] — block-nested-loops \[BKS01\]: maintain a window of
+//!   incomparable tuples; each candidate is compared against the window,
+//!   evicting dominated window entries.
+//! * [`maximal_sfs`] — sort-filter-skyline: pre-sort by a topological
+//!   order compatible with dominance (lexicographic over base-preference
+//!   scores), then run the window filter. Sorting makes most dominated
+//!   candidates die on their first window probe.
+//!
+//! The ablation benchmark A1 compares them against the rewrite.
+
+use crate::compose::Preference;
+use prefsql_types::Value;
+use std::cmp::Ordering;
+
+/// The paper's abstract selection method: `t1` is maximal iff no `t2` in
+/// the input is better. Returns indices in input order.
+pub fn maximal_naive(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize> {
+    (0..slot_vectors.len())
+        .filter(|&i| {
+            !slot_vectors
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && pref.better(other, &slot_vectors[i]))
+        })
+        .collect()
+}
+
+/// Block-nested-loops skyline \[BKS01\] with an unbounded window (the
+/// in-memory case — the candidate sets of the paper's benchmark fit in
+/// memory by construction). Returns indices sorted in input order.
+pub fn maximal_bnl(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'candidates: for (i, cand) in slot_vectors.iter().enumerate() {
+        let mut k = 0;
+        while k < window.len() {
+            let w = &slot_vectors[window[k]];
+            if pref.better(w, cand) {
+                continue 'candidates; // dominated: drop the candidate
+            }
+            if pref.better(cand, w) {
+                window.swap_remove(k); // candidate evicts window entry
+            } else {
+                k += 1;
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Sort-filter-skyline: pre-sort candidates lexicographically by their
+/// base-preference score vectors (NULL/unscorable slots last), which is a
+/// topological order for the dominance relation of scored preferences,
+/// then run the BNL window filter. Returns indices sorted in input order.
+///
+/// For preferences containing `EXPLICIT` bases (which have no scores) the
+/// pre-sort degenerates to arbitrary order among ties; the window filter
+/// still checks both dominance directions, so the result stays correct.
+pub fn maximal_sfs(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize> {
+    let scores: Vec<Vec<Option<f64>>> = slot_vectors
+        .iter()
+        .map(|sv| {
+            pref.bases()
+                .iter()
+                .zip(sv.iter())
+                .map(|(b, v)| b.score(v))
+                .collect()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..slot_vectors.len()).collect();
+    order.sort_by(|&a, &b| {
+        for (x, y) in scores[a].iter().zip(scores[b].iter()) {
+            let ord = match (x, y) {
+                (Some(x), Some(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => Ordering::Equal,
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    let mut window: Vec<usize> = Vec::new();
+    'candidates: for &i in &order {
+        let cand = &slot_vectors[i];
+        let mut k = 0;
+        while k < window.len() {
+            let w = &slot_vectors[window[k]];
+            if pref.better(w, cand) {
+                continue 'candidates;
+            }
+            if pref.better(cand, w) {
+                // Only possible among sort ties (EXPLICIT bases).
+                window.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::BasePref;
+    use crate::compose::PrefNode;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pareto(d: usize) -> Preference {
+        let root = if d == 1 {
+            PrefNode::Base { slot: 0 }
+        } else {
+            PrefNode::Pareto((0..d).map(|slot| PrefNode::Base { slot }).collect())
+        };
+        Preference::new(root, vec![BasePref::Lowest; d]).unwrap()
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<Value>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| Value::Int(rng.gen_range(0..50))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn all_three_agree_on_random_pareto_inputs() {
+        for seed in 0..10 {
+            for d in [1, 2, 3, 5] {
+                let pts = random_points(120, d, seed * 31 + d as u64);
+                let p = pareto(d);
+                let a = maximal_naive(&pts, &p);
+                let b = maximal_bnl(&pts, &p);
+                let c = maximal_sfs(&pts, &p);
+                assert_eq!(a, b, "naive vs bnl, d={d} seed={seed}");
+                assert_eq!(a, c, "naive vs sfs, d={d} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn agree_on_prioritized_preference() {
+        let p = Preference::new(
+            PrefNode::Prioritized(vec![
+                PrefNode::Base { slot: 0 },
+                PrefNode::Pareto(vec![PrefNode::Base { slot: 1 }, PrefNode::Base { slot: 2 }]),
+            ]),
+            vec![BasePref::Lowest, BasePref::Lowest, BasePref::Highest],
+        )
+        .unwrap();
+        for seed in 0..10 {
+            let pts = random_points(150, 3, seed);
+            let a = maximal_naive(&pts, &p);
+            let b = maximal_bnl(&pts, &p);
+            let c = maximal_sfs(&pts, &p);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn agree_with_explicit_base() {
+        let p = Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![
+                BasePref::Explicit {
+                    edges: vec![
+                        (Value::Int(0), Value::Int(1)),
+                        (Value::Int(1), Value::Int(2)),
+                    ],
+                },
+                BasePref::Lowest,
+            ],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Vec<Value>> = (0..100)
+            .map(|_| {
+                vec![
+                    Value::Int(rng.gen_range(0..4)),
+                    Value::Int(rng.gen_range(0..4)),
+                ]
+            })
+            .collect();
+        let a = maximal_naive(&pts, &p);
+        let b = maximal_bnl(&pts, &p);
+        let c = maximal_sfs(&pts, &p);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn maxima_of_identical_points_are_all_kept() {
+        let p = pareto(2);
+        let pts = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(1)],
+        ];
+        assert_eq!(maximal_naive(&pts, &p), vec![0, 1]);
+        assert_eq!(maximal_bnl(&pts, &p), vec![0, 1]);
+        assert_eq!(maximal_sfs(&pts, &p), vec![0, 1]);
+    }
+
+    #[test]
+    fn anti_correlated_data_has_large_skyline() {
+        // x + y = const: nothing dominates anything.
+        let p = pareto(2);
+        let pts: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(50 - i)])
+            .collect();
+        assert_eq!(maximal_bnl(&pts, &p).len(), 50);
+    }
+
+    #[test]
+    fn correlated_data_has_tiny_skyline() {
+        // y = x: total order, single maximum.
+        let p = pareto(2);
+        let pts: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(i)])
+            .collect();
+        assert_eq!(maximal_bnl(&pts, &p), vec![0]);
+    }
+
+    proptest! {
+        // The defining property of the maximal set: m is in the result iff
+        // nothing in the input is better than m.
+        #[test]
+        fn bnl_result_is_exactly_the_maximal_set(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0i64..10, 3),
+                0..60
+            )
+        ) {
+            let pts: Vec<Vec<Value>> =
+                pts.into_iter().map(|r| r.into_iter().map(Value::Int).collect()).collect();
+            let p = pareto(3);
+            let result = maximal_bnl(&pts, &p);
+            for (i, cand) in pts.iter().enumerate() {
+                let dominated = pts.iter().any(|o| p.better(o, cand));
+                prop_assert_eq!(result.contains(&i), !dominated);
+            }
+        }
+
+        #[test]
+        fn sfs_agrees_with_naive(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0i64..8, 2),
+                0..50
+            )
+        ) {
+            let pts: Vec<Vec<Value>> =
+                pts.into_iter().map(|r| r.into_iter().map(Value::Int).collect()).collect();
+            let p = pareto(2);
+            prop_assert_eq!(maximal_sfs(&pts, &p), maximal_naive(&pts, &p));
+        }
+    }
+}

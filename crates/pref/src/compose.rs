@@ -1,0 +1,359 @@
+//! Complex preference composition (paper §2.2.2): Pareto accumulation
+//! (`AND`) and prioritization (`CASCADE`).
+//!
+//! A [`Preference`] evaluates over *slot vectors*: the engine (or a test)
+//! evaluates each base preference's attribute expression against a tuple
+//! once, producing one [`Value`] per base preference. The composition tree
+//! then compares slot vectors without ever re-touching tuples. This keeps
+//! the preference algebra independent of the SQL layer.
+
+use crate::base::BasePref;
+use prefsql_types::{Error, Result, Value};
+
+/// A node of the preference composition tree. Leaves index into the slot
+/// vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefNode {
+    /// A base preference applied to slot `slot`.
+    Base {
+        /// Index into the slot vector.
+        slot: usize,
+    },
+    /// Pareto accumulation: all children equally important.
+    Pareto(Vec<PrefNode>),
+    /// Prioritization: earlier children dominate later ones.
+    Prioritized(Vec<PrefNode>),
+}
+
+/// A complete complex preference: a composition tree plus the base
+/// preferences its leaves refer to.
+///
+/// ```
+/// use prefsql_pref::{BasePref, PrefNode, Preference};
+/// use prefsql_types::Value;
+///
+/// // HIGHEST(memory) AND HIGHEST(cpu) — the paper's computer example.
+/// let p = Preference::new(
+///     PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+///     vec![BasePref::Highest, BasePref::Highest],
+/// ).unwrap();
+///
+/// let big_slow = vec![Value::Int(1024), Value::Int(800)];
+/// let small_fast = vec![Value::Int(512), Value::Int(1200)];
+/// let small_slow = vec![Value::Int(512), Value::Int(800)];
+/// assert!(!p.better(&big_slow, &small_fast)); // incomparable trade-off
+/// assert!(p.better(&big_slow, &small_slow));  // dominates
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preference {
+    root: PrefNode,
+    bases: Vec<BasePref>,
+}
+
+impl Preference {
+    /// Build a preference, validating that every leaf slot refers to a base
+    /// preference and every base preference is internally consistent.
+    pub fn new(root: PrefNode, bases: Vec<BasePref>) -> Result<Self> {
+        fn check(node: &PrefNode, n: usize) -> Result<()> {
+            match node {
+                PrefNode::Base { slot } => {
+                    if *slot >= n {
+                        return Err(Error::Plan(format!(
+                            "preference leaf references slot {slot} but only {n} bases exist"
+                        )));
+                    }
+                    Ok(())
+                }
+                PrefNode::Pareto(children) | PrefNode::Prioritized(children) => {
+                    if children.len() < 2 {
+                        return Err(Error::Plan(
+                            "Pareto/prioritized composition needs at least two children".into(),
+                        ));
+                    }
+                    children.iter().try_for_each(|c| check(c, n))
+                }
+            }
+        }
+        check(&root, bases.len())?;
+        for b in &bases {
+            b.validate()?;
+        }
+        Ok(Preference { root, bases })
+    }
+
+    /// A single-base preference.
+    pub fn single(base: BasePref) -> Result<Self> {
+        Preference::new(PrefNode::Base { slot: 0 }, vec![base])
+    }
+
+    /// The composition tree.
+    pub fn root(&self) -> &PrefNode {
+        &self.root
+    }
+
+    /// The base preferences, slot-ordered.
+    pub fn bases(&self) -> &[BasePref] {
+        &self.bases
+    }
+
+    /// Number of slots a slot vector must have.
+    pub fn arity(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Strict dominance: is slot vector `a` better than `b`?
+    pub fn better(&self, a: &[Value], b: &[Value]) -> bool {
+        self.node_better(&self.root, a, b)
+    }
+
+    /// Substitutability: are `a` and `b` interchangeable?
+    pub fn equiv(&self, a: &[Value], b: &[Value]) -> bool {
+        self.node_equiv(&self.root, a, b)
+    }
+
+    /// `a` is better than or equivalent to `b`.
+    pub fn better_or_equiv(&self, a: &[Value], b: &[Value]) -> bool {
+        self.node_better(&self.root, a, b) || self.node_equiv(&self.root, a, b)
+    }
+
+    fn node_better(&self, node: &PrefNode, a: &[Value], b: &[Value]) -> bool {
+        match node {
+            PrefNode::Base { slot } => self.bases[*slot].better(&a[*slot], &b[*slot]),
+            // Pareto (§2.2.2): better in at least one component, equal or
+            // better in every other.
+            PrefNode::Pareto(children) => {
+                let mut strictly = false;
+                for c in children {
+                    if self.node_better(c, a, b) {
+                        strictly = true;
+                    } else if !self.node_equiv(c, a, b) {
+                        return false;
+                    }
+                }
+                strictly
+            }
+            // Prioritization: lexicographic over (better, equiv).
+            PrefNode::Prioritized(children) => {
+                for c in children {
+                    if self.node_better(c, a, b) {
+                        return true;
+                    }
+                    if !self.node_equiv(c, a, b) {
+                        return false;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn node_equiv(&self, node: &PrefNode, a: &[Value], b: &[Value]) -> bool {
+        match node {
+            PrefNode::Base { slot } => self.bases[*slot].equiv(&a[*slot], &b[*slot]),
+            PrefNode::Pareto(children) | PrefNode::Prioritized(children) => {
+                children.iter().all(|c| self.node_equiv(c, a, b))
+            }
+        }
+    }
+
+    /// True iff `v` is a *perfect match*: best possible in every base
+    /// preference (used for the BMO short-circuit; `LOWEST`/`HIGHEST` are
+    /// never statically perfect since their optimum is data-dependent).
+    pub fn is_perfect(&self, v: &[Value]) -> bool {
+        self.bases.iter().zip(v.iter()).all(|(b, val)| match b {
+            BasePref::Lowest | BasePref::Highest => false,
+            BasePref::Explicit { .. } => false,
+            _ => b.top(val, None),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vi(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    fn pareto2() -> Preference {
+        // HIGHEST(memory) AND HIGHEST(cpu): the computer example.
+        Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![BasePref::Highest, BasePref::Highest],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pareto_dominance() {
+        let p = pareto2();
+        assert!(p.better(&vi(&[4, 4]), &vi(&[3, 4])));
+        assert!(p.better(&vi(&[4, 4]), &vi(&[3, 3])));
+        assert!(!p.better(&vi(&[4, 3]), &vi(&[3, 4]))); // incomparable
+        assert!(!p.better(&vi(&[3, 4]), &vi(&[4, 3])));
+        assert!(!p.better(&vi(&[4, 4]), &vi(&[4, 4]))); // irreflexive
+        assert!(p.equiv(&vi(&[4, 4]), &vi(&[4, 4])));
+    }
+
+    #[test]
+    fn prioritized_is_lexicographic() {
+        // HIGHEST(memory) CASCADE POS(color in black, brown).
+        let p = Preference::new(
+            PrefNode::Prioritized(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![
+                BasePref::Highest,
+                BasePref::Pos {
+                    values: vec![Value::str("black"), Value::str("brown")],
+                },
+            ],
+        )
+        .unwrap();
+        let big_red = vec![Value::Int(8), Value::str("red")];
+        let small_black = vec![Value::Int(4), Value::str("black")];
+        let big_black = vec![Value::Int(8), Value::str("black")];
+        // Memory dominates regardless of color.
+        assert!(p.better(&big_red, &small_black));
+        // Equal memory: color decides.
+        assert!(p.better(&big_black, &big_red));
+        assert!(!p.better(&big_red, &big_black));
+    }
+
+    #[test]
+    fn nested_composition() {
+        // (A AND B) CASCADE C — the Opel query shape.
+        let p = Preference::new(
+            PrefNode::Prioritized(vec![
+                PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+                PrefNode::Base { slot: 2 },
+            ]),
+            vec![
+                BasePref::Around { target: 40000.0 },
+                BasePref::Highest,
+                BasePref::Pos {
+                    values: vec![Value::str("red")],
+                },
+            ],
+        )
+        .unwrap();
+        let a = vec![Value::Int(40000), Value::Int(150), Value::str("blue")];
+        let b = vec![Value::Int(40000), Value::Int(150), Value::str("red")];
+        let c = vec![Value::Int(39000), Value::Int(150), Value::str("red")];
+        // Pareto level ties between a and b; color promotes b.
+        assert!(p.better(&b, &a));
+        // Pareto level strictly prefers a and b over c; color is irrelevant.
+        assert!(p.better(&a, &c));
+        assert!(p.better(&b, &c));
+        assert!(!p.better(&c, &b));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Preference::new(PrefNode::Base { slot: 1 }, vec![BasePref::Lowest]).is_err());
+        assert!(Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }]),
+            vec![BasePref::Lowest]
+        )
+        .is_err());
+        assert!(Preference::new(
+            PrefNode::Base { slot: 0 },
+            vec![BasePref::Between { low: 5.0, up: 1.0 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn perfect_match_detection() {
+        let p = Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![
+                BasePref::Around { target: 14.0 },
+                BasePref::Pos {
+                    values: vec![Value::str("java")],
+                },
+            ],
+        )
+        .unwrap();
+        assert!(p.is_perfect(&[Value::Int(14), Value::str("java")]));
+        assert!(!p.is_perfect(&[Value::Int(13), Value::str("java")]));
+        // HIGHEST is never statically perfect.
+        let h = Preference::single(BasePref::Highest).unwrap();
+        assert!(!h.is_perfect(&[Value::Int(1_000_000)]));
+    }
+
+    // ---- property tests: composition preserves the SPO axioms ----
+
+    fn arb_tree(n_slots: usize) -> impl Strategy<Value = PrefNode> {
+        let leaf = (0..n_slots).prop_map(|slot| PrefNode::Base { slot });
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 2..4).prop_map(PrefNode::Pareto),
+                proptest::collection::vec(inner, 2..4).prop_map(PrefNode::Prioritized),
+            ]
+        })
+    }
+
+    fn arb_pref() -> impl Strategy<Value = Preference> {
+        let bases = proptest::collection::vec(
+            prop_oneof![
+                Just(BasePref::Lowest),
+                Just(BasePref::Highest),
+                (-10.0f64..10.0).prop_map(|t| BasePref::Around { target: t }),
+                proptest::collection::vec(-3i64..3, 1..3).prop_map(|vs| BasePref::Pos {
+                    values: vs.into_iter().map(Value::Int).collect()
+                }),
+            ],
+            3,
+        );
+        bases.prop_flat_map(|bs| {
+            arb_tree(bs.len()).prop_map(move |t| Preference::new(t, bs.clone()).unwrap())
+        })
+    }
+
+    fn arb_slots() -> impl Strategy<Value = Vec<Value>> {
+        proptest::collection::vec(
+            prop_oneof![(-4i64..4).prop_map(Value::Int), Just(Value::Null)],
+            3,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn composed_better_is_irreflexive(p in arb_pref(), a in arb_slots()) {
+            prop_assert!(!p.better(&a, &a));
+        }
+
+        #[test]
+        fn composed_better_is_asymmetric(p in arb_pref(), a in arb_slots(), b in arb_slots()) {
+            if p.better(&a, &b) {
+                prop_assert!(!p.better(&b, &a));
+            }
+        }
+
+        #[test]
+        fn composed_better_is_transitive(
+            p in arb_pref(),
+            a in arb_slots(),
+            b in arb_slots(),
+            c in arb_slots()
+        ) {
+            if p.better(&a, &b) && p.better(&b, &c) {
+                prop_assert!(p.better(&a, &c));
+            }
+        }
+
+        #[test]
+        fn composed_equiv_substitution(
+            p in arb_pref(),
+            a in arb_slots(),
+            b in arb_slots(),
+            c in arb_slots()
+        ) {
+            if p.equiv(&a, &b) {
+                prop_assert_eq!(p.better(&a, &c), p.better(&b, &c));
+                prop_assert_eq!(p.better(&c, &a), p.better(&c, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # prefsql-pref
+//!
+//! The preference model of the paper (§2.1–§2.2): preferences as **strict
+//! partial orders** over attribute values.
+//!
+//! * [`BasePref`] — every built-in base preference type (`AROUND`,
+//!   `BETWEEN`, `LOWEST`, `HIGHEST`, `POS`, `NEG`, `POS/POS`, `POS/NEG`,
+//!   `EXPLICIT`, `CONTAINS`) with its *better-than* relation, its numeric
+//!   level/distance semantics and the quality functions `TOP`, `LEVEL`,
+//!   `DISTANCE` (§2.2.3);
+//! * [`Preference`] — complex preferences assembled with **Pareto
+//!   accumulation** (`AND`) and **prioritization** (`CASCADE`), evaluated
+//!   over *slot vectors* (the base-preference expressions of a tuple,
+//!   pre-evaluated by the engine);
+//! * [`bmo`] — the Best-Matches-Only query model (§2.2.5);
+//! * [`algo`] — maximal-set algorithms: the paper's abstract nested-loop
+//!   selection method (§3.2), BNL \[BKS01\] and SFS, used as native
+//!   baselines in the ablation experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod base;
+pub mod bmo;
+pub mod compose;
+
+pub use algo::{maximal_bnl, maximal_naive, maximal_sfs};
+pub use base::BasePref;
+pub use bmo::{bmo, bmo_grouped};
+pub use compose::{PrefNode, Preference};

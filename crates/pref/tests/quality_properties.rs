@@ -1,0 +1,126 @@
+//! Property tests tying the quality functions (§2.2.3) to the order
+//! semantics: TOP/LEVEL/DISTANCE must be *monotone witnesses* of the
+//! better-than relation — if `a` is better than `b`, then `a`'s quality
+//! measures can never be worse than `b`'s.
+
+use prefsql_pref::BasePref;
+use prefsql_types::Value;
+use proptest::prelude::*;
+
+fn arb_categorical() -> impl Strategy<Value = BasePref> {
+    let vals = || {
+        proptest::collection::vec(0i64..6, 1..3)
+            .prop_map(|v| v.into_iter().map(Value::Int).collect::<Vec<_>>())
+    };
+    prop_oneof![
+        vals().prop_map(|values| BasePref::Pos { values }),
+        vals().prop_map(|values| BasePref::Neg { values }),
+        (vals(), vals()).prop_map(|(first, second)| BasePref::PosPos { first, second }),
+        (vals(), vals()).prop_map(|(pos, neg)| BasePref::PosNeg { pos, neg }),
+    ]
+}
+
+fn arb_numeric() -> impl Strategy<Value = BasePref> {
+    prop_oneof![
+        (-50.0f64..50.0).prop_map(|t| BasePref::Around { target: t }),
+        (-50.0f64..0.0, 0.0f64..50.0).prop_map(|(l, u)| BasePref::Between { low: l, up: u }),
+    ]
+}
+
+fn arb_val() -> impl Strategy<Value = Value> {
+    (-60i64..60).prop_map(Value::Int)
+}
+
+proptest! {
+    /// LEVEL is a monotone witness: better value ⇒ strictly smaller level.
+    #[test]
+    fn level_witnesses_better(p in arb_categorical(), a in arb_val(), b in arb_val()) {
+        if p.better(&a, &b) {
+            let la = p.level(&a).expect("non-null value has a level");
+            let lb = p.level(&b).expect("non-null value has a level");
+            prop_assert!(la < lb, "better {a} has level {la}, worse {b} has {lb}");
+        }
+        if p.equiv(&a, &b) {
+            prop_assert_eq!(p.level(&a), p.level(&b));
+        }
+    }
+
+    /// DISTANCE is a monotone witness for the numeric preferences.
+    #[test]
+    fn distance_witnesses_better(p in arb_numeric(), a in arb_val(), b in arb_val()) {
+        if p.better(&a, &b) {
+            let da = p.distance(&a, None).expect("non-null numeric value");
+            let db = p.distance(&b, None).expect("non-null numeric value");
+            prop_assert!(da < db);
+        }
+    }
+
+    /// TOP values are maximal: nothing can be better than a perfect match.
+    #[test]
+    fn top_values_are_undominated(p in arb_numeric(), a in arb_val(), b in arb_val()) {
+        if p.top(&a, None) {
+            prop_assert!(!p.better(&b, &a), "{b} beats the perfect match {a}");
+        }
+    }
+
+    #[test]
+    fn categorical_top_is_level_one(p in arb_categorical(), a in arb_val()) {
+        prop_assert_eq!(p.top(&a, None), p.level(&a) == Some(1));
+    }
+
+    /// LOWEST/HIGHEST distances are relative to the best value present.
+    #[test]
+    fn relative_distance_is_zero_at_the_best(vals in proptest::collection::vec(-50i64..50, 1..20)) {
+        for p in [BasePref::Lowest, BasePref::Highest] {
+            let best = vals
+                .iter()
+                .map(|&v| Value::Int(v))
+                .min_by(|a, b| {
+                    p.score(a)
+                        .partial_cmp(&p.score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty");
+            prop_assert_eq!(p.distance(&best, Some(&best)), Some(0.0));
+            prop_assert!(p.top(&best, Some(&best)));
+            for &v in &vals {
+                let v = Value::Int(v);
+                let d = p.distance(&v, Some(&best)).expect("non-null");
+                prop_assert!(d >= 0.0, "distance must be non-negative, got {d}");
+            }
+        }
+    }
+
+    /// CONTAINS level = 1 + number of missing terms, bounded by the term
+    /// count.
+    #[test]
+    fn contains_level_bounds(terms in proptest::collection::vec("[a-c]{1,3}", 1..4), text in "[a-c ]{0,12}") {
+        let p = BasePref::Contains { terms: terms.clone() };
+        let lvl = p.level(&Value::str(text.clone())).expect("non-null text");
+        prop_assert!(lvl >= 1);
+        prop_assert!(lvl <= 1 + terms.len() as i64);
+        // All terms present => level 1.
+        let all = terms.join(" ");
+        prop_assert_eq!(p.level(&Value::str(all)), Some(1));
+    }
+}
+
+#[test]
+fn explicit_levels_follow_chain_depth() {
+    let p = BasePref::Explicit {
+        edges: vec![
+            (Value::Int(1), Value::Int(2)),
+            (Value::Int(2), Value::Int(3)),
+            (Value::Int(3), Value::Int(4)),
+            (Value::Int(1), Value::Int(5)),
+        ],
+    };
+    assert_eq!(p.level(&Value::Int(1)), Some(1));
+    assert_eq!(p.level(&Value::Int(2)), Some(2));
+    assert_eq!(p.level(&Value::Int(3)), Some(3));
+    assert_eq!(p.level(&Value::Int(4)), Some(4));
+    assert_eq!(p.level(&Value::Int(5)), Some(2));
+    assert_eq!(p.level(&Value::Int(99)), Some(1)); // unmentioned: undominated
+    assert!(p.top(&Value::Int(1), None));
+    assert!(!p.top(&Value::Int(4), None));
+}

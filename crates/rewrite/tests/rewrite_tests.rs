@@ -1,0 +1,406 @@
+//! Rewriter integration tests: the emitted SQL must be standard SQL
+//! (reparseable, PREFERRING-free) with the paper's level-column +
+//! NOT EXISTS shape.
+
+use prefsql_parser::ast::{Expr, PrefExpr, Statement};
+use prefsql_parser::parse_statement;
+use prefsql_rewrite::{rewrite_statement, PreferenceRegistry, RewriteOutput, Rewriter};
+
+fn rewrite(sql: &str) -> String {
+    let stmt = parse_statement(sql).unwrap();
+    let reg = PreferenceRegistry::new();
+    let (rewritten, _) = rewrite_statement(&stmt, &reg)
+        .unwrap()
+        .unwrap_or_else(|| panic!("expected a rewrite for: {sql}"));
+    rewritten.to_string()
+}
+
+fn assert_standard_sql(sql: &str) {
+    let stmt =
+        parse_statement(sql).unwrap_or_else(|e| panic!("emitted SQL unparseable: {e}\n{sql}"));
+    fn check_query(q: &prefsql_parser::ast::Query) {
+        assert!(q.preferring.is_none(), "PREFERRING survived the rewrite");
+        assert!(q.grouping.is_empty(), "GROUPING survived the rewrite");
+        assert!(q.but_only.is_none(), "BUT ONLY survived the rewrite");
+    }
+    if let Statement::Select(q) = &stmt {
+        check_query(q);
+    }
+}
+
+#[test]
+fn paper_cars_example_shape() {
+    // §3.2: PREFERRING Make = 'Audi' AND Diesel = 'yes'.
+    let out = rewrite("SELECT * FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'");
+    assert_standard_sql(&out);
+    // Level columns via CASE (the Makelevel/Diesellevel construction).
+    assert!(out.contains("CASE WHEN make IS NULL THEN NULL WHEN make IN ('Audi') THEN 1 ELSE 2 END AS prefsql_p0"), "{out}");
+    assert!(out.contains("AS prefsql_p1"), "{out}");
+    // NOT EXISTS dominance with <= / < comparisons between a2 and a1.
+    assert!(out.contains("NOT EXISTS"), "{out}");
+    assert!(
+        out.contains("prefsql_a2.prefsql_p0 < prefsql_a1.prefsql_p0"),
+        "{out}"
+    );
+    assert!(
+        out.contains("prefsql_a2.prefsql_p1 < prefsql_a1.prefsql_p1"),
+        "{out}"
+    );
+}
+
+#[test]
+fn around_rewrite_uses_abs() {
+    let out = rewrite("SELECT * FROM trips PREFERRING duration AROUND 14");
+    assert_standard_sql(&out);
+    assert!(out.contains("abs((duration - 14)) AS prefsql_p0"), "{out}");
+}
+
+#[test]
+fn single_preference_has_no_pareto_noise() {
+    let out = rewrite("SELECT * FROM apartments PREFERRING HIGHEST(area)");
+    assert_standard_sql(&out);
+    // Single base pref: dominance is one strict comparison.
+    assert!(
+        out.contains("prefsql_a2.prefsql_p0 < prefsql_a1.prefsql_p0"),
+        "{out}"
+    );
+    assert!(!out.contains("prefsql_p1"), "{out}");
+}
+
+#[test]
+fn cascade_rewrite_is_lexicographic() {
+    let out = rewrite(
+        "SELECT * FROM computers PREFERRING HIGHEST(main_memory) CASCADE color IN ('black','brown')",
+    );
+    assert_standard_sql(&out);
+    // b0 OR (e0 AND b1): strictly better memory, or equal memory and better color.
+    assert!(
+        out.contains("prefsql_a2.prefsql_p0 < prefsql_a1.prefsql_p0"),
+        "{out}"
+    );
+    assert!(
+        out.contains("prefsql_a2.prefsql_p0 = prefsql_a1.prefsql_p0"),
+        "{out}"
+    );
+    assert!(
+        out.contains("prefsql_a2.prefsql_p1 < prefsql_a1.prefsql_p1"),
+        "{out}"
+    );
+}
+
+#[test]
+fn opel_flagship_query_rewrites() {
+    let out = rewrite(
+        "SELECT * FROM car WHERE make = 'Opel' \
+         PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+         price AROUND 40000 AND HIGHEST(power)) \
+         CASCADE color = 'red' CASCADE LOWEST(mileage)",
+    );
+    assert_standard_sql(&out);
+    // Five level columns.
+    for i in 0..5 {
+        assert!(
+            out.contains(&format!("prefsql_p{i}")),
+            "missing p{i}: {out}"
+        );
+    }
+    // Hard WHERE stays inside the aux relation.
+    assert!(out.contains("WHERE (make = 'Opel')"), "{out}");
+}
+
+#[test]
+fn quality_functions_in_select_translate() {
+    let out = rewrite(
+        "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer \
+         PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40",
+    );
+    assert_standard_sql(&out);
+    // LEVEL(color) is the POS/POS level column; DISTANCE(age) the ABS column.
+    assert!(
+        out.contains("prefsql_a1.prefsql_p0 AS level_color"),
+        "{out}"
+    );
+    assert!(
+        out.contains("prefsql_a1.prefsql_p1 AS distance_age"),
+        "{out}"
+    );
+}
+
+#[test]
+fn but_only_thresholds_filter_both_sides() {
+    let out = rewrite(
+        "SELECT * FROM trips \
+         PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 \
+         BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2",
+    );
+    assert_standard_sql(&out);
+    // The threshold appears for a1 (outer) and a2 (inner competitors).
+    assert!(out.contains("prefsql_a1.prefsql_p0 <= 2"), "{out}");
+    assert!(out.contains("prefsql_a2.prefsql_p0 <= 2"), "{out}");
+    // Date target folded to a DATE literal.
+    assert!(out.contains("DATE '1999-07-03'"), "{out}");
+}
+
+#[test]
+fn grouping_adds_equality_conjuncts() {
+    let out = rewrite("SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make");
+    assert_standard_sql(&out);
+    assert!(out.contains("make AS prefsql_g0"), "{out}");
+    assert!(
+        out.contains("prefsql_a2.prefsql_g0 = prefsql_a1.prefsql_g0"),
+        "{out}"
+    );
+    // NULL group keys compare equal.
+    assert!(
+        out.contains("prefsql_a2.prefsql_g0 IS NULL AND prefsql_a1.prefsql_g0 IS NULL"),
+        "{out}"
+    );
+}
+
+#[test]
+fn explicit_preference_enumerates_closure() {
+    let out = rewrite(
+        "SELECT * FROM t PREFERRING color EXPLICIT ('red' BETTER 'blue', 'blue' BETTER 'grey')",
+    );
+    assert_standard_sql(&out);
+    // Transitive pair red > grey is materialized.
+    assert!(
+        out.contains("(prefsql_a2.prefsql_p0 = 'red') AND (prefsql_a1.prefsql_p0 = 'grey')"),
+        "{out}"
+    );
+    assert!(
+        out.contains("= 'blue') AND (prefsql_a1.prefsql_p0 = 'grey')"),
+        "{out}"
+    );
+}
+
+#[test]
+fn lowest_distance_uses_min_subquery() {
+    let out = rewrite(
+        "SELECT DISTANCE(price) FROM cars PREFERRING LOWEST(price) BUT ONLY DISTANCE(price) <= 500",
+    );
+    assert_standard_sql(&out);
+    assert!(out.contains("SELECT min(prefsql_a3.prefsql_p0)"), "{out}");
+}
+
+#[test]
+fn order_by_and_where_requalify() {
+    let out = rewrite(
+        "SELECT c.ident FROM cars c WHERE c.price > 10 PREFERRING LOWEST(c.mileage) \
+         ORDER BY c.ident DESC",
+    );
+    assert_standard_sql(&out);
+    // The original alias c is re-qualified to prefsql_a1 outside the aux.
+    assert!(out.contains("SELECT prefsql_a1.ident"), "{out}");
+    assert!(out.contains("ORDER BY prefsql_a1.ident DESC"), "{out}");
+    // Inside the aux the original WHERE keeps its alias.
+    assert!(out.contains("(c.price > 10)"), "{out}");
+}
+
+#[test]
+fn insert_select_preferring_rewrites() {
+    let out = {
+        let stmt = parse_statement("INSERT INTO best SELECT * FROM cars PREFERRING LOWEST(price)")
+            .unwrap();
+        let reg = PreferenceRegistry::new();
+        let (rewritten, _) = rewrite_statement(&stmt, &reg).unwrap().unwrap();
+        rewritten.to_string()
+    };
+    assert!(out.starts_with("INSERT INTO best"), "{out}");
+    assert!(out.contains("NOT EXISTS"), "{out}");
+    assert!(!out.contains("PREFERRING"), "{out}");
+}
+
+#[test]
+fn preference_query_in_from_derived_table() {
+    let out = rewrite(
+        "SELECT d.make FROM (SELECT * FROM cars PREFERRING LOWEST(price)) d WHERE d.make <> 'vw'",
+    );
+    assert_standard_sql(&out);
+    assert!(out.contains("NOT EXISTS"), "{out}");
+}
+
+#[test]
+fn passthrough_for_standard_sql() {
+    for sql in [
+        "SELECT * FROM cars WHERE price > 10 ORDER BY price",
+        "INSERT INTO t VALUES (1)",
+        "CREATE TABLE t (x INTEGER)",
+        "SELECT make, COUNT(*) FROM cars GROUP BY make",
+    ] {
+        let stmt = parse_statement(sql).unwrap();
+        let reg = PreferenceRegistry::new();
+        assert!(
+            rewrite_statement(&stmt, &reg).unwrap().is_none(),
+            "should pass through: {sql}"
+        );
+    }
+}
+
+#[test]
+fn where_subquery_preferring_rejected() {
+    let stmt = parse_statement(
+        "SELECT * FROM cars WHERE price IN \
+         (SELECT price FROM cars PREFERRING LOWEST(price))",
+    )
+    .unwrap();
+    let reg = PreferenceRegistry::new();
+    let err = rewrite_statement(&stmt, &reg).unwrap_err();
+    assert!(err.to_string().contains("WHERE clause"), "{err}");
+}
+
+#[test]
+fn quality_function_without_matching_base_rejected() {
+    let stmt = parse_statement("SELECT LEVEL(color) FROM cars PREFERRING LOWEST(price)").unwrap();
+    let reg = PreferenceRegistry::new();
+    let err = rewrite_statement(&stmt, &reg).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("does not match any base preference"),
+        "{err}"
+    );
+}
+
+#[test]
+fn stateful_rewriter_handles_preference_ddl() {
+    let mut rw = Rewriter::new();
+    let create = parse_statement("CREATE PREFERENCE cheap AS LOWEST(price)").unwrap();
+    assert!(matches!(
+        rw.process(&create).unwrap(),
+        RewriteOutput::Handled(_)
+    ));
+    // Using the named preference.
+    let q = parse_statement("SELECT * FROM cars PREFERRING PREFERENCE cheap").unwrap();
+    match rw.process(&q).unwrap() {
+        RewriteOutput::Rewritten { sql, compiled, .. } => {
+            assert!(sql.contains("NOT EXISTS"), "{sql}");
+            let c = compiled.unwrap();
+            assert_eq!(c.preference.arity(), 1);
+            assert_eq!(c.base_exprs[0], Expr::col("price"));
+        }
+        other => panic!("expected rewrite, got {other:?}"),
+    }
+    // Unknown named preference fails.
+    let bad = parse_statement("SELECT * FROM cars PREFERRING PREFERENCE nope").unwrap();
+    assert!(rw.process(&bad).is_err());
+    // Drop and confirm.
+    let drop = parse_statement("DROP PREFERENCE cheap").unwrap();
+    assert!(matches!(
+        rw.process(&drop).unwrap(),
+        RewriteOutput::Handled(_)
+    ));
+    assert!(rw.process(&q).is_err());
+}
+
+#[test]
+fn named_preferences_compose_in_queries() {
+    let mut rw = Rewriter::new();
+    rw.process(&parse_statement("CREATE PREFERENCE cheap AS LOWEST(price)").unwrap())
+        .unwrap();
+    rw.process(&parse_statement("CREATE PREFERENCE nearby AS distance_km AROUND 0").unwrap())
+        .unwrap();
+    let q =
+        parse_statement("SELECT * FROM hotels PREFERRING PREFERENCE cheap AND PREFERENCE nearby")
+            .unwrap();
+    match rw.process(&q).unwrap() {
+        RewriteOutput::Rewritten { compiled, .. } => {
+            assert_eq!(compiled.unwrap().preference.arity(), 2);
+        }
+        other => panic!("expected rewrite, got {other:?}"),
+    }
+}
+
+#[test]
+fn rewritten_sql_reparses_to_identical_ast() {
+    for sql in [
+        "SELECT * FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'",
+        "SELECT ident, LEVEL(color) FROM oldtimer \
+         PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40",
+        "SELECT * FROM trips PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 \
+         BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2",
+        "SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make",
+        "SELECT * FROM docs PREFERRING body CONTAINS ('skyline', 'pareto')",
+    ] {
+        let out = rewrite(sql);
+        let ast1 = parse_statement(&out).unwrap();
+        let ast2 = parse_statement(&ast1.to_string()).unwrap();
+        assert_eq!(ast1, ast2, "printing is a fixed point for: {sql}");
+    }
+}
+
+#[test]
+fn pareto_of_three_needs_strict_somewhere() {
+    let out = rewrite("SELECT * FROM t PREFERRING LOWEST(a) AND LOWEST(b) AND LOWEST(c)");
+    assert_standard_sql(&out);
+    // The "strictly better in at least one" disjunction must be present —
+    // count the strict comparisons (3 in the all-<= part is wrong; the
+    // emitted form has <= expressed as (b OR e), i.e. `<` and `=` pairs).
+    let strict = out.matches("prefsql_p0 < ").count()
+        + out.matches("prefsql_p1 < ").count()
+        + out.matches("prefsql_p2 < ").count();
+    assert!(strict >= 3, "{out}");
+}
+
+#[test]
+fn contains_preference_rewrites_to_like_sum() {
+    let out = rewrite("SELECT * FROM docs PREFERRING body CONTAINS ('skyline', 'pareto')");
+    assert_standard_sql(&out);
+    assert!(out.contains("LIKE '%skyline%'"), "{out}");
+    assert!(out.contains("LIKE '%pareto%'"), "{out}");
+}
+
+#[test]
+fn create_view_with_preferring_rewrites_body() {
+    let stmt =
+        parse_statement("CREATE VIEW best_cars AS SELECT * FROM cars PREFERRING LOWEST(price)")
+            .unwrap();
+    let reg = PreferenceRegistry::new();
+    let (rewritten, _) = rewrite_statement(&stmt, &reg).unwrap().unwrap();
+    let out = rewritten.to_string();
+    assert!(out.starts_with("CREATE VIEW best_cars"), "{out}");
+    assert!(out.contains("NOT EXISTS"), "{out}");
+}
+
+#[test]
+fn compiled_preference_exposed_for_introspection() {
+    let stmt =
+        parse_statement("SELECT * FROM cars PREFERRING LOWEST(price) AND HIGHEST(power)").unwrap();
+    let reg = PreferenceRegistry::new();
+    let (_, compiled) = rewrite_statement(&stmt, &reg).unwrap().unwrap();
+    let c = compiled.unwrap();
+    assert_eq!(c.preference.arity(), 2);
+    assert!(matches!(
+        c.preference.root(),
+        prefsql_pref::PrefNode::Pareto(_)
+    ));
+}
+
+#[test]
+fn cycle_in_explicit_graph_rejected_at_rewrite() {
+    let stmt =
+        parse_statement("SELECT * FROM t PREFERRING c EXPLICIT ('a' BETTER 'b', 'b' BETTER 'a')")
+            .unwrap();
+    let reg = PreferenceRegistry::new();
+    let err = rewrite_statement(&stmt, &reg).unwrap_err();
+    assert!(err.to_string().contains("cycle"), "{err}");
+}
+
+#[test]
+fn top_quality_function_translations() {
+    let out = rewrite(
+        "SELECT TOP(duration), TOP(exp) FROM t \
+         PREFERRING duration AROUND 14 AND exp IN ('java')",
+    );
+    assert_standard_sql(&out);
+    assert!(out.contains("prefsql_a1.prefsql_p0 = 0"), "{out}"); // numeric: distance 0
+    assert!(out.contains("prefsql_a1.prefsql_p1 = 1"), "{out}"); // categorical: level 1
+}
+
+#[test]
+fn leftover_pref_ast_helpers() {
+    // PrefExpr helper coverage: base_prefs on a plain leaf.
+    let leaf = PrefExpr::Lowest {
+        expr: Expr::col("x"),
+    };
+    assert_eq!(leaf.base_prefs().len(), 1);
+}

@@ -1,0 +1,183 @@
+//! The catalog: name → table / view resolution.
+//!
+//! Views are stored as SQL text and expanded by the engine's planner (the
+//! storage layer cannot parse SQL — that would invert the crate dependency
+//! order). This matches how the paper's rewriter materializes its `Aux`
+//! relation through `CREATE VIEW`.
+
+use crate::table::Table;
+use prefsql_types::{Error, Result};
+use std::collections::HashMap;
+
+/// A stored view definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// View name (lower-cased).
+    pub name: String,
+    /// The defining query, as SQL text.
+    pub sql: String,
+}
+
+/// Maps names to tables and views.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ViewDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table. Fails if a table or view of that name exists.
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(Error::Catalog(format!("relation '{name}' already exists")));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a view. Fails if a table or view of that name exists.
+    pub fn create_view(&mut self, name: impl Into<String>, sql: impl Into<String>) -> Result<()> {
+        let name = name.into().to_ascii_lowercase();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(Error::Catalog(format!("relation '{name}' already exists")));
+        }
+        self.views.insert(
+            name.clone(),
+            ViewDef {
+                name,
+                sql: sql.into(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a table by name.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        self.tables
+            .remove(&name)
+            .map(|_| ())
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Drop a view by name.
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        self.views
+            .remove(&name)
+            .map(|_| ())
+            .ok_or_else(|| Error::Catalog(format!("unknown view '{name}'")))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get(&lname)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{lname}'")))
+    }
+
+    /// Mutable table lookup (INSERT, CREATE INDEX).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get_mut(&lname)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{lname}'")))
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// True if `name` refers to a table or a view.
+    pub fn contains(&self, name: &str) -> bool {
+        let n = name.to_ascii_lowercase();
+        self.tables.contains_key(&n) || self.views.contains_key(&n)
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// All view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::{Column, DataType, Schema};
+
+    fn t(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        c.create_table(t("cars")).unwrap();
+        assert!(c.table("cars").is_ok());
+        assert!(c.table("CARS").is_ok()); // case-insensitive
+        assert!(c.table("nope").is_err());
+        assert!(c.contains("cars"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_kinds() {
+        let mut c = Catalog::new();
+        c.create_table(t("r")).unwrap();
+        assert!(c.create_table(t("r")).is_err());
+        assert!(c.create_view("r", "SELECT 1").is_err());
+        c.create_view("v", "SELECT 1").unwrap();
+        assert!(c.create_table(t("v")).is_err());
+        assert!(c.create_view("V", "SELECT 2").is_err());
+    }
+
+    #[test]
+    fn drop_table_and_view() {
+        let mut c = Catalog::new();
+        c.create_table(t("r")).unwrap();
+        c.create_view("v", "SELECT 1").unwrap();
+        c.drop_table("R").unwrap();
+        assert!(!c.contains("r"));
+        assert!(c.drop_table("r").is_err());
+        c.drop_view("v").unwrap();
+        assert!(c.view("v").is_none());
+    }
+
+    #[test]
+    fn names_listing() {
+        let mut c = Catalog::new();
+        c.create_table(t("b")).unwrap();
+        c.create_table(t("a")).unwrap();
+        c.create_view("z", "SELECT 1").unwrap();
+        assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(c.view_names(), vec!["z".to_string()]);
+    }
+
+    #[test]
+    fn view_definition_roundtrip() {
+        let mut c = Catalog::new();
+        c.create_view("aux", "SELECT * FROM cars").unwrap();
+        let v = c.view("AUX").unwrap();
+        assert_eq!(v.name, "aux");
+        assert_eq!(v.sql, "SELECT * FROM cars");
+    }
+}

@@ -1,0 +1,20 @@
+//! # prefsql-storage
+//!
+//! The storage substrate of the Preference SQL reproduction: in-memory
+//! heap tables, hash and ordered (B-tree) secondary indexes, and a catalog
+//! mapping names to tables and view definitions.
+//!
+//! The paper runs Preference SQL as a pre-processor in front of a host SQL
+//! DBMS (Informix, Oracle, DB2, Sybase). This crate plus `prefsql-engine`
+//! *is* our host DBMS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod index;
+pub mod table;
+
+pub use catalog::{Catalog, ViewDef};
+pub use index::{BTreeIndex, HashIndex, IndexKind};
+pub use table::Table;

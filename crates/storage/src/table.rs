@@ -1,0 +1,315 @@
+//! Heap tables: schema-validated row storage with secondary indexes.
+
+use crate::index::{BTreeIndex, HashIndex, IndexKind};
+use prefsql_types::{Error, Result, Schema, Tuple};
+use std::collections::HashMap;
+
+/// An in-memory heap table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    hash_indexes: HashMap<String, HashIndex>,
+    btree_indexes: HashMap<String, BTreeIndex>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            rows: Vec::new(),
+            hash_indexes: HashMap::new(),
+            btree_indexes: HashMap::new(),
+        }
+    }
+
+    /// Table name (lower-cased).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert one row after validating it against the schema; maintains all
+    /// indexes. Returns the new row id.
+    pub fn insert(&mut self, row: Tuple) -> Result<usize> {
+        row.check_against(&self.schema)?;
+        let row_id = self.rows.len();
+        for idx in self.hash_indexes.values_mut() {
+            idx.insert(row_id, &row);
+        }
+        for idx in self.btree_indexes.values_mut() {
+            idx.insert(row_id, &row);
+        }
+        self.rows.push(row);
+        Ok(row_id)
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Create a named index over `columns` (resolved by name). Existing rows
+    /// are back-filled. Fails on duplicate index names or unknown columns.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        columns: &[&str],
+        kind: IndexKind,
+    ) -> Result<()> {
+        let index_name = index_name.into().to_ascii_lowercase();
+        if self.hash_indexes.contains_key(&index_name)
+            || self.btree_indexes.contains_key(&index_name)
+        {
+            return Err(Error::Catalog(format!(
+                "index '{index_name}' already exists on table '{}'",
+                self.name
+            )));
+        }
+        let key_columns: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.resolve(None, c))
+            .collect::<Result<_>>()?;
+        match kind {
+            IndexKind::Hash => {
+                let mut idx = HashIndex::new(key_columns);
+                for (rid, row) in self.rows.iter().enumerate() {
+                    idx.insert(rid, row);
+                }
+                self.hash_indexes.insert(index_name, idx);
+            }
+            IndexKind::BTree => {
+                let mut idx = BTreeIndex::new(key_columns);
+                for (rid, row) in self.rows.iter().enumerate() {
+                    idx.insert(rid, row);
+                }
+                self.btree_indexes.insert(index_name, idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Find a hash index whose key is exactly `columns` (schema positions).
+    pub fn find_hash_index(&self, columns: &[usize]) -> Option<&HashIndex> {
+        self.hash_indexes
+            .values()
+            .find(|i| i.key_columns() == columns)
+    }
+
+    /// Find a B-tree index whose *leading* key column is `column`.
+    pub fn find_btree_index(&self, column: usize) -> Option<&BTreeIndex> {
+        self.btree_indexes
+            .values()
+            .find(|i| i.key_columns().first() == Some(&column))
+    }
+
+    /// Names of all indexes (for EXPLAIN / introspection).
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .hash_indexes
+            .keys()
+            .chain(self.btree_indexes.keys())
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Fetch a row by id.
+    pub fn row(&self, row_id: usize) -> &Tuple {
+        &self.rows[row_id]
+    }
+
+    /// Delete every row whose id is in `row_ids`; returns the number of
+    /// rows removed. Row ids are compacted and all indexes rebuilt.
+    pub fn delete_rows(&mut self, row_ids: &[usize]) -> usize {
+        if row_ids.is_empty() {
+            return 0;
+        }
+        let doomed: std::collections::HashSet<usize> = row_ids.iter().copied().collect();
+        let before = self.rows.len();
+        let mut keep = Vec::with_capacity(before - doomed.len().min(before));
+        for (rid, row) in self.rows.drain(..).enumerate() {
+            if !doomed.contains(&rid) {
+                keep.push(row);
+            }
+        }
+        self.rows = keep;
+        self.rebuild_indexes();
+        before - self.rows.len()
+    }
+
+    /// Replace the row at `row_id` after validating the new tuple.
+    /// Call [`Table::rebuild_indexes`] once after a batch of updates.
+    pub fn replace_row(&mut self, row_id: usize, row: Tuple) -> Result<()> {
+        row.check_against(&self.schema)?;
+        if row_id >= self.rows.len() {
+            return Err(Error::Exec(format!(
+                "row id {row_id} out of range for table '{}'",
+                self.name
+            )));
+        }
+        self.rows[row_id] = row;
+        Ok(())
+    }
+
+    /// Rebuild every index from the current rows (after deletes/updates).
+    pub fn rebuild_indexes(&mut self) {
+        for idx in self.hash_indexes.values_mut() {
+            let mut fresh = HashIndex::new(idx.key_columns().to_vec());
+            for (rid, row) in self.rows.iter().enumerate() {
+                fresh.insert(rid, row);
+            }
+            *idx = fresh;
+        }
+        for idx in self.btree_indexes.values_mut() {
+            let mut fresh = BTreeIndex::new(idx.key_columns().to_vec());
+            for (rid, row) in self.rows.iter().enumerate() {
+                fresh.insert(rid, row);
+            }
+            *idx = fresh;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::{tuple, Column, DataType, Value};
+
+    fn cars() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("make", DataType::Str),
+            Column::new("price", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("cars", schema);
+        t.insert(tuple![1, "audi", 40_000]).unwrap();
+        t.insert(tuple![2, "bmw", 35_000]).unwrap();
+        t.insert(tuple![3, "vw", 20_000]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut t = cars();
+        assert!(t.insert(tuple![4, "opel", 15_000]).is_ok());
+        assert!(t.insert(tuple!["bad", "opel", 1]).is_err());
+        assert!(t.insert(tuple![5, "opel"]).is_err());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = cars();
+        let r = t.insert(Tuple::new(vec![
+            Value::Null,
+            Value::str("x"),
+            Value::Int(1),
+        ]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn index_backfill_and_maintenance() {
+        let mut t = cars();
+        t.create_index("idx_make", &["make"], IndexKind::Hash)
+            .unwrap();
+        t.insert(tuple![4, "audi", 45_000]).unwrap();
+        let idx = t.find_hash_index(&[1]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("audi")]), &[0, 3]);
+    }
+
+    #[test]
+    fn btree_index_range_after_creation() {
+        let mut t = cars();
+        t.create_index("idx_price", &["price"], IndexKind::BTree)
+            .unwrap();
+        let idx = t.find_btree_index(2).unwrap();
+        let rids = idx.range(Some(&Value::Int(30_000)), None);
+        assert_eq!(rids, vec![1, 0]);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = cars();
+        t.create_index("i", &["make"], IndexKind::Hash).unwrap();
+        assert!(t.create_index("i", &["price"], IndexKind::BTree).is_err());
+        assert!(t.create_index("j", &["nope"], IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn delete_rows_compacts_and_reindexes() {
+        let mut t = cars();
+        t.create_index("i_make", &["make"], IndexKind::Hash)
+            .unwrap();
+        t.create_index("i_price", &["price"], IndexKind::BTree)
+            .unwrap();
+        assert_eq!(t.delete_rows(&[1]), 1); // drop the BMW
+        assert_eq!(t.len(), 2);
+        // Row ids compacted: vw moved from 2 to 1.
+        assert_eq!(t.row(1)[1], Value::str("vw"));
+        // Indexes reflect the new ids.
+        let idx = t.find_hash_index(&[1]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("vw")]), &[1]);
+        assert_eq!(idx.lookup(&[Value::str("bmw")]), &[] as &[usize]);
+        let b = t.find_btree_index(2).unwrap();
+        assert_eq!(b.range(None, None).len(), 2);
+        // Deleting nothing is a no-op.
+        assert_eq!(t.delete_rows(&[]), 0);
+        // Duplicate and repeated ids are tolerated.
+        assert_eq!(t.delete_rows(&[0, 0]), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replace_row_validates_and_reindexes() {
+        let mut t = cars();
+        t.create_index("i_make", &["make"], IndexKind::Hash)
+            .unwrap();
+        t.replace_row(0, tuple![1, "opel", 42_000]).unwrap();
+        t.rebuild_indexes();
+        let idx = t.find_hash_index(&[1]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("opel")]), &[0]);
+        assert_eq!(idx.lookup(&[Value::str("audi")]), &[] as &[usize]);
+        // Validation still applies.
+        assert!(t.replace_row(0, tuple!["bad", "x", 1]).is_err());
+        assert!(t.replace_row(99, tuple![9, "x", 1]).is_err());
+    }
+
+    #[test]
+    fn index_names_sorted() {
+        let mut t = cars();
+        t.create_index("z", &["make"], IndexKind::Hash).unwrap();
+        t.create_index("a", &["price"], IndexKind::BTree).unwrap();
+        assert_eq!(t.index_names(), vec!["a".to_string(), "z".to_string()]);
+    }
+}

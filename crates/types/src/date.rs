@@ -1,0 +1,217 @@
+//! A civil (proleptic Gregorian) date type.
+//!
+//! The paper's examples use dates like `'1999/7/3'` (trip start days). We
+//! store dates as a day count since 1970-01-01 so that `DISTANCE(start_day)`
+//! in a `BUT ONLY` clause is plain integer arithmetic, and provide exact
+//! civil-date conversion (Howard Hinnant's `days_from_civil` algorithm).
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A calendar date, stored as days since the epoch 1970-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    days: i64,
+}
+
+impl Date {
+    /// Construct from a raw day count since 1970-01-01.
+    pub const fn from_days(days: i64) -> Self {
+        Date { days }
+    }
+
+    /// The raw day count since 1970-01-01.
+    pub const fn days(self) -> i64 {
+        self.days
+    }
+
+    /// Construct from a civil year/month/day. Validates the calendar.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(Error::Type(format!("invalid month {month} in date")));
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(Error::Type(format!(
+                "invalid day {day} for {year:04}-{month:02}"
+            )));
+        }
+        Ok(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Decompose into civil (year, month, day).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// Parse `YYYY-MM-DD` or `YYYY/MM/DD` (month/day may be 1 or 2 digits,
+    /// matching the paper's `'1999/7/3'` literal style).
+    pub fn parse(s: &str) -> Result<Self> {
+        let sep = if s.contains('/') { '/' } else { '-' };
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() != 3 {
+            return Err(Error::Type(format!("cannot parse '{s}' as a date")));
+        }
+        let year: i32 = parts[0]
+            .parse()
+            .map_err(|_| Error::Type(format!("bad year in date '{s}'")))?;
+        let month: u32 = parts[1]
+            .parse()
+            .map_err(|_| Error::Type(format!("bad month in date '{s}'")))?;
+        let day: u32 = parts[2]
+            .parse()
+            .map_err(|_| Error::Type(format!("bad day in date '{s}'")))?;
+        Date::from_ymd(year, month, day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// True iff `year` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+// Civil date for days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+    }
+
+    #[test]
+    fn known_day_counts() {
+        assert_eq!(Date::from_ymd(1970, 1, 2).unwrap().days(), 1);
+        assert_eq!(Date::from_ymd(1969, 12, 31).unwrap().days(), -1);
+        assert_eq!(Date::from_ymd(2000, 3, 1).unwrap().days(), 11_017);
+        // The paper's trip example date.
+        let d = Date::parse("1999/7/3").unwrap();
+        assert_eq!(d.ymd(), (1999, 7, 3));
+    }
+
+    #[test]
+    fn parse_both_separators() {
+        assert_eq!(
+            Date::parse("1999-07-03").unwrap(),
+            Date::parse("1999/7/3").unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(2001, 2, 29).is_err());
+        assert!(Date::from_ymd(2000, 2, 29).is_ok()); // leap
+        assert!(Date::from_ymd(1999, 13, 1).is_err());
+        assert!(Date::from_ymd(1999, 0, 1).is_err());
+        assert!(Date::from_ymd(1999, 4, 31).is_err());
+        assert!(Date::parse("not a date").is_err());
+        assert!(Date::parse("1999/7").is_err());
+    }
+
+    #[test]
+    fn display_is_iso() {
+        assert_eq!(
+            Date::from_ymd(1999, 7, 3).unwrap().to_string(),
+            "1999-07-03"
+        );
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1999));
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Date::parse("1999-07-03").unwrap();
+        let b = Date::parse("1999-07-05").unwrap();
+        assert!(a < b);
+        assert_eq!(b.days() - a.days(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn civil_roundtrip(days in -1_000_000i64..1_000_000i64) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.ymd();
+            let back = Date::from_ymd(y, m, dd).unwrap();
+            prop_assert_eq!(back.days(), days);
+        }
+
+        #[test]
+        fn ymd_roundtrip(y in 1i32..4000, m in 1u32..=12, d in 1u32..=28) {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            prop_assert_eq!(date.ymd(), (y, m, d));
+        }
+
+        #[test]
+        fn successive_days_are_adjacent(days in -500_000i64..500_000i64) {
+            let d0 = Date::from_days(days);
+            let d1 = Date::from_days(days + 1);
+            prop_assert!(d0 < d1);
+            let (y0, m0, dd0) = d0.ymd();
+            let (y1, m1, dd1) = d1.ymd();
+            // Either same month with day+1, or the first of a following month.
+            if m0 == m1 && y0 == y1 {
+                prop_assert_eq!(dd1, dd0 + 1);
+            } else {
+                prop_assert_eq!(dd1, 1);
+                prop_assert_eq!(dd0, days_in_month(y0, m0));
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared error type for the whole Preference SQL stack.
+//!
+//! A single error enum keeps signatures uniform across crates; the variant
+//! records which layer produced the failure so diagnostics stay actionable.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error raised anywhere in the Preference SQL stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing or parsing failure, with a human-readable message that includes
+    /// the offending position where available.
+    Parse(String),
+    /// Type-checking or value-coercion failure.
+    Type(String),
+    /// Catalog/storage failure (unknown table, duplicate column, ...).
+    Catalog(String),
+    /// Logical planning failure (unresolvable column, unsupported shape, ...).
+    Plan(String),
+    /// Runtime execution failure (division by zero, bad cast, ...).
+    Exec(String),
+    /// Preference-SQL-to-SQL rewrite failure.
+    Rewrite(String),
+    /// A documented Preference SQL 1.3 restriction was violated (for example
+    /// a PREFERRING clause inside a WHERE sub-query).
+    Unsupported(String),
+}
+
+impl Error {
+    /// The layer the error originated from, e.g. `"parse"`.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Type(_) => "type",
+            Error::Catalog(_) => "catalog",
+            Error::Plan(_) => "plan",
+            Error::Exec(_) => "exec",
+            Error::Rewrite(_) => "rewrite",
+            Error::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Type(m)
+            | Error::Catalog(m)
+            | Error::Plan(m)
+            | Error::Exec(m)
+            | Error::Rewrite(m)
+            | Error::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.layer(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = Error::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.layer(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn layers_are_distinct() {
+        let all = [
+            Error::Parse(String::new()),
+            Error::Type(String::new()),
+            Error::Catalog(String::new()),
+            Error::Plan(String::new()),
+            Error::Exec(String::new()),
+            Error::Rewrite(String::new()),
+            Error::Unsupported(String::new()),
+        ];
+        let mut layers: Vec<_> = all.iter().map(|e| e.layer()).collect();
+        layers.sort_unstable();
+        layers.dedup();
+        assert_eq!(layers.len(), all.len());
+    }
+}

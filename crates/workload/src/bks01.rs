@@ -1,0 +1,135 @@
+//! Synthetic point sets in the \[BKS01\] skyline data model:
+//! independent, correlated and anti-correlated dimensions. Used by the A1
+//! ablation (rewrite vs. native skyline algorithms), where the
+//! distribution controls the maximal-set size.
+
+use prefsql_storage::Table;
+use prefsql_types::{Column, DataType, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The attribute-correlation regimes of \[BKS01\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Dimensions drawn independently — moderate skyline.
+    Independent,
+    /// Dimensions positively correlated — tiny skyline.
+    Correlated,
+    /// Dimensions anti-correlated — huge skyline (the hard case).
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// All three regimes.
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ];
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Independent => "independent",
+            Distribution::Correlated => "correlated",
+            Distribution::AntiCorrelated => "anti-correlated",
+        }
+    }
+}
+
+/// Generate raw `n × d` points in `[0, 1)^d`.
+pub fn points(n: usize, d: usize, dist: Distribution, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match dist {
+            Distribution::Independent => (0..d).map(|_| rng.gen()).collect(),
+            Distribution::Correlated => {
+                let base: f64 = rng.gen();
+                (0..d)
+                    .map(|_| (base + (rng.gen::<f64>() - 0.5) * 0.2).clamp(0.0, 1.0))
+                    .collect()
+            }
+            Distribution::AntiCorrelated => {
+                // Points near the hyperplane Σx = d/2: low in one dimension
+                // means high in the others.
+                let mut v: Vec<f64> = (0..d).map(|_| rng.gen()).collect();
+                let sum: f64 = v.iter().sum();
+                let shift = (d as f64 / 2.0 - sum) / d as f64;
+                for x in &mut v {
+                    *x = (*x + shift + (rng.gen::<f64>() - 0.5) * 0.1).clamp(0.0, 1.0);
+                }
+                v
+            }
+        })
+        .collect()
+}
+
+/// Wrap points into a relation `points(id, d0, d1, ...)` for SQL-side
+/// experiments.
+pub fn table(n: usize, d: usize, dist: Distribution, seed: u64) -> Table {
+    let mut cols = vec![Column::new("id", DataType::Int).not_null()];
+    for i in 0..d {
+        cols.push(Column::new(format!("d{i}"), DataType::Float));
+    }
+    let schema = Schema::new(cols).expect("static schema is valid");
+    let mut t = Table::new("points", schema);
+    for (id, p) in points(n, d, dist, seed).into_iter().enumerate() {
+        let mut values = vec![Value::Int(id as i64)];
+        values.extend(p.into_iter().map(Value::Float));
+        t.insert(Tuple::new(values)).expect("generated row valid");
+    }
+    t
+}
+
+/// The Preference SQL query computing the skyline (all dimensions LOWEST,
+/// Pareto-accumulated).
+pub fn skyline_query(d: usize) -> String {
+    let prefs: Vec<String> = (0..d).map(|i| format!("LOWEST(d{i})")).collect();
+    format!("SELECT * FROM points PREFERRING {}", prefs.join(" AND "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skyline_size(pts: &[Vec<f64>]) -> usize {
+        pts.iter()
+            .filter(|a| {
+                !pts.iter().any(|b| {
+                    b.iter().zip(a.iter()).all(|(x, y)| x <= y)
+                        && b.iter().zip(a.iter()).any(|(x, y)| x < y)
+                })
+            })
+            .count()
+    }
+
+    #[test]
+    fn distribution_controls_skyline_size() {
+        let n = 600;
+        let corr = skyline_size(&points(n, 3, Distribution::Correlated, 1));
+        let ind = skyline_size(&points(n, 3, Distribution::Independent, 1));
+        let anti = skyline_size(&points(n, 3, Distribution::AntiCorrelated, 1));
+        assert!(corr < ind, "correlated {corr} !< independent {ind}");
+        assert!(ind < anti, "independent {ind} !< anti {anti}");
+    }
+
+    #[test]
+    fn table_and_query_shape() {
+        let t = table(50, 4, Distribution::Independent, 2);
+        assert_eq!(t.schema().len(), 5);
+        assert_eq!(t.len(), 50);
+        let q = skyline_query(4);
+        assert!(q.contains("LOWEST(d3)"));
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube() {
+        for dist in Distribution::ALL {
+            for p in points(200, 5, dist, 3) {
+                for x in p {
+                    assert!((0.0..=1.0).contains(&x), "{dist:?} produced {x}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Car datasets: the paper's 3-row §3.2 fixture and a parameterized
+//! used-car market for the §2.2.2 Opel scenario.
+
+use prefsql_storage::Table;
+use prefsql_types::{tuple, Column, DataType, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The §3.2 `Cars` fixture: Audi A6, BMW 5 series, Volkswagen Beetle.
+pub fn paper_fixture() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("identifier", DataType::Int).not_null(),
+        Column::new("make", DataType::Str),
+        Column::new("model", DataType::Str),
+        Column::new("price", DataType::Int),
+        Column::new("mileage", DataType::Int),
+        Column::new("airbag", DataType::Str),
+        Column::new("diesel", DataType::Str),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("cars", schema);
+    for row in [
+        tuple![1, "Audi", "A6", 40_000, 15_000, "yes", "no"],
+        tuple![2, "BMW", "5 series", 35_000, 30_000, "yes", "yes"],
+        tuple![3, "Volkswagen", "Beetle", 20_000, 10_000, "yes", "no"],
+    ] {
+        t.insert(row).expect("fixture row valid");
+    }
+    t
+}
+
+/// Makes available on the synthetic used-car market.
+pub const MAKES: [&str; 6] = ["Opel", "Audi", "BMW", "Volkswagen", "Ford", "Fiat"];
+/// Body categories.
+pub const CATEGORIES: [&str; 4] = ["roadster", "passenger", "suv", "pickup"];
+/// Paint colors.
+pub const COLORS: [&str; 6] = ["red", "black", "white", "blue", "green", "silver"];
+
+/// A synthetic used-car market:
+/// `car(id, make, category, color, price, power, mileage, diesel)`.
+///
+/// Prices cluster around 40 000 (the Opel example's AROUND target) with a
+/// long tail, power correlates positively with price, mileage is
+/// independent — realistic enough that Pareto fronts are non-trivial.
+pub fn market(n: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("make", DataType::Str),
+        Column::new("category", DataType::Str),
+        Column::new("color", DataType::Str),
+        Column::new("price", DataType::Int),
+        Column::new("power", DataType::Int),
+        Column::new("mileage", DataType::Int),
+        Column::new("diesel", DataType::Str),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("car", schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for id in 0..n {
+        let price: i64 = 10_000 + rng.gen_range(0..70_000) / (1 + rng.gen_range(0..3));
+        let power = 50 + (price / 700) + rng.gen_range(0..80);
+        let row = Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::str(MAKES[rng.gen_range(0..MAKES.len())]),
+            Value::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
+            Value::str(COLORS[rng.gen_range(0..COLORS.len())]),
+            Value::Int(price),
+            Value::Int(power),
+            Value::Int(rng.gen_range(0..250_000)),
+            Value::str(if rng.gen_bool(0.4) { "yes" } else { "no" }),
+        ]);
+        t.insert(row).expect("generated row valid");
+    }
+    t
+}
+
+/// The flagship Opel preference query of §2.2.2, verbatim.
+pub const OPEL_QUERY: &str = "SELECT * FROM car WHERE make = 'Opel' \
+     PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+     price AROUND 40000 AND HIGHEST(power)) \
+     CASCADE color = 'red' CASCADE LOWEST(mileage)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_the_paper_relation() {
+        let t = paper_fixture();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[1][1], Value::str("BMW"));
+    }
+
+    #[test]
+    fn market_is_deterministic_per_seed() {
+        let a = market(100, 7);
+        let b = market(100, 7);
+        let c = market(100, 8);
+        assert_eq!(a.rows(), b.rows());
+        assert_ne!(a.rows(), c.rows());
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn market_values_in_domain() {
+        let t = market(500, 1);
+        for row in t.rows() {
+            let make = row[1].as_str().unwrap();
+            assert!(MAKES.contains(&make));
+            let price = row[4].as_int().unwrap();
+            assert!((10_000..90_000).contains(&price));
+            let power = row[5].as_int().unwrap();
+            assert!(power >= 50);
+        }
+    }
+}

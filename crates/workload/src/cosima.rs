@@ -1,0 +1,107 @@
+//! Simulated COSIMA meta-search snapshots (paper §4.3).
+//!
+//! COSIMA gathered intermediate comparison-shopping results from live
+//! e-shops (Amazon, BOL, ...) into a temporary database and ran Preference
+//! SQL over it. We simulate the gathering step: each snapshot is a batch
+//! of offers for one product query, with per-shop price/shipping/rating
+//! spreads and a configurable simulated shop-access delay — §4.3's
+//! response times were "dominated by accessing the participating e-shops".
+
+use prefsql_storage::Table;
+use prefsql_types::{Column, DataType, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Participating shops.
+pub const SHOPS: [&str; 6] = [
+    "Amazonia",
+    "BOLero",
+    "Buchladen",
+    "MediaMart",
+    "Libri24",
+    "Dussmann",
+];
+
+/// One simulated meta-search gathering round.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The temporary offers relation.
+    pub offers: Table,
+    /// The simulated wall-clock cost of contacting the shops (dominant in
+    /// the paper's 1–2 s end-to-end times).
+    pub shop_access: Duration,
+}
+
+/// Gather a snapshot of `n` offers (COSIMA-era result sets: a few hundred
+/// to a couple of thousand rows). Offers for the same title differ across
+/// shops in price, shipping and condition — the Pareto trade-off surface.
+pub fn snapshot(n: usize, seed: u64) -> Snapshot {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("shop", DataType::Str),
+        Column::new("title", DataType::Str),
+        Column::new("price", DataType::Float),
+        Column::new("shipping_days", DataType::Int),
+        Column::new("rating", DataType::Int),
+        Column::new("used", DataType::Bool),
+    ])
+    .expect("static schema is valid");
+    let mut offers = Table::new("offers", schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let titles = [
+        "Skyline Operator",
+        "Preference World",
+        "Deductive Databases",
+    ];
+    for id in 0..n {
+        let list_price = 20.0 + rng.gen::<f64>() * 60.0;
+        let shop = SHOPS[rng.gen_range(0..SHOPS.len())];
+        let used = rng.gen_bool(0.3);
+        let price = list_price * if used { 0.6 } else { 1.0 } * (0.85 + rng.gen::<f64>() * 0.3);
+        // Cheap shops tend to ship slower.
+        let shipping = 1 + ((90.0 - price).max(0.0) / 18.0) as i64 + rng.gen_range(0..3);
+        let row = Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::str(shop),
+            Value::str(titles[rng.gen_range(0..titles.len())]),
+            Value::Float((price * 100.0).round() / 100.0),
+            Value::Int(shipping),
+            Value::Int(rng.gen_range(1..6)),
+            Value::Bool(used),
+        ]);
+        offers.insert(row).expect("generated row valid");
+    }
+    // The paper: meta-search end-to-end 1–2 s, dominated by shop access.
+    let shop_access = Duration::from_millis(900 + rng.gen_range(0..900));
+    Snapshot {
+        offers,
+        shop_access,
+    }
+}
+
+/// A typical COSIMA comparison-shopping preference: cheap AND fast
+/// delivery, then good shop rating.
+pub const COMPARISON_QUERY: &str = "SELECT * FROM offers \
+     PREFERRING (LOWEST(price) AND LOWEST(shipping_days)) CASCADE HIGHEST(rating)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_shape() {
+        let s = snapshot(500, 4);
+        assert_eq!(s.offers.len(), 500);
+        assert!(s.shop_access >= Duration::from_millis(900));
+        assert!(s.shop_access <= Duration::from_millis(1800));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            snapshot(100, 7).offers.rows(),
+            snapshot(100, 7).offers.rows()
+        );
+    }
+}

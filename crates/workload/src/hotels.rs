@@ -1,0 +1,68 @@
+//! The hotel scenario of §2.2.1 (the NEG `location <> 'downtown'`
+//! example) and the §4.2 mobile/location-based search.
+
+use prefsql_storage::Table;
+use prefsql_types::{Column, DataType, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hotel locations.
+pub const LOCATIONS: [&str; 5] = ["downtown", "suburb", "airport", "beach", "oldtown"];
+
+/// `hotels(id, name, location, price, stars, distance_km)` — `n` hotels;
+/// `distance_km` is the distance to the (simulated) mobile user, for
+/// location-based preference queries.
+pub fn table(n: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("name", DataType::Str),
+        Column::new("location", DataType::Str),
+        Column::new("price", DataType::Int),
+        Column::new("stars", DataType::Int),
+        Column::new("distance_km", DataType::Float),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("hotels", schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for id in 0..n {
+        let stars = rng.gen_range(1..6i64);
+        let location = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
+        let base = 40 + stars * 35;
+        let premium = if location == "downtown" || location == "beach" {
+            40
+        } else {
+            0
+        };
+        let row = Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::str(format!("Hotel {id}")),
+            Value::str(location),
+            Value::Int(base + premium + rng.gen_range(0..60)),
+            Value::Int(stars),
+            Value::Float((rng.gen::<f64>() * 200.0).round() / 10.0),
+        ]);
+        t.insert(row).expect("generated row valid");
+    }
+    t
+}
+
+/// The §2.2.1 NEG query, verbatim.
+pub const NEG_QUERY: &str = "SELECT * FROM hotels PREFERRING location <> 'downtown'";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_locations_eventually() {
+        let t = table(400, 9);
+        let s = t.schema();
+        let loc = s.resolve(None, "location").unwrap();
+        for l in LOCATIONS {
+            assert!(
+                t.rows().iter().any(|r| r[loc].as_str() == Some(l)),
+                "missing location {l}"
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # prefsql-workload
+//!
+//! Dataset generators for every experiment in the reproduction:
+//!
+//! * [`oldtimer`] — the fixed 6-row fixture of paper §2.2.3;
+//! * [`cars`] — the 3-row §3.2 fixture plus a parameterized used-car
+//!   market (the §2.2.2 Opel scenario);
+//! * [`jobs`] — the **E1 substitute** for the proprietary 1.4 M-tuple
+//!   German job-portal relation: 74 attributes, skewed distributions,
+//!   configurable row count;
+//! * [`trips`], [`computers`], [`products`], [`hotels`] — the e-shop
+//!   scenarios of §2.2.1/§4.1;
+//! * [`cosima`] — simulated COSIMA meta-search snapshots (§4.3);
+//! * [`bks01`] — independent/correlated/anti-correlated point sets, the
+//!   standard skyline data model of \[BKS01\], for the A1 ablation.
+//!
+//! All generators are deterministic under a caller-provided seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bks01;
+pub mod cars;
+pub mod computers;
+pub mod cosima;
+pub mod hotels;
+pub mod jobs;
+pub mod oldtimer;
+pub mod products;
+pub mod trips;

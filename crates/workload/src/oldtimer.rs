@@ -1,0 +1,46 @@
+//! The oldtimer fixture of paper §2.2.3 — six cars, used to reproduce the
+//! adorned answer-explanation result table exactly.
+
+use prefsql_storage::Table;
+use prefsql_types::{tuple, Column, DataType, Schema};
+
+/// `oldtimer(ident, color, age)` with the paper's six rows.
+pub fn table() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("ident", DataType::Str).not_null(),
+        Column::new("color", DataType::Str),
+        Column::new("age", DataType::Int),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("oldtimer", schema);
+    for (ident, color, age) in [
+        ("Maggie", "white", 19),
+        ("Bart", "green", 19),
+        ("Homer", "yellow", 35),
+        ("Selma", "red", 40),
+        ("Smithers", "red", 43),
+        ("Skinner", "yellow", 51),
+    ] {
+        t.insert(tuple![ident, color, age])
+            .expect("fixture row valid");
+    }
+    t
+}
+
+/// The paper's oldtimer preference query (§2.2.3), verbatim.
+pub const QUERY: &str = "SELECT ident, color, age, LEVEL(color), DISTANCE(age) \
+     FROM oldtimer \
+     PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_matches_paper() {
+        let t = table();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.schema().len(), 3);
+        assert_eq!(t.rows()[3], tuple!["Selma", "red", 40]);
+    }
+}

@@ -1,0 +1,72 @@
+//! The washing-machine e-shop of §4.1 (the dynamic search-mask example).
+
+use prefsql_storage::Table;
+use prefsql_types::{Column, DataType, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Manufacturers, including the paper's fictional 'Aturi'.
+pub const MANUFACTURERS: [&str; 5] = ["Aturi", "Whirlwind", "Boschke", "Mielo", "Samsong"];
+
+/// `products(id, manufacturer, width, spinspeed, powerconsumption,
+/// waterconsumption, price)` — `n` washing machines.
+pub fn table(n: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("manufacturer", DataType::Str),
+        Column::new("width", DataType::Int),
+        Column::new("spinspeed", DataType::Int),
+        Column::new("powerconsumption", DataType::Float),
+        Column::new("waterconsumption", DataType::Float),
+        Column::new("price", DataType::Int),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("products", schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let widths = [45i64, 55, 60, 60, 60, 70];
+    let speeds = [800i64, 1000, 1200, 1400, 1600];
+    for id in 0..n {
+        let spin = speeds[rng.gen_range(0..speeds.len())];
+        // Faster spin → more power; efficiency noise on top.
+        let power = 0.5 + spin as f64 / 1600.0 * 0.8 + rng.gen::<f64>() * 0.4;
+        let water = 35.0 + rng.gen::<f64>() * 30.0;
+        let price = 800 + spin / 2 + rng.gen_range(0..1200);
+        let row = Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::str(MANUFACTURERS[rng.gen_range(0..MANUFACTURERS.len())]),
+            Value::Int(widths[rng.gen_range(0..widths.len())]),
+            Value::Int(spin),
+            Value::Float((power * 100.0).round() / 100.0),
+            Value::Float((water * 10.0).round() / 10.0),
+            Value::Int(price),
+        ]);
+        t.insert(row).expect("generated row valid");
+    }
+    t
+}
+
+/// The §4.1 search-mask query, verbatim (modulo the paper's own missing
+/// closing parenthesis, fixed here).
+pub const SEARCH_MASK_QUERY: &str = "SELECT * FROM products WHERE manufacturer = 'Aturi' \
+     PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE \
+     (powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption) \
+     AND price BETWEEN 1500, 2000)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shape() {
+        let t = table(150, 2);
+        assert_eq!(t.len(), 150);
+        let s = t.schema();
+        let manu = s.resolve(None, "manufacturer").unwrap();
+        let aturi = t
+            .rows()
+            .iter()
+            .filter(|r| r[manu].as_str() == Some("Aturi"))
+            .count();
+        assert!(aturi > 0, "fixture must include the example manufacturer");
+    }
+}

@@ -1,0 +1,66 @@
+//! The trips scenario of §2.2.1/§2.2.4: package tours with start days and
+//! durations, for `AROUND` and `BUT ONLY` demonstrations.
+
+use prefsql_storage::Table;
+use prefsql_types::{Column, DataType, Date, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Destinations on offer.
+pub const DESTINATIONS: [&str; 8] = [
+    "Rome", "Lisbon", "Crete", "Mallorca", "Oslo", "Prague", "Malta", "Madeira",
+];
+
+/// `trips(id, dest, start_day, duration, price)` — `n` random offers in
+/// the summer season of 1999 (the paper's `'1999/7/3'` example).
+pub fn table(n: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("dest", DataType::Str),
+        Column::new("start_day", DataType::Date),
+        Column::new("duration", DataType::Int),
+        Column::new("price", DataType::Int),
+    ])
+    .expect("static schema is valid");
+    let mut t = Table::new("trips", schema);
+    let season_start = Date::from_ymd(1999, 6, 1).expect("valid date").days();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let durations = [7i64, 10, 14, 14, 14, 21, 28];
+    for id in 0..n {
+        let duration = durations[rng.gen_range(0..durations.len())];
+        let row = Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::str(DESTINATIONS[rng.gen_range(0..DESTINATIONS.len())]),
+            Value::Date(Date::from_days(season_start + rng.gen_range(0..92))),
+            Value::Int(duration),
+            Value::Int(300 + duration * rng.gen_range(30..90)),
+        ]);
+        t.insert(row).expect("generated row valid");
+    }
+    t
+}
+
+/// The §2.2.4 quality-controlled trip query, verbatim.
+pub const BUT_ONLY_QUERY: &str = "SELECT * FROM trips \
+     PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 \
+     BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_season() {
+        let a = table(300, 5);
+        assert_eq!(a.rows(), table(300, 5).rows());
+        let start = a.schema().resolve(None, "start_day").unwrap();
+        let june1 = Date::from_ymd(1999, 6, 1).unwrap();
+        let sep1 = Date::from_ymd(1999, 9, 1).unwrap();
+        for row in a.rows() {
+            match &row[start] {
+                Value::Date(d) => assert!(*d >= june1 && *d < sep1),
+                other => panic!("expected date, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Mobile / location-based search (paper §4.2).
+//!
+//! Run with: `cargo run --example mobile_search`
+//!
+//! On a WAP phone every retry costs typing and airtime; the BMO model
+//! makes the *first* answer the best possible one. Combines a
+//! location-based preference (nearby first) with the classic NEG example
+//! and a BUT ONLY quality threshold so the tiny screen never floods.
+
+use prefsql::PrefSqlConnection;
+use prefsql_workload::hotels;
+
+fn main() -> prefsql::Result<()> {
+    let mut conn = PrefSqlConnection::new();
+    conn.engine_mut()
+        .catalog_mut()
+        .create_table(hotels::table(300, 4711))
+        .expect("catalog empty");
+
+    // The user's standing profile, stored once as named preferences —
+    // the Preference Definition Language at work.
+    conn.execute("CREATE PREFERENCE nearby AS LOWEST(distance_km)")?;
+    conn.execute("CREATE PREFERENCE quiet AS location <> 'downtown'")?;
+    conn.execute("CREATE PREFERENCE affordable AS price BETWEEN 80, 140")?;
+
+    println!("Stored profile preferences: nearby, quiet, affordable\n");
+
+    // One keypress on the phone issues the whole search.
+    let rs = conn.query(
+        "SELECT name, location, price, stars, distance_km FROM hotels \
+         PREFERRING (PREFERENCE nearby AND PREFERENCE affordable) CASCADE PREFERENCE quiet \
+         ORDER BY distance_km",
+    )?;
+    println!("First (and only needed) answer — best matches for the profile:");
+    println!("{rs}");
+
+    // Screen-size quality control: accept at most 3 km of detour and 20
+    // currency units beyond the budget band, else show nothing and say so.
+    let rs = conn.query(
+        "SELECT name, location, price, distance_km FROM hotels \
+         PREFERRING PREFERENCE nearby AND PREFERENCE affordable \
+         BUT ONLY DISTANCE(distance_km) <= 3 AND DISTANCE(price) <= 20 \
+         ORDER BY price",
+    )?;
+    if rs.is_empty() {
+        println!("No hotel within the quality thresholds — honest empty answer.");
+    } else {
+        println!("Within strict quality thresholds (fits one WAP screen):");
+        println!("{rs}");
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: soft constraints in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Shows the core problem the paper opens with — hard SQL constraints
+//! either return nothing or flood the user — and how `PREFERRING` fixes it.
+
+use prefsql::{PrefSqlConnection, QueryResult};
+
+fn main() -> prefsql::Result<()> {
+    let mut conn = PrefSqlConnection::new();
+
+    conn.execute(
+        "CREATE TABLE used_cars (id INTEGER, make VARCHAR, price INTEGER, mileage INTEGER)",
+    )?;
+    conn.execute(
+        "INSERT INTO used_cars VALUES \
+         (1, 'Opel',  41500,  60000), \
+         (2, 'Opel',  46000,  20000), \
+         (3, 'Opel',  38000, 110000), \
+         (4, 'BMW',   52000,  45000), \
+         (5, 'Opel',  55000,  15000)",
+    )?;
+
+    println!("A customer wants an Opel around 40000 with low mileage.\n");
+
+    // The exact-match trap: hard constraints return nothing.
+    let hard = conn.query(
+        "SELECT * FROM used_cars \
+         WHERE make = 'Opel' AND price = 40000 AND mileage < 30000",
+    )?;
+    println!("Hard WHERE (price = 40000 AND mileage < 30000):");
+    println!("{hard}");
+    println!("-> the classic empty result. 'Please try again with different choices'...\n");
+
+    // The preference version: wishes, not requirements.
+    let soft_sql = "SELECT * FROM used_cars WHERE make = 'Opel' \
+                    PREFERRING price AROUND 40000 AND LOWEST(mileage)";
+    let soft = conn.query(soft_sql)?;
+    println!("PREFERRING price AROUND 40000 AND LOWEST(mileage):");
+    println!("{soft}");
+    println!("-> the best-possible compromises (the Pareto-optimal set), never empty.\n");
+
+    // Answer explanation: how good is each result?
+    let adorned = conn.query(
+        "SELECT id, price, mileage, DISTANCE(price), TOP(mileage) \
+         FROM used_cars WHERE make = 'Opel' \
+         PREFERRING price AROUND 40000 AND LOWEST(mileage)",
+    )?;
+    println!("With quality functions (answer explanation):");
+    println!("{adorned}");
+
+    // Peek behind the curtain: the SQL the optimizer generates.
+    if let Some(sql) = conn.rewritten_sql(soft_sql)? {
+        println!("The Preference SQL optimizer rewrote the query into standard SQL:");
+        println!("  {sql}\n");
+    }
+    if let QueryResult::Explain(plan) = conn.execute(&format!("EXPLAIN {soft_sql}"))? {
+        println!("EXPLAIN output:\n{plan}");
+    }
+    Ok(())
+}
