@@ -43,7 +43,8 @@ fn bench_algorithms(c: &mut Criterion) {
         });
     }
     // BNL/SFS scale further; show them alone at larger n.
-    for n in [16_000usize] {
+    {
+        let n = 16_000usize;
         let sv = slot_vectors(n, d, Distribution::Independent, 9);
         group.bench_with_input(BenchmarkId::new("bnl", n), &sv, |b, sv| {
             b.iter(|| maximal_bnl(sv, &pref).len())

@@ -57,8 +57,8 @@ pub fn market(n: usize, seed: u64) -> Table {
     let mut t = Table::new("car", schema);
     let mut rng = StdRng::seed_from_u64(seed);
     for id in 0..n {
-        let price: i64 = 10_000 + rng.gen_range(0..70_000) / (1 + rng.gen_range(0..3));
-        let power = 50 + (price / 700) + rng.gen_range(0..80);
+        let price: i64 = 10_000 + rng.gen_range(0..70_000i64) / (1 + rng.gen_range(0..3i64));
+        let power = 50 + (price / 700) + rng.gen_range(0..80i64);
         let row = Tuple::new(vec![
             Value::Int(id as i64),
             Value::str(MAKES[rng.gen_range(0..MAKES.len())]),

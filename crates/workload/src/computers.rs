@@ -28,8 +28,8 @@ pub fn table(n: usize, seed: u64) -> Table {
         let mem = memory_options[rng.gen_range(0..memory_options.len())];
         // Budget trade-off: more memory tends to mean a slower CPU at the
         // same price point, plus noise.
-        let cpu = 1_800 - mem + rng.gen_range(0..800);
-        let price = (mem / 2 + cpu / 4) * 3 + rng.gen_range(0..400);
+        let cpu = 1_800 - mem + rng.gen_range(0..800i64);
+        let price = (mem / 2 + cpu / 4) * 3 + rng.gen_range(0..400i64);
         let row = Tuple::new(vec![
             Value::Int(id as i64),
             Value::Int(mem),

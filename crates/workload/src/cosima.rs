@@ -60,7 +60,7 @@ pub fn snapshot(n: usize, seed: u64) -> Snapshot {
         let used = rng.gen_bool(0.3);
         let price = list_price * if used { 0.6 } else { 1.0 } * (0.85 + rng.gen::<f64>() * 0.3);
         // Cheap shops tend to ship slower.
-        let shipping = 1 + ((90.0 - price).max(0.0) / 18.0) as i64 + rng.gen_range(0..3);
+        let shipping = 1 + ((90.0 - price).max(0.0) / 18.0) as i64 + rng.gen_range(0..3i64);
         let row = Tuple::new(vec![
             Value::Int(id as i64),
             Value::str(shop),
@@ -73,7 +73,7 @@ pub fn snapshot(n: usize, seed: u64) -> Snapshot {
         offers.insert(row).expect("generated row valid");
     }
     // The paper: meta-search end-to-end 1–2 s, dominated by shop access.
-    let shop_access = Duration::from_millis(900 + rng.gen_range(0..900));
+    let shop_access = Duration::from_millis(900 + rng.gen_range(0..900u64));
     Snapshot {
         offers,
         shop_access,

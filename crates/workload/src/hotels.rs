@@ -37,7 +37,7 @@ pub fn table(n: usize, seed: u64) -> Table {
             Value::Int(id as i64),
             Value::str(format!("Hotel {id}")),
             Value::str(location),
-            Value::Int(base + premium + rng.gen_range(0..60)),
+            Value::Int(base + premium + rng.gen_range(0..60i64)),
             Value::Int(stars),
             Value::Float((rng.gen::<f64>() * 200.0).round() / 10.0),
         ]);

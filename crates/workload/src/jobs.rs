@@ -83,14 +83,14 @@ pub fn table(n: usize, seed: u64) -> Table {
         values.push(Value::Int(experience));
         values.push(Value::Int(rng.gen_range(0..6)));
         values.push(Value::Date(Date::from_days(
-            epoch + rng.gen_range(-30..335),
+            epoch + rng.gen_range(-30..335i64),
         )));
         values.push(Value::Int(rng.gen_range(0..4)));
         values.push(Value::Int(rng.gen_range(0..4)));
         values.push(Value::Int(skill(&mut rng)));
         values.push(Value::Int(skill(&mut rng)));
         values.push(Value::Int(skill(&mut rng)));
-        values.push(Value::Int(rng.gen_range(0..200) * 5));
+        values.push(Value::Int(rng.gen_range(0..200i64) * 5));
         values.push(Value::Bool(rng.gen_bool(0.8)));
         for _ in 0..(ATTRIBUTES - NAMED.len()) {
             values.push(Value::Int(rng.gen_range(0..1000)));

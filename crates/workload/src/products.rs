@@ -30,7 +30,7 @@ pub fn table(n: usize, seed: u64) -> Table {
         // Faster spin → more power; efficiency noise on top.
         let power = 0.5 + spin as f64 / 1600.0 * 0.8 + rng.gen::<f64>() * 0.4;
         let water = 35.0 + rng.gen::<f64>() * 30.0;
-        let price = 800 + spin / 2 + rng.gen_range(0..1200);
+        let price = 800 + spin / 2 + rng.gen_range(0..1200i64);
         let row = Tuple::new(vec![
             Value::Int(id as i64),
             Value::str(MANUFACTURERS[rng.gen_range(0..MANUFACTURERS.len())]),

@@ -31,9 +31,9 @@ pub fn table(n: usize, seed: u64) -> Table {
         let row = Tuple::new(vec![
             Value::Int(id as i64),
             Value::str(DESTINATIONS[rng.gen_range(0..DESTINATIONS.len())]),
-            Value::Date(Date::from_days(season_start + rng.gen_range(0..92))),
+            Value::Date(Date::from_days(season_start + rng.gen_range(0..92i64))),
             Value::Int(duration),
-            Value::Int(300 + duration * rng.gen_range(30..90)),
+            Value::Int(300 + duration * rng.gen_range(30..90i64)),
         ]);
         t.insert(row).expect("generated row valid");
     }

@@ -1,0 +1,77 @@
+//! Workspace smoke tests: the example binaries must keep compiling and
+//! the `experiments` binary must run its smallest scenario end to end.
+//!
+//! These shell out to the `cargo` that is running this test suite, with
+//! a separate target dir (`target/smoke`) so the nested invocation never
+//! contends with the outer build's directory lock.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Workspace root (this test is wired into `crates/core`).
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn cargo(args: &[&str]) -> std::process::Output {
+    // --target-dir must precede any `--` separator in `args`, or cargo
+    // would hand it to the spawned binary instead of honouring it.
+    let (subcommand, rest) = args.split_first().expect("cargo needs a subcommand");
+    Command::new(env!("CARGO"))
+        .arg(subcommand)
+        .arg("--target-dir")
+        .arg("target/smoke")
+        .args(rest)
+        .current_dir(workspace_root())
+        .output()
+        .expect("failed to spawn cargo")
+}
+
+#[test]
+fn all_example_binaries_compile() {
+    for example in [
+        "quickstart",
+        "cosima_metasearch",
+        "eshop_search",
+        "job_search",
+        "mobile_search",
+    ] {
+        assert!(
+            workspace_root()
+                .join(format!("examples/{example}.rs"))
+                .exists(),
+            "example source examples/{example}.rs is missing"
+        );
+    }
+    let out = cargo(&["build", "--examples", "--quiet"]);
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn experiments_binary_runs_smallest_scenario() {
+    // E2 is the smallest experiment: the paper's 3-row oldtimer fixture.
+    let out = cargo(&[
+        "run",
+        "--quiet",
+        "-p",
+        "prefsql-bench",
+        "--bin",
+        "experiments",
+        "--",
+        "e2",
+    ]);
+    assert!(
+        out.status.success(),
+        "experiments e2 failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("oldtimer"),
+        "experiments e2 produced unexpected output:\n{stdout}"
+    );
+}
