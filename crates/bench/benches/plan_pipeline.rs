@@ -1,0 +1,77 @@
+//! **P1** — the physical operator pipeline on the jobs workload.
+//!
+//! The seed engine was a materializing interpreter that re-derived access
+//! paths and re-materialized FROM sources per correlated-sub-query call;
+//! its numbers are recorded by the earlier `job_search`/`passthrough`
+//! bench targets in BENCH_*.json. This target captures the refactored
+//! pipeline from this point on, split by the stages the refactor changed:
+//!
+//! * `streamed_scan_filter_limit` — streaming scan → filter → sort →
+//!   limit (the limit stops pulling, so the projection never touches
+//!   dropped rows);
+//! * `rewrite_not_exists` — the paper's dominance anti-join, where the
+//!   per-statement plan cache makes the per-outer-row re-planning of the
+//!   correlated sub-query free;
+//! * `native_preference_op` — the same preference query through the
+//!   `PreferenceOp` physical operator with cost-based algorithm
+//!   selection (`SkylineAlgo::Auto`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql::{ExecutionMode, SkylineAlgo};
+use prefsql_bench::{conn_with, run};
+use prefsql_workload::jobs;
+
+fn preference_sql() -> String {
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    format!(
+        "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
+        soft.join(" AND ")
+    )
+}
+
+fn bench_streaming_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_plan_pipeline");
+    group.sample_size(10);
+
+    for n in [2_000usize, 8_000] {
+        let table = jobs::table(n, 21);
+
+        // Streaming scan → filter → sort → limit.
+        let mut conn = conn_with(table.clone());
+        group.bench_with_input(
+            BenchmarkId::new("streamed_scan_filter_limit", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    run(
+                        &mut conn,
+                        "SELECT id, salary FROM profiles WHERE salary > 55000 \
+                         ORDER BY salary DESC LIMIT 25",
+                    )
+                    .len()
+                })
+            },
+        );
+
+        // The rewritten dominance anti-join (plan cached across outer rows).
+        let sql = preference_sql();
+        let mut conn = conn_with(table.clone());
+        conn.set_mode(ExecutionMode::Rewrite);
+        group.bench_with_input(BenchmarkId::new("rewrite_not_exists", n), &sql, |b, sql| {
+            b.iter(|| run(&mut conn, sql).len())
+        });
+
+        // The native Preference operator with auto algorithm selection.
+        let mut conn = conn_with(table);
+        conn.set_mode(ExecutionMode::Native(SkylineAlgo::Auto));
+        group.bench_with_input(
+            BenchmarkId::new("native_preference_op", n),
+            &sql,
+            |b, sql| b.iter(|| run(&mut conn, sql).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_stages);
+criterion_main!(benches);

@@ -18,10 +18,20 @@ pub enum ExecutionMode {
     /// evaluate the `NOT EXISTS` dominance anti-join.
     #[default]
     Rewrite,
-    /// Native in-layer evaluation with an explicit skyline algorithm
-    /// (ablation A1: "implementing a generalized skyline operator in the
-    /// kernel ... holds much promise").
+    /// Native in-layer evaluation through the [`crate::native::PreferenceOp`]
+    /// physical operator (ablation A1: "implementing a generalized skyline
+    /// operator in the kernel ... holds much promise"). The default
+    /// algorithm is [`SkylineAlgo::Auto`], which picks naive/BNL/SFS per
+    /// input — see [`ExecutionMode::native`].
     Native(SkylineAlgo),
+}
+
+impl ExecutionMode {
+    /// Native evaluation with the default algorithm
+    /// ([`SkylineAlgo::Auto`]).
+    pub fn native() -> Self {
+        ExecutionMode::Native(SkylineAlgo::default())
+    }
 }
 
 /// Result of executing one Preference SQL statement.
@@ -38,8 +48,24 @@ pub enum QueryResult {
 }
 
 impl QueryResult {
+    /// The rows of a SELECT result, or `None` for counts/messages/EXPLAIN.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// Consume the result into its rows, or `None` for other outcomes.
+    pub fn into_rows(self) -> Option<ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
     /// The rows of a SELECT result (panics otherwise; test/demo
-    /// convenience).
+    /// convenience — production code should prefer [`QueryResult::rows`]).
     pub fn expect_rows(self) -> ResultSet {
         match self {
             QueryResult::Rows(rs) => rs,
@@ -63,7 +89,11 @@ impl Default for PrefSqlConnection {
 }
 
 impl PrefSqlConnection {
-    /// A fresh connection with an empty catalog.
+    /// A fresh connection with an empty catalog. Preference queries
+    /// execute via the paper's rewrite by default; switching to native
+    /// evaluation without naming an algorithm
+    /// ([`ExecutionMode::native`]) uses [`SkylineAlgo::Auto`], the
+    /// default native mode.
     pub fn new() -> Self {
         PrefSqlConnection {
             engine: Engine::new(),
@@ -132,12 +162,28 @@ impl PrefSqlConnection {
 
     /// Execute a parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        // Native mode evaluates preference SELECTs inside this layer.
+        // Native mode evaluates preference SELECTs inside this layer and
+        // explains them with the native plan it would run.
         if let ExecutionMode::Native(algo) = self.mode {
             if let Statement::Select(q) = stmt {
                 if q.preferring.is_some() {
                     let rs = native::run_native(&self.engine, self.rewriter.registry(), q, algo)?;
                     return Ok(QueryResult::Rows(rs));
+                }
+            }
+            if let Statement::Explain(inner) = stmt {
+                if let Statement::Select(q) = inner.as_ref() {
+                    if q.preferring.is_some() {
+                        let plan = native::explain_native(
+                            &self.engine,
+                            self.rewriter.registry(),
+                            q,
+                            algo,
+                        )?;
+                        return Ok(QueryResult::Explain(format!(
+                            "Native preference plan:\n{plan}"
+                        )));
+                    }
                 }
             }
         }
@@ -172,6 +218,7 @@ impl PrefSqlConnection {
                     source: InsertSource::Query(q),
                 } = statement.as_ref()
                 {
+                    self.engine.begin_statement();
                     let rel = self.engine.run_query(q, &[])?;
                     let rs = ResultSet::new(rel).strip_generated_columns();
                     let values: Vec<Vec<PExpr>> = rs

@@ -3,42 +3,39 @@
 //! generalized skyline operator in the kernel of an SQL-system clearly
 //! holds much promise").
 //!
-//! Instead of rewriting to a `NOT EXISTS` anti-join, this path evaluates
-//! the base-preference expressions of every WHERE-qualified tuple into
-//! *slot vectors* and runs an explicit maximal-set algorithm from
-//! `prefsql-pref` (naive nested loop, BNL, or SFS). Semantics are identical
-//! to the rewrite path — the `rewrite_vs_native` differential test suite
-//! and ablation benchmark A1 depend on that.
+//! Instead of rewriting to a `NOT EXISTS` anti-join, this path plans the
+//! hard part of the query (FROM/WHERE plus the base-preference slot
+//! columns) on the host engine's operator pipeline and splices a
+//! first-class [`PreferenceOp`] physical operator on top: it drains its
+//! input, evaluates the `BUT ONLY` threshold, and runs a maximal-set
+//! algorithm from `prefsql-pref` — by default [`SkylineAlgo::Auto`], which
+//! picks naive/BNL/SFS from input cardinality and preference shape.
+//! Semantics are identical to the rewrite path — the `rewrite_vs_native`
+//! differential test suite and ablation benchmark A1 depend on that.
 
 use crate::result::ResultSet;
 use prefsql_engine::eval::{eval, truth, Frame, SubqueryEval};
+use prefsql_engine::physical::{build, drain, BoxOperator, Operator};
 use prefsql_engine::{Engine, Relation};
 use prefsql_parser::ast::{Expr, Query, SelectItem};
-use prefsql_pref::{bmo_grouped, maximal_bnl, maximal_naive, maximal_sfs, BasePref};
+use prefsql_pref::{bmo_grouped, maximal, BasePref};
 use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
 use prefsql_rewrite::PreferenceRegistry;
 use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
 
-/// Which maximal-set algorithm evaluates the preference natively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SkylineAlgo {
-    /// The paper's abstract selection method (§3.2): O(n²) nested loop.
-    Naive,
-    /// Block-nested-loops \[BKS01\].
-    Bnl,
-    /// Sort-filter-skyline (pre-sort by a dominance-compatible order).
-    Sfs,
+pub use prefsql_pref::SkylineAlgo;
+
+/// The validated, compiled ingredients of one native preference query.
+struct NativeQuery {
+    compiled: CompiledPreference,
+    aux: Query,
+    n_groups: usize,
 }
 
-/// Evaluate a preference query natively. The hard part of the query
-/// (FROM/WHERE) still runs on the host engine; preference selection runs
-/// in this layer.
-pub fn run_native(
-    engine: &Engine,
-    registry: &PreferenceRegistry,
-    query: &Query,
-    algo: SkylineAlgo,
-) -> Result<ResultSet> {
+/// Validate `query`, compile its preference and build the auxiliary query
+/// that fetches WHERE-qualified tuples with slot and grouping columns
+/// appended.
+fn prepare(registry: &PreferenceRegistry, query: &Query) -> Result<NativeQuery> {
     let pref_ast = query
         .preferring
         .as_ref()
@@ -52,9 +49,6 @@ pub fn run_native(
     }
     let resolved = registry.resolve(pref_ast)?;
     let compiled = compile_preference(&resolved)?;
-    let arity = compiled.preference.arity();
-
-    // Fetch WHERE-qualified tuples with slot and grouping columns appended.
     let mut aux_select: Vec<SelectItem> = vec![SelectItem::Wildcard];
     for (i, e) in compiled.base_exprs.iter().enumerate() {
         aux_select.push(SelectItem::Expr {
@@ -74,74 +68,213 @@ pub fn run_native(
         where_clause: query.where_clause.clone(),
         ..Default::default()
     };
-    let rel = engine.run_query(&aux, &[])?;
-    let n_groups = query.grouping.len();
-    let n_orig = rel.schema.len() - arity - n_groups;
+    Ok(NativeQuery {
+        compiled,
+        aux,
+        n_groups: query.grouping.len(),
+    })
+}
 
+/// The Best-Matches-Only physical operator: a pipeline breaker that
+/// drains its input (tuples extended with slot and grouping columns),
+/// applies the `BUT ONLY` quality threshold, runs the maximal-set
+/// selection and streams the winners.
+///
+/// Implements the host engine's [`Operator`] contract, so it composes
+/// with any engine-planned source tree.
+pub struct PreferenceOp<'a> {
+    input: BoxOperator<'a>,
+    engine: &'a Engine,
+    /// Schema of the extended input tuples.
+    schema: &'a Schema,
+    compiled: &'a CompiledPreference,
+    but_only: Option<&'a Expr>,
+    algo: SkylineAlgo,
+    /// Columns of the original relation (before the appended slots).
+    n_orig: usize,
+    n_groups: usize,
+    winners: Vec<Tuple>,
+    best_scores: Vec<Option<f64>>,
+    pos: usize,
+}
+
+impl<'a> PreferenceOp<'a> {
+    /// Wrap `input`, whose tuples carry `arity` slot columns and
+    /// `n_groups` grouping columns appended to the original row.
+    pub fn new(
+        input: BoxOperator<'a>,
+        engine: &'a Engine,
+        schema: &'a Schema,
+        compiled: &'a CompiledPreference,
+        but_only: Option<&'a Expr>,
+        algo: SkylineAlgo,
+        n_groups: usize,
+    ) -> Self {
+        let n_orig = schema.len() - compiled.preference.arity() - n_groups;
+        PreferenceOp {
+            input,
+            engine,
+            schema,
+            compiled,
+            but_only,
+            algo,
+            n_orig,
+            n_groups,
+            winners: Vec::new(),
+            best_scores: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn slot_of(&self, row: &Tuple) -> Vec<Value> {
+        (0..self.compiled.preference.arity())
+            .map(|i| row[self.n_orig + i].clone())
+            .collect()
+    }
+
+    /// Data-dependent optima per base preference (`LOWEST`/`HIGHEST`
+    /// quality functions need them), valid after [`Operator::open`].
+    pub fn best_scores(&self) -> &[Option<f64>] {
+        &self.best_scores
+    }
+
+    /// Move the buffered winner set out of the operator (valid after
+    /// [`Operator::open`]; subsequent [`Operator::next`] calls see an
+    /// exhausted stream). Lets a driver that wants the whole result
+    /// avoid re-cloning every tuple through `next()`.
+    pub fn take_winners(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.winners)
+    }
+}
+
+impl Operator for PreferenceOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let rows = drain(self.input.as_mut())?;
+        let arity = self.compiled.preference.arity();
+
+        // Data-dependent optima for LOWEST/HIGHEST quality functions.
+        self.best_scores = (0..arity)
+            .map(|i| {
+                rows.iter()
+                    .filter_map(|r| self.compiled.preference.bases()[i].score(&r[self.n_orig + i]))
+                    .min_by(|a, b| a.total_cmp(b))
+            })
+            .collect();
+
+        // BUT ONLY filters candidates before dominance (§2.2.5).
+        let ctx = EngineSubqueries {
+            engine: self.engine,
+        };
+        let candidates: Vec<Tuple> = match self.but_only {
+            None => rows,
+            Some(b) => {
+                let mut kept = Vec::new();
+                for row in rows {
+                    let substituted = substitute_quality(
+                        b,
+                        self.compiled,
+                        &self.slot_of(&row),
+                        &self.best_scores,
+                    )?;
+                    let frames = [Frame {
+                        schema: self.schema,
+                        tuple: &row,
+                    }];
+                    if truth(&eval(&substituted, &frames, &ctx)?) == Some(true) {
+                        kept.push(row);
+                    }
+                }
+                kept
+            }
+        };
+
+        // Maximal-set selection.
+        let slot_vectors: Vec<Vec<Value>> = candidates.iter().map(|r| self.slot_of(r)).collect();
+        let winner_indices: Vec<usize> = if self.n_groups > 0 {
+            let keys: Vec<Vec<Value>> = candidates
+                .iter()
+                .map(|r| {
+                    (0..self.n_groups)
+                        .map(|j| r[self.n_orig + arity + j].clone())
+                        .collect()
+                })
+                .collect();
+            bmo_grouped(&slot_vectors, &keys, &self.compiled.preference)
+        } else {
+            maximal(&slot_vectors, &self.compiled.preference, self.algo)
+        };
+        let mut candidates = candidates.into_iter().map(Some).collect::<Vec<_>>();
+        self.winners = winner_indices
+            .iter()
+            .map(|&i| candidates[i].take().expect("winner indices are unique"))
+            .collect();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.winners.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.winners = Vec::new();
+    }
+}
+
+/// Evaluate a preference query natively: FROM/WHERE run on the host
+/// engine's planned operator pipeline; a [`PreferenceOp`] on top performs
+/// the BMO selection; ORDER BY, projection (with quality functions),
+/// DISTINCT and LIMIT post-process the winners.
+pub fn run_native(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    algo: SkylineAlgo,
+) -> Result<ResultSet> {
+    let native = prepare(registry, query)?;
+    engine.begin_statement();
+    let plan = engine.plan_for(&native.aux)?;
+    let schema = plan.root().schema().clone();
+    let n_orig = schema.len() - native.compiled.preference.arity() - native.n_groups;
+
+    let mut op = PreferenceOp::new(
+        build(engine, plan.root(), &[]),
+        engine,
+        &schema,
+        &native.compiled,
+        query.but_only.as_ref(),
+        algo,
+        native.n_groups,
+    );
+    op.open()?;
+    let mut winners: Vec<Tuple> = op.take_winners();
+    let best_scores = op.best_scores().to_vec();
+    op.close();
+
+    let compiled = &native.compiled;
+    let arity = compiled.preference.arity();
     let slot_of =
         |row: &Tuple| -> Vec<Value> { (0..arity).map(|i| row[n_orig + i].clone()).collect() };
-    let group_of = |row: &Tuple| -> Vec<Value> {
-        (0..n_groups)
-            .map(|j| row[n_orig + arity + j].clone())
-            .collect()
-    };
-
-    // Data-dependent optima for LOWEST/HIGHEST quality functions.
-    let best_scores: Vec<Option<f64>> = (0..arity)
-        .map(|i| {
-            rel.rows
-                .iter()
-                .filter_map(|r| compiled.preference.bases()[i].score(&r[n_orig + i]))
-                .min_by(|a, b| a.total_cmp(b))
-        })
-        .collect();
-
-    // BUT ONLY filters candidates before dominance (§2.2.5).
     let ctx = EngineSubqueries { engine };
-    let candidates: Vec<&Tuple> = match &query.but_only {
-        None => rel.rows.iter().collect(),
-        Some(b) => {
-            let mut kept = Vec::new();
-            for row in &rel.rows {
-                let substituted =
-                    substitute_quality(b, &compiled, &slot_of(row), &best_scores, n_orig)?;
-                let frames = [Frame {
-                    schema: &rel.schema,
-                    tuple: row,
-                }];
-                if truth(&eval(&substituted, &frames, &ctx)?) == Some(true) {
-                    kept.push(row);
-                }
-            }
-            kept
-        }
-    };
-
-    // Maximal-set selection.
-    let slot_vectors: Vec<Vec<Value>> = candidates.iter().map(|r| slot_of(r)).collect();
-    let winner_indices: Vec<usize> = if n_groups > 0 {
-        let keys: Vec<Vec<Value>> = candidates.iter().map(|r| group_of(r)).collect();
-        bmo_grouped(&slot_vectors, &keys, &compiled.preference)
-    } else {
-        match algo {
-            SkylineAlgo::Naive => maximal_naive(&slot_vectors, &compiled.preference),
-            SkylineAlgo::Bnl => maximal_bnl(&slot_vectors, &compiled.preference),
-            SkylineAlgo::Sfs => maximal_sfs(&slot_vectors, &compiled.preference),
-        }
-    };
-    let mut winners: Vec<&Tuple> = winner_indices.iter().map(|&i| candidates[i]).collect();
 
     // ORDER BY (quality functions allowed).
     if !query.order_by.is_empty() {
-        let mut keyed: Vec<(Vec<Value>, &Tuple)> = Vec::with_capacity(winners.len());
+        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(winners.len());
         for row in winners {
             let mut key = Vec::with_capacity(query.order_by.len());
             for o in &query.order_by {
                 let substituted =
-                    substitute_quality(&o.expr, &compiled, &slot_of(row), &best_scores, n_orig)?;
+                    substitute_quality(&o.expr, compiled, &slot_of(&row), &best_scores)?;
                 let frames = [Frame {
-                    schema: &rel.schema,
-                    tuple: row,
+                    schema: &schema,
+                    tuple: &row,
                 }];
                 key.push(eval(&substituted, &frames, &ctx)?);
             }
@@ -166,7 +299,7 @@ pub fn run_native(
     for item in &query.select {
         match item {
             SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
-                for c in rel.schema.columns().iter().take(n_orig) {
+                for c in schema.columns().iter().take(n_orig) {
                     let mut col = c.clone();
                     col.qualifier = None;
                     columns.push(col);
@@ -191,9 +324,9 @@ pub fn run_native(
                 let mut dtype = DataType::Str;
                 for (out, row) in cells_per_row.iter_mut().zip(&winners) {
                     let substituted =
-                        substitute_quality(expr, &compiled, &slot_of(row), &best_scores, n_orig)?;
+                        substitute_quality(expr, compiled, &slot_of(row), &best_scores)?;
                     let frames = [Frame {
-                        schema: &rel.schema,
+                        schema: &schema,
                         tuple: row,
                     }];
                     let v = eval(&substituted, &frames, &ctx)?;
@@ -218,7 +351,7 @@ pub fn run_native(
         }
         seen.push(c.name.clone());
     }
-    let schema = Schema::new(columns)?;
+    let out_schema = Schema::new(columns)?;
     let mut rows: Vec<Tuple> = cells_per_row.into_iter().map(Tuple::new).collect();
 
     // DISTINCT and LIMIT.
@@ -239,7 +372,60 @@ pub fn run_native(
     if let Some(n) = query.limit {
         rows.truncate(n as usize);
     }
-    Ok(ResultSet::new(Relation { schema, rows }))
+    Ok(ResultSet::new(Relation {
+        schema: out_schema,
+        rows,
+    }))
+}
+
+/// Render the native execution plan for a preference query: the
+/// [`PreferenceOp`] description on top of the very source plan
+/// [`run_native`] would execute.
+pub fn explain_native(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    algo: SkylineAlgo,
+) -> Result<String> {
+    let native = prepare(registry, query)?;
+    engine.begin_statement();
+    let plan = engine.plan_for(&native.aux)?;
+    let arity = native.compiled.preference.arity();
+    let mut out = String::new();
+    let mut steps = Vec::new();
+    if !query.order_by.is_empty() {
+        steps.push(format!("sort({} keys)", query.order_by.len()));
+    }
+    if query.distinct {
+        steps.push("distinct".into());
+    }
+    if let Some(n) = query.limit {
+        steps.push(format!("limit {n}"));
+    }
+    let steps = if steps.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", steps.join(", "))
+    };
+    out.push_str(&format!("Project{steps}\n"));
+    // GROUPING queries always run the grouped BMO (the algo choice only
+    // applies to the ungrouped maximal-set selection) — say so, instead
+    // of naming an algorithm the executor would not use.
+    let algo_shown = if native.n_groups > 0 {
+        format!("grouped-bmo, {} key(s)", native.n_groups)
+    } else {
+        format!("algo={}", algo.label())
+    };
+    let but_only = if query.but_only.is_some() {
+        ", but-only threshold"
+    } else {
+        ""
+    };
+    out.push_str(&format!(
+        "  Preference (BMO, {algo_shown}, {arity} base preference(s){but_only})\n"
+    ));
+    prefsql_engine::explain::render(plan.root(), 2, &mut out);
+    Ok(out)
 }
 
 /// Replace `TOP`/`LEVEL`/`DISTANCE` calls with their computed values for
@@ -250,7 +436,6 @@ fn substitute_quality(
     compiled: &CompiledPreference,
     slots: &[Value],
     best_scores: &[Option<f64>],
-    _n_orig: usize,
 ) -> Result<Expr> {
     if let Expr::Function { name, args } = expr {
         if matches!(name.as_str(), "top" | "level" | "distance") {
@@ -279,39 +464,15 @@ fn substitute_quality(
     let rebuilt = match expr {
         Expr::Unary { op, expr: e } => Expr::Unary {
             op: *op,
-            expr: Box::new(substitute_quality(
-                e,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            expr: Box::new(substitute_quality(e, compiled, slots, best_scores)?),
         },
         Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(substitute_quality(
-                left,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            left: Box::new(substitute_quality(left, compiled, slots, best_scores)?),
             op: *op,
-            right: Box::new(substitute_quality(
-                right,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            right: Box::new(substitute_quality(right, compiled, slots, best_scores)?),
         },
         Expr::IsNull { expr: e, negated } => Expr::IsNull {
-            expr: Box::new(substitute_quality(
-                e,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            expr: Box::new(substitute_quality(e, compiled, slots, best_scores)?),
             negated: *negated,
         },
         Expr::Between {
@@ -320,27 +481,9 @@ fn substitute_quality(
             high,
             negated,
         } => Expr::Between {
-            expr: Box::new(substitute_quality(
-                e,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
-            low: Box::new(substitute_quality(
-                low,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
-            high: Box::new(substitute_quality(
-                high,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            expr: Box::new(substitute_quality(e, compiled, slots, best_scores)?),
+            low: Box::new(substitute_quality(low, compiled, slots, best_scores)?),
+            high: Box::new(substitute_quality(high, compiled, slots, best_scores)?),
             negated: *negated,
         },
         Expr::InList {
@@ -348,16 +491,10 @@ fn substitute_quality(
             list,
             negated,
         } => Expr::InList {
-            expr: Box::new(substitute_quality(
-                e,
-                compiled,
-                slots,
-                best_scores,
-                _n_orig,
-            )?),
+            expr: Box::new(substitute_quality(e, compiled, slots, best_scores)?),
             list: list
                 .iter()
-                .map(|i| substitute_quality(i, compiled, slots, best_scores, _n_orig))
+                .map(|i| substitute_quality(i, compiled, slots, best_scores))
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
@@ -368,27 +505,27 @@ fn substitute_quality(
         } => Expr::Case {
             operand: operand
                 .as_ref()
-                .map(|o| substitute_quality(o, compiled, slots, best_scores, _n_orig).map(Box::new))
+                .map(|o| substitute_quality(o, compiled, slots, best_scores).map(Box::new))
                 .transpose()?,
             branches: branches
                 .iter()
                 .map(|(w, t)| {
                     Ok((
-                        substitute_quality(w, compiled, slots, best_scores, _n_orig)?,
-                        substitute_quality(t, compiled, slots, best_scores, _n_orig)?,
+                        substitute_quality(w, compiled, slots, best_scores)?,
+                        substitute_quality(t, compiled, slots, best_scores)?,
                     ))
                 })
                 .collect::<Result<_>>()?,
             else_result: else_result
                 .as_ref()
-                .map(|e| substitute_quality(e, compiled, slots, best_scores, _n_orig).map(Box::new))
+                .map(|e| substitute_quality(e, compiled, slots, best_scores).map(Box::new))
                 .transpose()?,
         },
         Expr::Function { name, args } => Expr::Function {
             name: name.clone(),
             args: args
                 .iter()
-                .map(|a| substitute_quality(a, compiled, slots, best_scores, _n_orig))
+                .map(|a| substitute_quality(a, compiled, slots, best_scores))
                 .collect::<Result<_>>()?,
         },
         other => other.clone(),

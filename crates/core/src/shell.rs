@@ -8,7 +8,8 @@
 //! |---|---|
 //! | `\d` | list tables, views and named preferences |
 //! | `\d <table>` | show a table's schema and indexes |
-//! | `\mode [rewrite\|naive\|bnl\|sfs]` | show/switch the execution mode |
+//! | `\mode [rewrite\|native\|naive\|bnl\|sfs\|auto]` | show/switch the execution mode |
+//! | `\algo [auto\|naive\|bnl\|sfs]` | show/set the native skyline algorithm |
 //! | `\timing` | toggle per-statement timing |
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
@@ -25,6 +26,8 @@ pub struct Shell {
     buffer: String,
     timing: bool,
     quit: bool,
+    /// The skyline algorithm native mode uses (default: auto).
+    algo: SkylineAlgo,
 }
 
 impl Default for Shell {
@@ -41,6 +44,7 @@ impl Shell {
             buffer: String::new(),
             timing: false,
             quit: false,
+            algo: SkylineAlgo::default(),
         }
     }
 
@@ -111,7 +115,8 @@ impl Shell {
                 "bye\n".into()
             }
             "\\help" | "\\?" => "\\d [table]   list relations / describe a table\n\
-                 \\mode [m]    show or set execution mode (rewrite|naive|bnl|sfs)\n\
+                 \\mode [m]    show or set execution mode (rewrite|native|naive|bnl|sfs|auto)\n\
+                 \\algo [a]    show or set the native skyline algorithm (auto|naive|bnl|sfs)\n\
                  \\rewrite q   show the standard SQL a preference query becomes\n\
                  \\timing      toggle timing\n\
                  \\q           quit\n"
@@ -126,20 +131,34 @@ impl Shell {
                     self.conn.set_mode(ExecutionMode::Rewrite);
                     "mode: rewrite\n".into()
                 }
-                "naive" => {
-                    self.conn
-                        .set_mode(ExecutionMode::Native(SkylineAlgo::Naive));
-                    "mode: native (naive)\n".into()
+                // `\mode native` uses the session's `\algo` choice
+                // (auto unless changed).
+                "native" => {
+                    self.conn.set_mode(ExecutionMode::Native(self.algo));
+                    format!("mode: {}\n", mode_label(self.conn.mode()))
                 }
-                "bnl" => {
-                    self.conn.set_mode(ExecutionMode::Native(SkylineAlgo::Bnl));
-                    "mode: native (bnl)\n".into()
+                algo_arg if SkylineAlgo::parse(algo_arg).is_some() => {
+                    self.algo = SkylineAlgo::parse(algo_arg).expect("guard checked");
+                    self.conn.set_mode(ExecutionMode::Native(self.algo));
+                    format!("mode: {}\n", mode_label(self.conn.mode()))
                 }
-                "sfs" => {
-                    self.conn.set_mode(ExecutionMode::Native(SkylineAlgo::Sfs));
-                    "mode: native (sfs)\n".into()
+                other => {
+                    format!("unknown mode '{other}' (rewrite|native|naive|bnl|sfs|auto)\n")
                 }
-                other => format!("unknown mode '{other}' (rewrite|naive|bnl|sfs)\n"),
+            },
+            "\\algo" => match arg {
+                "" => format!("algo: {}\n", self.algo.label()),
+                a => match SkylineAlgo::parse(a) {
+                    Some(algo) => {
+                        self.algo = algo;
+                        // Apply immediately when already in native mode.
+                        if matches!(self.conn.mode(), ExecutionMode::Native(_)) {
+                            self.conn.set_mode(ExecutionMode::Native(algo));
+                        }
+                        format!("algo: {}\n", algo.label())
+                    }
+                    None => format!("unknown algorithm '{a}' (auto|naive|bnl|sfs)\n"),
+                },
             },
             "\\rewrite" => match self.conn.rewritten_sql(arg) {
                 Ok(Some(sql)) => format!("{sql}\n"),
@@ -197,6 +216,7 @@ fn mode_label(mode: ExecutionMode) -> &'static str {
         ExecutionMode::Native(SkylineAlgo::Naive) => "native (naive)",
         ExecutionMode::Native(SkylineAlgo::Bnl) => "native (bnl)",
         ExecutionMode::Native(SkylineAlgo::Sfs) => "native (sfs)",
+        ExecutionMode::Native(SkylineAlgo::Auto) => "native (auto)",
     }
 }
 
@@ -297,6 +317,32 @@ mod tests {
         let out = sh.feed_line("SELECT x FROM t PREFERRING LOWEST(x);");
         assert!(out.contains("| 1 |"), "{out}");
         assert!(sh.feed_line("\\mode warp").contains("unknown mode"));
+    }
+
+    #[test]
+    fn native_mode_defaults_to_auto() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\mode native"), "mode: native (auto)\n");
+        assert_eq!(sh.feed_line("\\mode auto"), "mode: native (auto)\n");
+        sh.feed_line("CREATE TABLE t (x INTEGER);");
+        sh.feed_line("INSERT INTO t VALUES (2), (1);");
+        let out = sh.feed_line("SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(out.contains("| 1 |"), "{out}");
+    }
+
+    #[test]
+    fn algo_command_switches_native_algorithm() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\algo"), "algo: auto\n");
+        // Setting the algorithm outside native mode is remembered...
+        assert_eq!(sh.feed_line("\\algo sfs"), "algo: sfs\n");
+        assert_eq!(sh.feed_line("\\mode"), "mode: rewrite\n");
+        assert_eq!(sh.feed_line("\\mode native"), "mode: native (sfs)\n");
+        // ...and changing it while native applies immediately.
+        assert_eq!(sh.feed_line("\\algo auto"), "algo: auto\n");
+        assert_eq!(sh.feed_line("\\mode"), "mode: native (auto)\n");
+        assert!(sh.feed_line("\\algo warp").contains("unknown algorithm"));
+        assert!(sh.feed_line("\\help").contains("\\algo"));
     }
 
     #[test]

@@ -1,20 +1,19 @@
 //! The executor: statements in, relations out.
 //!
-//! The engine is deliberately a straightforward materializing interpreter —
-//! it mirrors what a 2001-era host DBMS does for the paper's rewritten
-//! queries without hiding the cost structure: correlated sub-queries are
-//! re-evaluated per outer row (with their uncorrelated FROM sources
-//! materialized once per statement), and index access paths accelerate
-//! sargable single-table predicates.
+//! This module is statement dispatch plus DML. Queries are compiled into
+//! a logical plan ([`crate::plan`]) exactly once per statement (a
+//! pointer-keyed, content-verified plan cache makes the per-outer-row
+//! re-planning of correlated sub-queries free) and run by the streaming
+//! physical operators of [`crate::physical`]. `EXPLAIN` renders the same
+//! plan object the executor runs.
 
-use crate::access::{choose_access_path, AccessPath};
-use crate::eval::{eval, truth, Frame, SubqueryEval};
-use prefsql_parser::ast::{
-    Expr, InsertSource, OrderByItem, Query, SelectItem, Statement, TableRef,
-};
+use crate::eval::{eval, truth, Frame};
+use crate::physical::QueryCtx;
+use crate::plan::{plan_query, QueryPlan};
+use prefsql_parser::ast::{Expr, InsertSource, Query, Statement};
 use prefsql_parser::parse_statement;
 use prefsql_storage::{Catalog, IndexKind, Table};
-use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
+use prefsql_types::{Column, Error, Result, Schema, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -52,8 +51,24 @@ pub enum ExecOutcome {
 }
 
 impl ExecOutcome {
+    /// The rows of a SELECT outcome, or `None` for counts/DDL/EXPLAIN.
+    pub fn rows(&self) -> Option<&Relation> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consume the outcome into its rows, or `None` for other outcomes.
+    pub fn into_rows(self) -> Option<Relation> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The rows of a SELECT outcome (panics on other outcomes; test/demo
-    /// convenience).
+    /// convenience — production code should prefer [`ExecOutcome::rows`]).
     pub fn expect_rows(self) -> Relation {
         match self {
             ExecOutcome::Rows(r) => r,
@@ -74,6 +89,18 @@ pub struct ExecStats {
     pub subquery_evals: u64,
 }
 
+/// Upper bound on distinct cached plans per statement (a safety valve for
+/// pathological workloads that evaluate transient query clones).
+const PLAN_CACHE_CAP: usize = 128;
+
+/// A cached plan plus the query it was built from: cache keys are AST
+/// node addresses, which are only stable while the statement runs, so a
+/// hit must verify the source still matches before reusing the plan.
+struct CachedPlan {
+    source: Query,
+    plan: Rc<QueryPlan>,
+}
+
 /// The SQL engine: a catalog plus execution machinery.
 ///
 /// ```
@@ -82,18 +109,22 @@ pub struct ExecStats {
 /// let mut e = Engine::new();
 /// e.execute_sql("CREATE TABLE t (x INTEGER, name VARCHAR)").unwrap();
 /// e.execute_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
-/// let rel = e.execute_sql("SELECT name FROM t WHERE x = 2").unwrap().expect_rows();
+/// let out = e.execute_sql("SELECT name FROM t WHERE x = 2").unwrap();
+/// let rel = out.rows().expect("SELECT produces rows");
 /// assert_eq!(rel.rows[0][0].to_string(), "b");
 /// ```
 pub struct Engine {
-    catalog: Catalog,
+    pub(crate) catalog: Catalog,
     use_indexes: bool,
     /// Per-statement cache of materialized FROM sources (tables, views and
     /// derived tables are uncorrelated in SQL92, so caching is sound).
-    from_cache: RefCell<HashMap<String, Rc<Relation>>>,
-    stats: RefCell<ExecStats>,
-    /// Guard against runaway view recursion.
-    view_depth: RefCell<u32>,
+    pub(crate) from_cache: RefCell<HashMap<String, Rc<Relation>>>,
+    /// Per-statement plan cache keyed by AST node address; entries are
+    /// verified against the source query on every hit.
+    plan_cache: RefCell<HashMap<usize, CachedPlan>>,
+    pub(crate) stats: RefCell<ExecStats>,
+    /// Guard against runaway view recursion (during planning).
+    pub(crate) view_depth: RefCell<u32>,
 }
 
 impl Default for Engine {
@@ -109,6 +140,7 @@ impl Engine {
             catalog: Catalog::new(),
             use_indexes: true,
             from_cache: RefCell::new(HashMap::new()),
+            plan_cache: RefCell::new(HashMap::new()),
             stats: RefCell::new(ExecStats::default()),
             view_depth: RefCell::new(0),
         }
@@ -139,6 +171,16 @@ impl Engine {
         std::mem::take(&mut self.stats.borrow_mut())
     }
 
+    /// Reset the per-statement caches. Called automatically by
+    /// [`Engine::execute`]; callers that drive [`Engine::run_query`]
+    /// directly (e.g. the native preference path) should call this once
+    /// per logical statement so plans and materializations from earlier
+    /// statements cannot leak in.
+    pub fn begin_statement(&self) {
+        self.from_cache.borrow_mut().clear();
+        self.plan_cache.borrow_mut().clear();
+    }
+
     /// Parse and execute one SQL statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse_statement(sql)?;
@@ -147,14 +189,13 @@ impl Engine {
 
     /// Execute a parsed statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
-        self.from_cache.borrow_mut().clear();
+        self.begin_statement();
         self.execute_inner(stmt)
     }
 
     fn execute_inner(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
         match stmt {
             Statement::Select(q) => {
-                reject_preference_constructs(q)?;
                 let rel = self.run_query(q, &[])?;
                 Ok(ExecOutcome::Rows(rel))
             }
@@ -190,9 +231,8 @@ impl Engine {
                 Ok(ExecOutcome::Ddl(format!("created table {name}")))
             }
             Statement::CreateView { name, query } => {
-                reject_preference_constructs(query)?;
                 // Validate the view body against the current catalog by
-                // planning it once on an empty environment.
+                // planning and running it once on an empty environment.
                 self.run_query(query, &[])?;
                 self.catalog.create_view(name.clone(), query.to_string())?;
                 Ok(ExecOutcome::Ddl(format!("created view {name}")))
@@ -236,6 +276,60 @@ impl Engine {
         }
     }
 
+    // ------------------------------------------------------------- queries
+
+    /// Plan `query`, reusing the per-statement plan cache. The cache key
+    /// is the AST node's address; a hit is verified against the stored
+    /// source query, so recycled addresses can never alias a stale plan.
+    pub fn plan_for(&self, query: &Query) -> Result<Rc<QueryPlan>> {
+        let key = query as *const Query as usize;
+        if let Some(hit) = self.plan_cache.borrow().get(&key) {
+            if hit.source == *query {
+                return Ok(Rc::clone(&hit.plan));
+            }
+        }
+        let plan = Rc::new(plan_query(self, query)?);
+        let mut cache = self.plan_cache.borrow_mut();
+        if cache.len() < PLAN_CACHE_CAP || cache.contains_key(&key) {
+            cache.insert(
+                key,
+                CachedPlan {
+                    source: query.clone(),
+                    plan: Rc::clone(&plan),
+                },
+            );
+        }
+        Ok(plan)
+    }
+
+    /// Execute a query block in the environment `outer` (empty for
+    /// top-level queries, enclosing frames for correlated sub-queries).
+    pub fn run_query(&self, query: &Query, outer: &[Frame<'_>]) -> Result<Relation> {
+        let plan = self.plan_for(query)?;
+        crate::physical::execute(self, plan.root(), outer)
+    }
+
+    /// Does `query` return at least one row in environment `outer`?
+    /// The streaming pipeline stops at the first qualifying row whenever
+    /// the plan shape allows it (the common `EXISTS (SELECT 1 ...)` shape
+    /// the rewrite emits); falls back to full evaluation otherwise.
+    pub fn run_query_exists(&self, query: &Query, outer: &[Frame<'_>]) -> Result<bool> {
+        let plan = self.plan_for(query)?;
+        match exists_probe_root(plan.root()) {
+            Some(node) => {
+                let mut op = crate::physical::build(self, node, outer);
+                let found = op.open().and_then(|()| op.next());
+                op.close();
+                Ok(found?.is_some())
+            }
+            None => Ok(!crate::physical::execute(self, plan.root(), outer)?
+                .rows
+                .is_empty()),
+        }
+    }
+
+    // ----------------------------------------------------------------- DML
+
     fn run_insert(
         &mut self,
         table: &str,
@@ -256,10 +350,7 @@ impl Engine {
                 }
                 out
             }
-            InsertSource::Query(q) => {
-                reject_preference_constructs(q)?;
-                self.run_query(q, &[])?.rows
-            }
+            InsertSource::Query(q) => self.run_query(q, &[])?.rows,
         };
         let target = self.catalog.table(table)?;
         let schema = target.schema().clone();
@@ -331,7 +422,7 @@ impl Engine {
         let ids = self.matching_row_ids(table, predicate)?;
         // Pre-resolve target columns and compute the new tuples before
         // mutating, so a failing assignment leaves the table untouched.
-        let (positions, new_rows) = {
+        let new_rows = {
             let t = self.catalog.table(table)?;
             let schema = t.schema().clone();
             let positions: Vec<usize> = assignments
@@ -357,9 +448,8 @@ impl Engine {
                 tuple.check_against(&schema)?;
                 new_rows.push(tuple);
             }
-            (positions, new_rows)
+            new_rows
         };
-        let _ = positions;
         let t = self.catalog.table_mut(table)?;
         for (&rid, row) in ids.iter().zip(new_rows) {
             t.replace_row(rid, row)?;
@@ -369,902 +459,33 @@ impl Engine {
         }
         Ok(ExecOutcome::Count(ids.len()))
     }
-
-    // ------------------------------------------------------------- queries
-
-    /// Execute a query block in the environment `outer` (empty for
-    /// top-level queries, enclosing frames for correlated sub-queries).
-    pub fn run_query(&self, query: &Query, outer: &[Frame<'_>]) -> Result<Relation> {
-        reject_preference_constructs(query)?;
-        let ctx = QueryCtx { engine: self };
-
-        // FROM: resolve and cross-join the sources. Single-source inputs
-        // come back Rc-shared so repeated correlated-sub-query evaluation
-        // does not clone the whole relation per outer row.
-        let (input_schema, input) = self.resolve_from(query, outer)?;
-
-        // WHERE.
-        let filtered: Vec<Tuple> = match &query.where_clause {
-            None => input.into_owned(),
-            Some(pred) => {
-                let mut kept = Vec::new();
-                for row in input.as_slice() {
-                    let mut frames = Vec::with_capacity(outer.len() + 1);
-                    frames.push(Frame {
-                        schema: &input_schema,
-                        tuple: row,
-                    });
-                    frames.extend_from_slice(outer);
-                    if truth(&eval(pred, &frames, &ctx)?) == Some(true) {
-                        kept.push(row.clone());
-                    }
-                }
-                kept
-            }
-        };
-
-        // Aggregation vs. plain projection.
-        let needs_agg = !query.group_by.is_empty()
-            || query.having.is_some()
-            || query.select.iter().any(|item| match item {
-                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-                _ => false,
-            });
-        let mut output = if needs_agg {
-            self.run_aggregate(query, &input_schema, filtered, outer)?
-        } else {
-            self.run_projection(query, &input_schema, filtered, outer)?
-        };
-
-        // DISTINCT.
-        if query.distinct {
-            let mut seen: Vec<Tuple> = Vec::new();
-            output.rows.retain(|row| {
-                let dup = seen.iter().any(|s| {
-                    s.values()
-                        .iter()
-                        .zip(row.values())
-                        .all(|(a, b)| a.key_eq(b))
-                });
-                if !dup {
-                    seen.push(row.clone());
-                }
-                !dup
-            });
-        }
-
-        // LIMIT.
-        if let Some(n) = query.limit {
-            output.rows.truncate(n as usize);
-        }
-        Ok(output)
-    }
-
-    /// Does `query` return at least one row in environment `outer`?
-    /// Stops at the first qualifying row when the query has no
-    /// aggregation/DISTINCT (the common `EXISTS (SELECT 1 ...)` shape the
-    /// rewrite emits); falls back to full evaluation otherwise.
-    pub fn run_query_exists(&self, query: &Query, outer: &[Frame<'_>]) -> Result<bool> {
-        reject_preference_constructs(query)?;
-        let simple = query.group_by.is_empty()
-            && query.having.is_none()
-            && !query.distinct
-            && query.limit != Some(0)
-            && !query.select.iter().any(|item| match item {
-                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-                _ => false,
-            });
-        if !simple {
-            return Ok(!self.run_query(query, outer)?.rows.is_empty());
-        }
-        let ctx = QueryCtx { engine: self };
-        let (input_schema, input) = self.resolve_from(query, outer)?;
-        match &query.where_clause {
-            None => Ok(!input.as_slice().is_empty()),
-            Some(pred) => {
-                for row in input.as_slice() {
-                    let mut frames = Vec::with_capacity(outer.len() + 1);
-                    frames.push(Frame {
-                        schema: &input_schema,
-                        tuple: row,
-                    });
-                    frames.extend_from_slice(outer);
-                    if truth(&eval(pred, &frames, &ctx)?) == Some(true) {
-                        return Ok(true);
-                    }
-                }
-                Ok(false)
-            }
-        }
-    }
-
-    /// Resolve the FROM clause into a single input. Single named tables,
-    /// views and derived tables are shared with the per-statement cache;
-    /// joins materialize owned rows.
-    fn resolve_from(&self, query: &Query, outer: &[Frame<'_>]) -> Result<(Schema, InputRows)> {
-        if query.from.is_empty() {
-            // `SELECT 1` — one empty row.
-            return Ok((Schema::empty(), InputRows::Owned(vec![Tuple::new(vec![])])));
-        }
-        // Fast path: a single non-join FROM item shares its materialization.
-        if query.from.len() == 1 {
-            match &query.from[0] {
-                TableRef::Named { name, alias } => {
-                    let rel = self.materialize_named(name, query, alias.as_deref())?;
-                    return Ok((rel.schema.clone(), InputRows::Shared(rel)));
-                }
-                TableRef::Derived { query: sub, alias } => {
-                    reject_preference_constructs(sub)?;
-                    let rel = self.materialize_derived(sub, alias)?;
-                    return Ok((rel.schema.clone(), InputRows::Shared(rel)));
-                }
-                TableRef::Join { .. } => {}
-            }
-        }
-        let mut acc: Option<(Schema, Vec<Tuple>)> = None;
-        for item in &query.from {
-            let next = self.resolve_table_ref(item, query, outer)?;
-            acc = Some(match acc {
-                None => next,
-                Some((ls, lr)) => cross_join(ls, lr, next.0, next.1),
-            });
-        }
-        let (schema, rows) = acc.expect("non-empty FROM");
-        Ok((schema, InputRows::Owned(rows)))
-    }
-
-    fn resolve_table_ref(
-        &self,
-        item: &TableRef,
-        query: &Query,
-        outer: &[Frame<'_>],
-    ) -> Result<(Schema, Vec<Tuple>)> {
-        match item {
-            TableRef::Named { name, alias } => {
-                let rel = self.materialize_named(name, query, alias.as_deref())?;
-                Ok((rel.schema.clone(), rel.rows.clone()))
-            }
-            TableRef::Derived { query: sub, alias } => {
-                reject_preference_constructs(sub)?;
-                let rel = self.materialize_derived(sub, alias)?;
-                Ok((rel.schema.clone(), rel.rows.clone()))
-            }
-            TableRef::Join { left, right, on } => {
-                let (ls, lr) = self.resolve_table_ref(left, query, outer)?;
-                let (rs, rr) = self.resolve_table_ref(right, query, outer)?;
-                let (schema, rows) = cross_join(ls, lr, rs, rr);
-                match on {
-                    None => Ok((schema, rows)),
-                    Some(cond) => {
-                        let ctx = QueryCtx { engine: self };
-                        let mut kept = Vec::new();
-                        for row in rows {
-                            let mut frames = Vec::with_capacity(outer.len() + 1);
-                            frames.push(Frame {
-                                schema: &schema,
-                                tuple: &row,
-                            });
-                            frames.extend_from_slice(outer);
-                            if truth(&eval(cond, &frames, &ctx)?) == Some(true) {
-                                kept.push(row);
-                            }
-                        }
-                        Ok((schema, kept))
-                    }
-                }
-            }
-        }
-    }
-
-    /// Materialize a named table or view, applying an index access path for
-    /// single-table scans when the enclosing query's WHERE is sargable.
-    fn materialize_named(
-        &self,
-        name: &str,
-        query: &Query,
-        alias: Option<&str>,
-    ) -> Result<Rc<Relation>> {
-        let qual = alias.unwrap_or(name).to_ascii_lowercase();
-        // Views expand recursively.
-        if let Some(view) = self.catalog.view(name) {
-            let depth = *self.view_depth.borrow();
-            if depth > 32 {
-                return Err(Error::Plan(format!("view expansion too deep at '{name}'")));
-            }
-            let key = format!("view:{name}:{qual}");
-            if let Some(hit) = self.from_cache.borrow().get(&key) {
-                return Ok(Rc::clone(hit));
-            }
-            let parsed = parse_statement(&view.sql)?;
-            let body = match parsed {
-                Statement::Select(q) => q,
-                other => {
-                    return Err(Error::Catalog(format!(
-                        "view '{name}' does not contain a query: {other:?}"
-                    )))
-                }
-            };
-            *self.view_depth.borrow_mut() += 1;
-            let result = self.run_query(&body, &[]);
-            *self.view_depth.borrow_mut() -= 1;
-            let rel = result?;
-            let rel = Rc::new(Relation {
-                schema: rel.schema.without_qualifiers().with_qualifier(&qual),
-                rows: rel.rows,
-            });
-            self.from_cache.borrow_mut().insert(key, Rc::clone(&rel));
-            return Ok(rel);
-        }
-        let table = self.catalog.table(name)?;
-        // Index access only applies when this table is the *only* FROM item
-        // (the sargable conjunct analysis resolves against its schema; with
-        // joins the residual re-check could not see the other side).
-        let single_table =
-            query.from.len() == 1 && matches!(&query.from[0], TableRef::Named { .. });
-        let path = if self.use_indexes && single_table {
-            choose_access_path(table, query.where_clause.as_ref())
-        } else {
-            AccessPath::SeqScan
-        };
-        let schema = table.schema().without_qualifiers().with_qualifier(&qual);
-        let rel = match path {
-            AccessPath::SeqScan => {
-                let key = format!("table:{name}:{qual}");
-                if let Some(hit) = self.from_cache.borrow().get(&key) {
-                    self.stats.borrow_mut().rows_scanned += hit.rows.len() as u64;
-                    return Ok(Rc::clone(hit));
-                }
-                self.stats.borrow_mut().rows_scanned += table.len() as u64;
-                let rel = Rc::new(Relation {
-                    schema,
-                    rows: table.rows().to_vec(),
-                });
-                self.from_cache.borrow_mut().insert(key, Rc::clone(&rel));
-                rel
-            }
-            AccessPath::Index { row_ids, .. } => {
-                let mut stats = self.stats.borrow_mut();
-                stats.index_probes += 1;
-                stats.rows_scanned += row_ids.len() as u64;
-                drop(stats);
-                Rc::new(Relation {
-                    schema,
-                    rows: row_ids.iter().map(|&rid| table.row(rid).clone()).collect(),
-                })
-            }
-        };
-        Ok(rel)
-    }
-
-    /// Materialize a derived table once per statement (SQL92 derived tables
-    /// are uncorrelated, so the result cannot depend on outer rows).
-    fn materialize_derived(&self, sub: &Query, alias: &str) -> Result<Rc<Relation>> {
-        let key = format!("derived:{alias}:{sub}");
-        if let Some(hit) = self.from_cache.borrow().get(&key) {
-            return Ok(Rc::clone(hit));
-        }
-        let rel = self.run_query(sub, &[])?;
-        let rel = Rc::new(Relation {
-            schema: rel.schema.without_qualifiers().with_qualifier(alias),
-            rows: rel.rows,
-        });
-        self.from_cache.borrow_mut().insert(key, Rc::clone(&rel));
-        Ok(rel)
-    }
-
-    // -------------------------------------------------- projection & sort
-
-    fn run_projection(
-        &self,
-        query: &Query,
-        input_schema: &Schema,
-        mut rows: Vec<Tuple>,
-        outer: &[Frame<'_>],
-    ) -> Result<Relation> {
-        let ctx = QueryCtx { engine: self };
-        // ORDER BY before projection: sort keys may use non-projected
-        // columns. Aliased output columns are substituted first.
-        if !query.order_by.is_empty() {
-            let keys = self.sort_keys(&query.order_by, query, input_schema, &rows, outer)?;
-            let mut order: Vec<usize> = (0..rows.len()).collect();
-            order.sort_by(|&a, &b| compare_key_rows(&keys[a], &keys[b], &query.order_by));
-            rows = order.into_iter().map(|i| rows[i].clone()).collect();
-        }
-        let (out_schema, projections) = self.projection_plan(query, input_schema)?;
-        let mut out_rows = Vec::with_capacity(rows.len());
-        for row in &rows {
-            let mut frames = Vec::with_capacity(outer.len() + 1);
-            frames.push(Frame {
-                schema: input_schema,
-                tuple: row,
-            });
-            frames.extend_from_slice(outer);
-            let mut values = Vec::with_capacity(projections.len());
-            for p in &projections {
-                values.push(match p {
-                    Projection::Passthrough(idx) => row[*idx].clone(),
-                    Projection::Computed(e) => eval(e, &frames, &ctx)?,
-                });
-            }
-            out_rows.push(Tuple::new(values));
-        }
-        Ok(Relation {
-            schema: out_schema,
-            rows: out_rows,
-        })
-    }
-
-    /// Expand the SELECT list against the input schema.
-    fn projection_plan(
-        &self,
-        query: &Query,
-        input_schema: &Schema,
-    ) -> Result<(Schema, Vec<Projection>)> {
-        let mut columns = Vec::new();
-        let mut projections = Vec::new();
-        for item in &query.select {
-            match item {
-                SelectItem::Wildcard => {
-                    for (i, c) in input_schema.columns().iter().enumerate() {
-                        columns.push(c.clone());
-                        projections.push(Projection::Passthrough(i));
-                    }
-                }
-                SelectItem::QualifiedWildcard(t) => {
-                    let t = t.to_ascii_lowercase();
-                    let mut any = false;
-                    for (i, c) in input_schema.columns().iter().enumerate() {
-                        if c.qualifier.as_deref() == Some(t.as_str()) {
-                            columns.push(c.clone());
-                            projections.push(Projection::Passthrough(i));
-                            any = true;
-                        }
-                    }
-                    if !any {
-                        return Err(Error::Plan(format!("unknown table '{t}' in '{t}.*'")));
-                    }
-                }
-                SelectItem::Expr { expr, alias } => {
-                    let name = output_name(expr, alias.as_deref());
-                    let dtype = infer_type(expr, input_schema);
-                    columns.push(Column::new(name, dtype));
-                    projections.push(Projection::Computed(expr.clone()));
-                }
-            }
-        }
-        Ok((Schema::new(dedupe_columns(columns))?, projections))
-    }
-
-    /// Evaluate ORDER BY keys against the input rows, substituting select
-    /// aliases.
-    fn sort_keys(
-        &self,
-        order_by: &[OrderByItem],
-        query: &Query,
-        input_schema: &Schema,
-        rows: &[Tuple],
-        outer: &[Frame<'_>],
-    ) -> Result<Vec<Vec<Value>>> {
-        let ctx = QueryCtx { engine: self };
-        let resolved: Vec<Expr> = order_by
-            .iter()
-            .map(|o| substitute_alias(&o.expr, query))
-            .collect();
-        let mut keys = Vec::with_capacity(rows.len());
-        for row in rows {
-            let mut frames = Vec::with_capacity(outer.len() + 1);
-            frames.push(Frame {
-                schema: input_schema,
-                tuple: row,
-            });
-            frames.extend_from_slice(outer);
-            let key = resolved
-                .iter()
-                .map(|e| eval(e, &frames, &ctx))
-                .collect::<Result<Vec<_>>>()?;
-            keys.push(key);
-        }
-        Ok(keys)
-    }
-
-    // ---------------------------------------------------------- aggregates
-
-    fn run_aggregate(
-        &self,
-        query: &Query,
-        input_schema: &Schema,
-        rows: Vec<Tuple>,
-        outer: &[Frame<'_>],
-    ) -> Result<Relation> {
-        let ctx = QueryCtx { engine: self };
-        // Partition.
-        let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
-        for row in rows {
-            let mut frames = Vec::with_capacity(outer.len() + 1);
-            frames.push(Frame {
-                schema: input_schema,
-                tuple: &row,
-            });
-            frames.extend_from_slice(outer);
-            let key: Vec<Value> = query
-                .group_by
-                .iter()
-                .map(|e| eval(e, &frames, &ctx))
-                .collect::<Result<_>>()?;
-            let norm = key
-                .iter()
-                .map(|v| format!("{v:?}"))
-                .collect::<Vec<_>>()
-                .join("\x1f");
-            match index.get(&norm) {
-                Some(&g) => groups[g].1.push(row),
-                None => {
-                    index.insert(norm, groups.len());
-                    groups.push((key, vec![row]));
-                }
-            }
-        }
-        // No GROUP BY + aggregates: one global group, even when empty.
-        if query.group_by.is_empty() && groups.is_empty() {
-            groups.push((vec![], vec![]));
-        }
-
-        // HAVING.
-        let mut kept_groups = Vec::new();
-        for (key, members) in groups {
-            let keep = match &query.having {
-                None => true,
-                Some(h) => {
-                    let v = self.eval_agg(h, input_schema, &members, outer)?;
-                    truth(&v) == Some(true)
-                }
-            };
-            if keep {
-                kept_groups.push((key, members));
-            }
-        }
-
-        // Project each group.
-        let mut columns = Vec::new();
-        for item in &query.select {
-            match item {
-                SelectItem::Expr { expr, alias } => {
-                    columns.push(Column::new(
-                        output_name(expr, alias.as_deref()),
-                        infer_type(expr, input_schema),
-                    ));
-                }
-                _ => {
-                    return Err(Error::Plan(
-                        "SELECT * cannot be combined with GROUP BY/aggregates".into(),
-                    ))
-                }
-            }
-        }
-        let out_schema = Schema::new(dedupe_columns(columns))?;
-        let mut out_rows = Vec::with_capacity(kept_groups.len());
-        for (_, members) in &kept_groups {
-            let mut values = Vec::with_capacity(query.select.len());
-            for item in &query.select {
-                if let SelectItem::Expr { expr, .. } = item {
-                    values.push(self.eval_agg(expr, input_schema, members, outer)?);
-                }
-            }
-            out_rows.push(Tuple::new(values));
-        }
-
-        // ORDER BY over the aggregate output (references output aliases or
-        // aggregate expressions verbatim).
-        let mut rel = Relation {
-            schema: out_schema,
-            rows: out_rows,
-        };
-        if !query.order_by.is_empty() {
-            let ctx = QueryCtx { engine: self };
-            let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rel.rows.len());
-            for (i, row) in rel.rows.iter().enumerate() {
-                let mut key = Vec::with_capacity(query.order_by.len());
-                for o in &query.order_by {
-                    // Try against the output schema first, then re-compute
-                    // from the group.
-                    let frames = [Frame {
-                        schema: &rel.schema,
-                        tuple: row,
-                    }];
-                    let v = match eval(&substitute_alias(&o.expr, query), &frames, &ctx) {
-                        Ok(v) => v,
-                        Err(_) => self.eval_agg(&o.expr, input_schema, &kept_groups[i].1, outer)?,
-                    };
-                    key.push(v);
-                }
-                keyed.push((key, row.clone()));
-            }
-            let mut order: Vec<usize> = (0..keyed.len()).collect();
-            order.sort_by(|&a, &b| compare_key_rows(&keyed[a].0, &keyed[b].0, &query.order_by));
-            rel.rows = order.into_iter().map(|i| keyed[i].1.clone()).collect();
-        }
-        Ok(rel)
-    }
-
-    /// Evaluate an expression that may contain aggregate calls over the
-    /// rows of one group: aggregates are folded to literals first, then the
-    /// residue is evaluated against the group's first row.
-    fn eval_agg(
-        &self,
-        expr: &Expr,
-        input_schema: &Schema,
-        members: &[Tuple],
-        outer: &[Frame<'_>],
-    ) -> Result<Value> {
-        let folded = self.fold_aggregates(expr, input_schema, members, outer)?;
-        let ctx = QueryCtx { engine: self };
-        let empty_row = Tuple::new(vec![Value::Null; input_schema.len()]);
-        let first = members.first().unwrap_or(&empty_row);
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            schema: input_schema,
-            tuple: first,
-        });
-        frames.extend_from_slice(outer);
-        eval(&folded, &frames, &ctx)
-    }
-
-    fn fold_aggregates(
-        &self,
-        expr: &Expr,
-        input_schema: &Schema,
-        members: &[Tuple],
-        outer: &[Frame<'_>],
-    ) -> Result<Expr> {
-        if let Expr::Function { name, args } = expr {
-            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
-                let v = self.compute_aggregate(name, args, input_schema, members, outer)?;
-                return Ok(Expr::Literal(v));
-            }
-        }
-        // Rebuild the node with folded children.
-        let rebuilt = match expr {
-            Expr::Unary { op, expr: e } => Expr::Unary {
-                op: *op,
-                expr: Box::new(self.fold_aggregates(e, input_schema, members, outer)?),
-            },
-            Expr::Binary { left, op, right } => Expr::Binary {
-                left: Box::new(self.fold_aggregates(left, input_schema, members, outer)?),
-                op: *op,
-                right: Box::new(self.fold_aggregates(right, input_schema, members, outer)?),
-            },
-            Expr::IsNull { expr: e, negated } => Expr::IsNull {
-                expr: Box::new(self.fold_aggregates(e, input_schema, members, outer)?),
-                negated: *negated,
-            },
-            Expr::Between {
-                expr: e,
-                low,
-                high,
-                negated,
-            } => Expr::Between {
-                expr: Box::new(self.fold_aggregates(e, input_schema, members, outer)?),
-                low: Box::new(self.fold_aggregates(low, input_schema, members, outer)?),
-                high: Box::new(self.fold_aggregates(high, input_schema, members, outer)?),
-                negated: *negated,
-            },
-            Expr::InList {
-                expr: e,
-                list,
-                negated,
-            } => Expr::InList {
-                expr: Box::new(self.fold_aggregates(e, input_schema, members, outer)?),
-                list: list
-                    .iter()
-                    .map(|i| self.fold_aggregates(i, input_schema, members, outer))
-                    .collect::<Result<_>>()?,
-                negated: *negated,
-            },
-            Expr::Case {
-                operand,
-                branches,
-                else_result,
-            } => Expr::Case {
-                operand: operand
-                    .as_ref()
-                    .map(|o| {
-                        self.fold_aggregates(o, input_schema, members, outer)
-                            .map(Box::new)
-                    })
-                    .transpose()?,
-                branches: branches
-                    .iter()
-                    .map(|(w, t)| {
-                        Ok((
-                            self.fold_aggregates(w, input_schema, members, outer)?,
-                            self.fold_aggregates(t, input_schema, members, outer)?,
-                        ))
-                    })
-                    .collect::<Result<_>>()?,
-                else_result: else_result
-                    .as_ref()
-                    .map(|e| {
-                        self.fold_aggregates(e, input_schema, members, outer)
-                            .map(Box::new)
-                    })
-                    .transpose()?,
-            },
-            Expr::Function { name, args } => Expr::Function {
-                name: name.clone(),
-                args: args
-                    .iter()
-                    .map(|a| self.fold_aggregates(a, input_schema, members, outer))
-                    .collect::<Result<_>>()?,
-            },
-            other => other.clone(),
-        };
-        Ok(rebuilt)
-    }
-
-    fn compute_aggregate(
-        &self,
-        name: &str,
-        args: &[Expr],
-        input_schema: &Schema,
-        members: &[Tuple],
-        outer: &[Frame<'_>],
-    ) -> Result<Value> {
-        let ctx = QueryCtx { engine: self };
-        if name == "count" && args.len() == 1 && matches!(args[0], Expr::Wildcard) {
-            return Ok(Value::Int(members.len() as i64));
-        }
-        if args.len() != 1 {
-            return Err(Error::Type(format!(
-                "{name}() expects exactly one argument"
-            )));
-        }
-        let mut values = Vec::with_capacity(members.len());
-        for row in members {
-            let mut frames = Vec::with_capacity(outer.len() + 1);
-            frames.push(Frame {
-                schema: input_schema,
-                tuple: row,
-            });
-            frames.extend_from_slice(outer);
-            let v = eval(&args[0], &frames, &ctx)?;
-            if !v.is_null() {
-                values.push(v);
-            }
-        }
-        match name {
-            "count" => Ok(Value::Int(values.len() as i64)),
-            "sum" | "avg" => {
-                if values.is_empty() {
-                    return Ok(Value::Null);
-                }
-                let mut acc = Value::Int(0);
-                for v in &values {
-                    acc = acc.add(v)?;
-                }
-                if name == "avg" {
-                    acc.coerce_to(DataType::Float)?
-                        .div(&Value::Float(values.len() as f64))
-                } else {
-                    Ok(acc)
-                }
-            }
-            "min" | "max" => {
-                let mut best: Option<Value> = None;
-                for v in values {
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => match v.sql_cmp(&b) {
-                            Some(std::cmp::Ordering::Less) if name == "min" => v,
-                            Some(std::cmp::Ordering::Greater) if name == "max" => v,
-                            Some(_) => b,
-                            None => {
-                                return Err(Error::Type(format!(
-                                    "{name}() over incomparable values"
-                                )))
-                            }
-                        },
-                    });
-                }
-                Ok(best.unwrap_or(Value::Null))
-            }
-            _ => unreachable!("caller checked the aggregate name"),
-        }
-    }
 }
 
-/// FROM input rows: shared with the per-statement cache, or owned.
-enum InputRows {
-    Shared(Rc<Relation>),
-    Owned(Vec<Tuple>),
-}
-
-impl InputRows {
-    fn as_slice(&self) -> &[Tuple] {
-        match self {
-            InputRows::Shared(rel) => &rel.rows,
-            InputRows::Owned(rows) => rows,
+/// The sub-tree an `EXISTS` probe can pull a single row from: strip the
+/// top projection (the select list of an `EXISTS` is irrelevant) and any
+/// sorts (existence is order-independent); the rest must be fully
+/// streaming so the first qualifying row short-circuits. Aggregates,
+/// DISTINCT and LIMIT fall back to full evaluation (`LIMIT 0` must yield
+/// `false`).
+fn exists_probe_root(root: &crate::plan::PlanNode) -> Option<&crate::plan::PlanNode> {
+    use crate::plan::PlanNode;
+    let mut node = match root {
+        PlanNode::Project { input, .. } => input.as_ref(),
+        _ => return None,
+    };
+    while let PlanNode::Sort { input, .. } = node {
+        node = input;
+    }
+    fn streaming(n: &PlanNode) -> bool {
+        match n {
+            PlanNode::Nothing { .. }
+            | PlanNode::SeqScan { .. }
+            | PlanNode::IndexScan { .. }
+            | PlanNode::Materialize { .. } => true,
+            PlanNode::Filter { input, .. } => streaming(input),
+            PlanNode::NestedLoopJoin { left, right, .. } => streaming(left) && streaming(right),
+            _ => false,
         }
     }
-
-    fn into_owned(self) -> Vec<Tuple> {
-        match self {
-            InputRows::Shared(rel) => rel.rows.clone(),
-            InputRows::Owned(rows) => rows,
-        }
-    }
-}
-
-/// How one output column is produced.
-enum Projection {
-    /// Copy input column by position (wildcards).
-    Passthrough(usize),
-    /// Evaluate an expression.
-    Computed(Expr),
-}
-
-/// Sub-query evaluation bridge handed to the expression evaluator.
-struct QueryCtx<'e> {
-    engine: &'e Engine,
-}
-
-impl SubqueryEval for QueryCtx<'_> {
-    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
-        self.engine.stats.borrow_mut().subquery_evals += 1;
-        let rel = self.engine.run_query(query, frames)?;
-        Ok(rel.rows)
-    }
-
-    fn eval_subquery_exists(&self, query: &Query, frames: &[Frame<'_>]) -> Result<bool> {
-        self.engine.stats.borrow_mut().subquery_evals += 1;
-        self.engine.run_query_exists(query, frames)
-    }
-}
-
-/// The PREFERRING/GROUPING/BUT ONLY clauses and quality functions never
-/// reach the host engine — the Preference SQL layer rewrites them away.
-fn reject_preference_constructs(query: &Query) -> Result<()> {
-    if query.preferring.is_some() || !query.grouping.is_empty() || query.but_only.is_some() {
-        return Err(Error::Unsupported(
-            "PREFERRING/GROUPING/BUT ONLY must be rewritten by the Preference \
-             SQL optimizer before reaching the host SQL engine"
-                .into(),
-        ));
-    }
-    Ok(())
-}
-
-fn cross_join(ls: Schema, lr: Vec<Tuple>, rs: Schema, rr: Vec<Tuple>) -> (Schema, Vec<Tuple>) {
-    let schema = ls.join(&rs);
-    let mut rows = Vec::with_capacity(lr.len() * rr.len());
-    for l in &lr {
-        for r in &rr {
-            rows.push(l.join(r));
-        }
-    }
-    (schema, rows)
-}
-
-/// Substitute a bare output-alias reference in ORDER BY with its select
-/// expression (`SELECT price * 2 AS p ... ORDER BY p`).
-fn substitute_alias(expr: &Expr, query: &Query) -> Expr {
-    if let Expr::Column {
-        qualifier: None,
-        name,
-    } = expr
-    {
-        for item in &query.select {
-            if let SelectItem::Expr {
-                expr: sel,
-                alias: Some(a),
-            } = item
-            {
-                if a == name {
-                    return sel.clone();
-                }
-            }
-        }
-    }
-    expr.clone()
-}
-
-fn compare_key_rows(a: &[Value], b: &[Value], order_by: &[OrderByItem]) -> std::cmp::Ordering {
-    for (i, o) in order_by.iter().enumerate() {
-        let ord = a[i].total_cmp(&b[i]);
-        let ord = if o.asc { ord } else { ord.reverse() };
-        if ord != std::cmp::Ordering::Equal {
-            return ord;
-        }
-    }
-    std::cmp::Ordering::Equal
-}
-
-/// Make output column names unique (SQL permits `SELECT a1.x, a2.x` and
-/// repeated aggregates; our [`Schema`] requires unique names, so later
-/// duplicates get a positional suffix).
-fn dedupe_columns(columns: Vec<Column>) -> Vec<Column> {
-    let mut out: Vec<Column> = Vec::with_capacity(columns.len());
-    for mut c in columns {
-        let clashes = |name: &str, out: &[Column]| {
-            out.iter()
-                .any(|o| o.name == name && o.qualifier == c.qualifier)
-        };
-        if clashes(&c.name, &out) {
-            let mut k = 2;
-            while clashes(&format!("{}_{k}", c.name), &out) {
-                k += 1;
-            }
-            c.name = format!("{}_{k}", c.name);
-        }
-        out.push(c);
-    }
-    out
-}
-
-/// Output column name for an expression select item.
-fn output_name(expr: &Expr, alias: Option<&str>) -> String {
-    if let Some(a) = alias {
-        return a.to_owned();
-    }
-    match expr {
-        Expr::Column { name, .. } => name.clone(),
-        Expr::Function { name, .. } => name.clone(),
-        other => other.to_string().to_ascii_lowercase(),
-    }
-}
-
-/// Best-effort static type inference for output schemas (informational —
-/// runtime values carry their own types).
-fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
-    match expr {
-        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Str),
-        Expr::Column { qualifier, name } => schema
-            .resolve(qualifier.as_deref(), name)
-            .map(|i| schema.column(i).data_type)
-            .unwrap_or(DataType::Str),
-        Expr::Unary { expr, .. } => infer_type(expr, schema),
-        Expr::Binary { left, op, right } => match op {
-            prefsql_parser::ast::BinaryOp::Plus
-            | prefsql_parser::ast::BinaryOp::Minus
-            | prefsql_parser::ast::BinaryOp::Mul
-            | prefsql_parser::ast::BinaryOp::Div => {
-                let l = infer_type(left, schema);
-                let r = infer_type(right, schema);
-                if l == DataType::Float || r == DataType::Float {
-                    DataType::Float
-                } else {
-                    DataType::Int
-                }
-            }
-            _ => DataType::Bool,
-        },
-        Expr::IsNull { .. }
-        | Expr::Between { .. }
-        | Expr::InList { .. }
-        | Expr::InSubquery { .. }
-        | Expr::Exists { .. }
-        | Expr::Like { .. } => DataType::Bool,
-        Expr::Case {
-            branches,
-            else_result,
-            ..
-        } => branches
-            .first()
-            .map(|(_, t)| infer_type(t, schema))
-            .or_else(|| else_result.as_ref().map(|e| infer_type(e, schema)))
-            .unwrap_or(DataType::Str),
-        Expr::Function { name, args } => match name.as_str() {
-            "count" | "length" => DataType::Int,
-            "avg" => DataType::Float,
-            "abs" | "sum" | "min" | "max" | "round" | "floor" | "ceil" | "least" | "greatest"
-            | "coalesce" => args
-                .first()
-                .map(|a| infer_type(a, schema))
-                .unwrap_or(DataType::Float),
-            "lower" | "upper" => DataType::Str,
-            _ => DataType::Str,
-        },
-        Expr::ScalarSubquery(_) => DataType::Str,
-        Expr::Wildcard => DataType::Str,
-    }
+    streaming(node).then_some(node)
 }

@@ -1,27 +1,32 @@
-//! `EXPLAIN`: a textual rendering of how the engine will execute a
-//! statement — FROM sources with their access paths, predicates, and the
-//! post-processing steps. The Preference SQL facade additionally prefixes
-//! the rewritten SQL, so `EXPLAIN SELECT ... PREFERRING ...` shows both the
+//! `EXPLAIN`: a textual rendering of the plan the executor runs.
+//!
+//! The tree printed here is the very [`PlanNode`] object produced by
+//! [`crate::plan::plan_query`] and executed by [`crate::physical`] — there
+//! is no second access-path derivation, so EXPLAIN can never drift from
+//! execution. The Preference SQL facade additionally prefixes the
+//! rewritten SQL, so `EXPLAIN SELECT ... PREFERRING ...` shows both the
 //! rewrite and the host plan.
 
-use crate::access::{choose_access_path, AccessPath};
+use crate::plan::{PlanNode, Projection};
 use crate::Engine;
-use prefsql_parser::ast::{Query, SelectItem, Statement, TableRef};
-use prefsql_types::{Error, Result};
+use prefsql_parser::ast::Statement;
+use prefsql_types::Result;
 use std::fmt::Write as _;
 
 /// Render an execution plan for `stmt`.
 pub fn explain(engine: &Engine, stmt: &Statement) -> Result<String> {
     match stmt {
         Statement::Select(q) => {
+            let plan = engine.plan_for(q)?;
             let mut out = String::new();
-            explain_query(engine, q, 0, &mut out)?;
+            render(plan.root(), 0, &mut out);
             Ok(out)
         }
         Statement::Insert { table, source, .. } => {
             let mut out = format!("Insert into {table}\n");
             if let prefsql_parser::ast::InsertSource::Query(q) = source {
-                explain_query(engine, q, 1, &mut out)?;
+                let plan = engine.plan_for(q)?;
+                render(plan.root(), 1, &mut out);
             } else {
                 out.push_str("  Values\n");
             }
@@ -32,101 +37,109 @@ pub fn explain(engine: &Engine, stmt: &Statement) -> Result<String> {
     }
 }
 
-fn indent(out: &mut String, depth: usize) {
+/// Render a plan sub-tree into `out`, one node per line, children
+/// indented below their parent. Public so the Preference SQL facade can
+/// splice its own operators above an engine-planned source.
+pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
-}
-
-fn explain_query(engine: &Engine, q: &Query, depth: usize, out: &mut String) -> Result<()> {
-    indent(out, depth);
-    let agg = !q.group_by.is_empty()
-        || q.select.iter().any(|s| match s {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-    let mut steps: Vec<String> = Vec::new();
-    if q.distinct {
-        steps.push("distinct".into());
-    }
-    if agg {
-        steps.push(format!("aggregate({} keys)", q.group_by.len()));
-    }
-    if !q.order_by.is_empty() {
-        steps.push(format!("sort({} keys)", q.order_by.len()));
-    }
-    if let Some(n) = q.limit {
-        steps.push(format!("limit {n}"));
-    }
-    let steps = if steps.is_empty() {
-        String::new()
-    } else {
-        format!(" [{}]", steps.join(", "))
-    };
-    writeln!(out, "Select{steps}").map_err(|e| Error::Exec(e.to_string()))?;
-    if let Some(w) = &q.where_clause {
-        indent(out, depth + 1);
-        writeln!(out, "Filter: {w}").map_err(|e| Error::Exec(e.to_string()))?;
-    }
-    for item in &q.from {
-        explain_table_ref(engine, item, q, depth + 1, out)?;
-    }
-    Ok(())
-}
-
-fn explain_table_ref(
-    engine: &Engine,
-    item: &TableRef,
-    q: &Query,
-    depth: usize,
-    out: &mut String,
-) -> Result<()> {
-    match item {
-        TableRef::Named { name, alias } => {
-            indent(out, depth);
-            let shown = match alias {
-                Some(a) => format!("{name} AS {a}"),
-                None => name.clone(),
-            };
-            if engine.catalog().view(name).is_some() {
-                writeln!(out, "View expansion: {shown}").map_err(|e| Error::Exec(e.to_string()))?;
-            } else {
-                let table = engine.catalog().table(name)?;
-                let single = q.from.len() == 1 && matches!(&q.from[0], TableRef::Named { .. });
-                let path = if engine.use_indexes() && single {
-                    choose_access_path(table, q.where_clause.as_ref())
-                } else {
-                    AccessPath::SeqScan
-                };
-                match path {
-                    AccessPath::SeqScan => {
-                        writeln!(out, "Seq scan: {shown} ({} rows)", table.len())
-                            .map_err(|e| Error::Exec(e.to_string()))?
-                    }
-                    AccessPath::Index { describe, row_ids } => writeln!(
-                        out,
-                        "Index probe: {shown} via {describe} ({} candidates)",
-                        row_ids.len()
-                    )
-                    .map_err(|e| Error::Exec(e.to_string()))?,
-                }
-            }
+    match node {
+        PlanNode::Nothing { .. } => {
+            out.push_str("Result: one empty row\n");
         }
-        TableRef::Derived { query, alias } => {
-            indent(out, depth);
-            writeln!(out, "Derived table {alias}:").map_err(|e| Error::Exec(e.to_string()))?;
-            explain_query(engine, query, depth + 1, out)?;
+        PlanNode::SeqScan {
+            table,
+            qualifier,
+            rows,
+            ..
+        } => {
+            let _ = writeln!(out, "Seq scan: {}({rows} rows)", shown(table, qualifier));
         }
-        TableRef::Join { left, right, on } => {
-            indent(out, depth);
+        PlanNode::IndexScan {
+            table,
+            qualifier,
+            row_ids,
+            describe,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "Index probe: {}via {describe} ({} candidates)",
+                shown(table, qualifier),
+                row_ids.len()
+            );
+        }
+        PlanNode::Materialize { label, input, .. } => {
+            let _ = writeln!(out, "{label}");
+            render(input, depth + 1, out);
+        }
+        PlanNode::NestedLoopJoin {
+            left, right, on, ..
+        } => {
             match on {
-                Some(on) => writeln!(out, "Nested-loop join on {on}")
-                    .map_err(|e| Error::Exec(e.to_string()))?,
-                None => writeln!(out, "Cross join").map_err(|e| Error::Exec(e.to_string()))?,
+                Some(cond) => {
+                    let _ = writeln!(out, "Nested-loop join on {cond}");
+                }
+                None => out.push_str("Cross join\n"),
             }
-            explain_table_ref(engine, left, q, depth + 1, out)?;
-            explain_table_ref(engine, right, q, depth + 1, out)?;
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        PlanNode::Filter { input, pred } => {
+            let _ = writeln!(out, "Filter: {pred}");
+            render(input, depth + 1, out);
+        }
+        PlanNode::Project {
+            input,
+            projections,
+            schema,
+        } => {
+            let cols: Vec<String> = schema
+                .columns()
+                .iter()
+                .zip(projections)
+                .map(|(c, p)| match p {
+                    Projection::Passthrough(_) => c.qualified_name(),
+                    Projection::Computed(e) => format!("{e}"),
+                })
+                .collect();
+            let _ = writeln!(out, "Project: {}", cols.join(", "));
+            render(input, depth + 1, out);
+        }
+        PlanNode::Sort { input, keys } => {
+            let _ = writeln!(out, "sort({} keys)", keys.len());
+            render(input, depth + 1, out);
+        }
+        PlanNode::Distinct { input } => {
+            out.push_str("distinct\n");
+            render(input, depth + 1, out);
+        }
+        PlanNode::Limit { input, label, .. } => {
+            let _ = writeln!(out, "{label}");
+            render(input, depth + 1, out);
+        }
+        PlanNode::Aggregate { input, spec, .. } => {
+            let mut steps = format!("aggregate({} keys", spec.group_by.len());
+            if spec.having.is_some() {
+                steps.push_str(", having");
+            }
+            if !spec.order_by.is_empty() {
+                let _ = write!(steps, ", sort({} keys)", spec.order_by.len());
+            }
+            steps.push(')');
+            let _ = writeln!(out, "{steps}");
+            render(input, depth + 1, out);
         }
     }
-    Ok(())
+}
+
+/// `table AS alias` when the exposed qualifier differs from the table
+/// name, with a trailing space either way.
+fn shown(table: &str, qualifier: &str) -> String {
+    if qualifier == table.to_ascii_lowercase() {
+        format!("{table} ")
+    } else {
+        format!("{table} AS {qualifier} ")
+    }
 }

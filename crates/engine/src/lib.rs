@@ -24,5 +24,9 @@ pub mod access;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod physical;
+pub mod plan;
 
 pub use exec::{Engine, ExecOutcome, Relation};
+pub use physical::{BoxOperator, Operator};
+pub use plan::{PlanNode, QueryPlan};

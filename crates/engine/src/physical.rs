@@ -1,0 +1,898 @@
+//! The physical operator layer: Volcano-style streaming execution of a
+//! [`PlanNode`] tree.
+//!
+//! Every operator implements [`Operator`] (`open`/`next`/`close`) and
+//! pulls [`Tuple`]s from its children one at a time, so large inputs
+//! stream through filters, joins, projections and limits instead of
+//! materializing at every step. Pipeline breakers (sort, distinct's seen
+//! set, aggregation, the per-statement materialization of views and
+//! derived tables) buffer exactly where the semantics require it and
+//! nowhere else.
+//!
+//! The layer is open: other crates can implement [`Operator`] and splice
+//! their own nodes on top of [`build`]-produced sources — the Preference
+//! SQL facade does exactly that for its native BMO operator.
+
+use crate::eval::{eval, truth, Frame, SubqueryEval};
+use crate::exec::{Engine, Relation};
+use crate::plan::{AggSpec, PlanNode, Projection, SortKey};
+use prefsql_parser::ast::{Expr, Query};
+use prefsql_types::{DataType, Error, Result, Schema, Tuple, Value};
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+/// A Volcano-style physical operator: a pull-based tuple cursor.
+pub trait Operator {
+    /// Acquire resources and prepare to produce tuples.
+    fn open(&mut self) -> Result<()>;
+    /// The next output tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+    /// Release resources (idempotent).
+    fn close(&mut self);
+}
+
+/// A boxed operator tied to the lifetime of its plan/engine/environment.
+pub type BoxOperator<'a> = Box<dyn Operator + 'a>;
+
+/// Build the physical operator tree for a plan node. `outer` is the
+/// enclosing environment for correlated sub-queries (empty for top-level
+/// queries).
+pub fn build<'a>(
+    engine: &'a Engine,
+    node: &'a PlanNode,
+    outer: &'a [Frame<'a>],
+) -> BoxOperator<'a> {
+    match node {
+        PlanNode::Nothing { .. } => Box::new(NothingOp { done: false }),
+        PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp {
+            engine,
+            table,
+            rows: &[],
+            pos: 0,
+        }),
+        PlanNode::IndexScan { table, row_ids, .. } => Box::new(IndexScanOp {
+            engine,
+            table,
+            row_ids,
+            rows: Vec::new(),
+            pos: 0,
+        }),
+        PlanNode::Materialize {
+            cache_key,
+            input,
+            schema,
+            ..
+        } => Box::new(MaterializeOp {
+            engine,
+            input,
+            cache_key,
+            schema,
+            rel: None,
+            pos: 0,
+        }),
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            on,
+            schema,
+        } => Box::new(NestedLoopJoinOp {
+            engine,
+            left: build(engine, left, outer),
+            right: build(engine, right, outer),
+            on: on.as_ref(),
+            schema,
+            outer,
+            right_rows: Vec::new(),
+            cur: None,
+            ridx: 0,
+        }),
+        PlanNode::Filter { input, pred } => Box::new(FilterOp {
+            engine,
+            child_schema: input.schema(),
+            input: build(engine, input, outer),
+            pred,
+            outer,
+        }),
+        PlanNode::Project {
+            input, projections, ..
+        } => Box::new(ProjectOp {
+            engine,
+            child_schema: input.schema(),
+            input: build(engine, input, outer),
+            projections,
+            outer,
+        }),
+        PlanNode::Sort { input, keys } => Box::new(SortOp {
+            engine,
+            child_schema: input.schema(),
+            input: build(engine, input, outer),
+            keys,
+            outer,
+            sorted: Vec::new(),
+            pos: 0,
+        }),
+        PlanNode::Distinct { input } => Box::new(DistinctOp {
+            input: build(engine, input, outer),
+            seen: Vec::new(),
+        }),
+        PlanNode::Limit { input, n, .. } => Box::new(LimitOp {
+            input: build(engine, input, outer),
+            remaining: *n,
+        }),
+        PlanNode::Aggregate {
+            input,
+            spec,
+            schema,
+        } => Box::new(AggregateOp {
+            engine,
+            child_schema: input.schema(),
+            input: build(engine, input, outer),
+            spec,
+            schema,
+            outer,
+            out: Vec::new(),
+            pos: 0,
+        }),
+    }
+}
+
+/// Build, open and fully drain the operator tree for `node` into a
+/// materialized [`Relation`].
+pub fn execute(engine: &Engine, node: &PlanNode, outer: &[Frame<'_>]) -> Result<Relation> {
+    let schema = node.schema().clone();
+    let mut op = build(engine, node, outer);
+    let rows = drain(op.as_mut())?;
+    Ok(Relation { schema, rows })
+}
+
+/// Open `op`, pull every tuple, and close it — the operator is closed
+/// even when opening or pulling errors, so resources held by the
+/// sub-tree are always released. Pipeline breakers use this to consume
+/// their children.
+pub fn drain(op: &mut (dyn Operator + '_)) -> Result<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    let result = op.open().and_then(|()| loop {
+        match op.next() {
+            Ok(Some(t)) => rows.push(t),
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    });
+    op.close();
+    result?;
+    Ok(rows)
+}
+
+/// Sub-query evaluation bridge handed to the expression evaluator.
+pub(crate) struct QueryCtx<'e> {
+    pub(crate) engine: &'e Engine,
+}
+
+impl SubqueryEval for QueryCtx<'_> {
+    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
+        self.engine.stats.borrow_mut().subquery_evals += 1;
+        let rel = self.engine.run_query(query, frames)?;
+        Ok(rel.rows)
+    }
+
+    fn eval_subquery_exists(&self, query: &Query, frames: &[Frame<'_>]) -> Result<bool> {
+        self.engine.stats.borrow_mut().subquery_evals += 1;
+        self.engine.run_query_exists(query, frames)
+    }
+}
+
+/// Evaluate `expr` for `tuple` under `schema`, with the enclosing
+/// environment appended.
+fn eval_row(
+    engine: &Engine,
+    expr: &Expr,
+    schema: &Schema,
+    tuple: &Tuple,
+    outer: &[Frame<'_>],
+) -> Result<Value> {
+    let ctx = QueryCtx { engine };
+    let mut frames = Vec::with_capacity(outer.len() + 1);
+    frames.push(Frame { schema, tuple });
+    frames.extend_from_slice(outer);
+    eval(expr, &frames, &ctx)
+}
+
+fn compare_key_rows(a: &[Value], b: &[Value], asc: &[bool]) -> Ordering {
+    for (i, &up) in asc.iter().enumerate() {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if up { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+// ------------------------------------------------------------- sources
+
+/// `SELECT` without `FROM`: one empty tuple.
+struct NothingOp {
+    done: bool,
+}
+
+impl Operator for NothingOp {
+    fn open(&mut self) -> Result<()> {
+        self.done = false;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(Tuple::new(vec![])))
+        }
+    }
+
+    fn close(&mut self) {
+        self.done = true;
+    }
+}
+
+/// Full table scan: streams straight off the catalog's stored rows, no
+/// upfront copy — a `LIMIT` above stops the scan after a handful of
+/// clones no matter how large the table is.
+struct SeqScanOp<'a> {
+    engine: &'a Engine,
+    table: &'a str,
+    rows: &'a [Tuple],
+    pos: usize,
+}
+
+impl Operator for SeqScanOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let table = self.engine.catalog().table(self.table)?;
+        self.engine.stats.borrow_mut().rows_scanned += table.len() as u64;
+        self.rows = table.rows();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.rows.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.rows = &[];
+    }
+}
+
+/// Index probe: stream the candidate rows chosen at plan time. The parent
+/// filter re-checks the full predicate, so the probe is purely an
+/// optimization.
+struct IndexScanOp<'a> {
+    engine: &'a Engine,
+    table: &'a str,
+    row_ids: &'a [usize],
+    rows: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let table = self.engine.catalog().table(self.table)?;
+        let mut stats = self.engine.stats.borrow_mut();
+        stats.index_probes += 1;
+        stats.rows_scanned += self.row_ids.len() as u64;
+        drop(stats);
+        self.rows = self
+            .row_ids
+            .iter()
+            .map(|&rid| table.row(rid).clone())
+            .collect();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.rows.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.rows = Vec::new();
+    }
+}
+
+/// Execute a sub-plan once per statement (views, derived tables) and
+/// stream from the cached result thereafter.
+struct MaterializeOp<'a> {
+    engine: &'a Engine,
+    input: &'a PlanNode,
+    cache_key: &'a str,
+    schema: &'a Schema,
+    rel: Option<Rc<Relation>>,
+    pos: usize,
+}
+
+impl Operator for MaterializeOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        if let Some(hit) = self.engine.from_cache.borrow().get(self.cache_key) {
+            self.rel = Some(Rc::clone(hit));
+            return Ok(());
+        }
+        // Views and derived tables are uncorrelated in SQL92: execute with
+        // an empty environment, then re-qualify the schema.
+        let rel = execute(self.engine, self.input, &[])?;
+        let rel = Rc::new(Relation {
+            schema: self.schema.clone(),
+            rows: rel.rows,
+        });
+        self.engine
+            .from_cache
+            .borrow_mut()
+            .insert(self.cache_key.to_string(), Rc::clone(&rel));
+        self.rel = Some(rel);
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let rel = self.rel.as_ref().expect("open() before next()");
+        match rel.rows.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.rel = None;
+    }
+}
+
+// ------------------------------------------------------- tuple pipeline
+
+/// Keep tuples whose predicate evaluates to exactly TRUE.
+struct FilterOp<'a> {
+    engine: &'a Engine,
+    child_schema: &'a Schema,
+    input: BoxOperator<'a>,
+    pred: &'a Expr,
+    outer: &'a [Frame<'a>],
+}
+
+impl Operator for FilterOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            let v = eval_row(self.engine, self.pred, self.child_schema, &t, self.outer)?;
+            if truth(&v) == Some(true) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// Nested-loop join: the right input is materialized once at `open`, the
+/// left input streams.
+struct NestedLoopJoinOp<'a> {
+    engine: &'a Engine,
+    left: BoxOperator<'a>,
+    right: BoxOperator<'a>,
+    on: Option<&'a Expr>,
+    schema: &'a Schema,
+    outer: &'a [Frame<'a>],
+    right_rows: Vec<Tuple>,
+    cur: Option<Tuple>,
+    ridx: usize,
+}
+
+impl Operator for NestedLoopJoinOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right_rows = drain(self.right.as_mut())?;
+        self.cur = None;
+        self.ridx = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if self.cur.is_none() {
+                self.cur = self.left.next()?;
+                self.ridx = 0;
+                if self.cur.is_none() {
+                    return Ok(None);
+                }
+            }
+            let l = self.cur.as_ref().expect("left row set above");
+            while self.ridx < self.right_rows.len() {
+                let joined = l.join(&self.right_rows[self.ridx]);
+                self.ridx += 1;
+                let keep = match self.on {
+                    None => true,
+                    Some(cond) => {
+                        let v = eval_row(self.engine, cond, self.schema, &joined, self.outer)?;
+                        truth(&v) == Some(true)
+                    }
+                };
+                if keep {
+                    return Ok(Some(joined));
+                }
+            }
+            self.cur = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.right_rows = Vec::new();
+    }
+}
+
+/// Evaluate the SELECT list per tuple.
+struct ProjectOp<'a> {
+    engine: &'a Engine,
+    child_schema: &'a Schema,
+    input: BoxOperator<'a>,
+    projections: &'a [Projection],
+    outer: &'a [Frame<'a>],
+}
+
+impl Operator for ProjectOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let Some(t) = self.input.next()? else {
+            return Ok(None);
+        };
+        let mut values = Vec::with_capacity(self.projections.len());
+        for p in self.projections {
+            values.push(match p {
+                Projection::Passthrough(idx) => t[*idx].clone(),
+                Projection::Computed(e) => {
+                    eval_row(self.engine, e, self.child_schema, &t, self.outer)?
+                }
+            });
+        }
+        Ok(Some(Tuple::new(values)))
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// Stable sort — a pipeline breaker: drains its input at `open`.
+struct SortOp<'a> {
+    engine: &'a Engine,
+    child_schema: &'a Schema,
+    input: BoxOperator<'a>,
+    keys: &'a [SortKey],
+    outer: &'a [Frame<'a>],
+    sorted: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Operator for SortOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let rows = drain(self.input.as_mut())?;
+        let mut keyed: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let key = self
+                .keys
+                .iter()
+                .map(|k| eval_row(self.engine, &k.expr, self.child_schema, row, self.outer))
+                .collect::<Result<Vec<_>>>()?;
+            keyed.push(key);
+        }
+        let asc: Vec<bool> = self.keys.iter().map(|k| k.asc).collect();
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| compare_key_rows(&keyed[a], &keyed[b], &asc));
+        self.sorted = order.into_iter().map(|i| rows[i].clone()).collect();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.sorted.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sorted = Vec::new();
+    }
+}
+
+/// Duplicate elimination; first occurrence wins, input order preserved.
+struct DistinctOp<'a> {
+    input: BoxOperator<'a>,
+    seen: Vec<Tuple>,
+}
+
+impl Operator for DistinctOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.seen.clear();
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            let dup = self
+                .seen
+                .iter()
+                .any(|s| s.values().iter().zip(t.values()).all(|(a, b)| a.key_eq(b)));
+            if !dup {
+                self.seen.push(t.clone());
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.seen = Vec::new();
+    }
+}
+
+/// Emit at most `n` tuples, then stop pulling from the input entirely.
+struct LimitOp<'a> {
+    input: BoxOperator<'a>,
+    remaining: u64,
+}
+
+impl Operator for LimitOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(t) => {
+                self.remaining -= 1;
+                Ok(Some(t))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+// ----------------------------------------------------------- aggregates
+
+/// Grouped aggregation — a pipeline breaker: drains its input, groups,
+/// applies HAVING, projects each group and sorts the aggregate output.
+struct AggregateOp<'a> {
+    engine: &'a Engine,
+    child_schema: &'a Schema,
+    input: BoxOperator<'a>,
+    spec: &'a AggSpec,
+    schema: &'a Schema,
+    outer: &'a [Frame<'a>],
+    out: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Operator for AggregateOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let rows = drain(self.input.as_mut())?;
+        self.out = run_aggregate(
+            self.engine,
+            self.spec,
+            self.child_schema,
+            self.schema,
+            rows,
+            self.outer,
+        )?;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.out.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.out = Vec::new();
+    }
+}
+
+fn run_aggregate(
+    engine: &Engine,
+    spec: &AggSpec,
+    input_schema: &Schema,
+    out_schema: &Schema,
+    rows: Vec<Tuple>,
+    outer: &[Frame<'_>],
+) -> Result<Vec<Tuple>> {
+    // Partition.
+    let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = spec
+            .group_by
+            .iter()
+            .map(|e| eval_row(engine, e, input_schema, &row, outer))
+            .collect::<Result<_>>()?;
+        let norm = key
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect::<Vec<_>>()
+            .join("\x1f");
+        match index.get(&norm) {
+            Some(&g) => groups[g].1.push(row),
+            None => {
+                index.insert(norm, groups.len());
+                groups.push((key, vec![row]));
+            }
+        }
+    }
+    // No GROUP BY + aggregates: one global group, even when empty.
+    if spec.group_by.is_empty() && groups.is_empty() {
+        groups.push((vec![], vec![]));
+    }
+
+    // HAVING.
+    let mut kept_groups = Vec::new();
+    for (key, members) in groups {
+        let keep = match &spec.having {
+            None => true,
+            Some(h) => {
+                let v = eval_agg(engine, h, input_schema, &members, outer)?;
+                truth(&v) == Some(true)
+            }
+        };
+        if keep {
+            kept_groups.push((key, members));
+        }
+    }
+
+    // Project each group.
+    let mut out_rows = Vec::with_capacity(kept_groups.len());
+    for (_, members) in &kept_groups {
+        let mut values = Vec::with_capacity(spec.select.len());
+        for expr in &spec.select {
+            values.push(eval_agg(engine, expr, input_schema, members, outer)?);
+        }
+        out_rows.push(Tuple::new(values));
+    }
+
+    // ORDER BY over the aggregate output (references output aliases or
+    // aggregate expressions verbatim).
+    if !spec.order_by.is_empty() {
+        let mut keys: Vec<Vec<Value>> = Vec::with_capacity(out_rows.len());
+        for (i, row) in out_rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(spec.order_by.len());
+            for o in &spec.order_by {
+                // Try against the output schema first, then re-compute
+                // from the group.
+                let v = match eval_row(engine, &o.output, out_schema, row, &[]) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eval_agg(engine, &o.original, input_schema, &kept_groups[i].1, outer)?
+                    }
+                };
+                key.push(v);
+            }
+            keys.push(key);
+        }
+        let asc: Vec<bool> = spec.order_by.iter().map(|o| o.asc).collect();
+        let mut order: Vec<usize> = (0..out_rows.len()).collect();
+        order.sort_by(|&a, &b| compare_key_rows(&keys[a], &keys[b], &asc));
+        out_rows = order.into_iter().map(|i| out_rows[i].clone()).collect();
+    }
+    Ok(out_rows)
+}
+
+/// Evaluate an expression that may contain aggregate calls over the rows
+/// of one group: aggregates are folded to literals first, then the
+/// residue is evaluated against the group's first row.
+fn eval_agg(
+    engine: &Engine,
+    expr: &Expr,
+    input_schema: &Schema,
+    members: &[Tuple],
+    outer: &[Frame<'_>],
+) -> Result<Value> {
+    let folded = fold_aggregates(engine, expr, input_schema, members, outer)?;
+    let empty_row = Tuple::new(vec![Value::Null; input_schema.len()]);
+    let first = members.first().unwrap_or(&empty_row);
+    eval_row(engine, &folded, input_schema, first, outer)
+}
+
+fn fold_aggregates(
+    engine: &Engine,
+    expr: &Expr,
+    input_schema: &Schema,
+    members: &[Tuple],
+    outer: &[Frame<'_>],
+) -> Result<Expr> {
+    if let Expr::Function { name, args } = expr {
+        if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
+            let v = compute_aggregate(engine, name, args, input_schema, members, outer)?;
+            return Ok(Expr::Literal(v));
+        }
+    }
+    // Rebuild the node with folded children.
+    let rebuilt = match expr {
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(fold_aggregates(engine, left, input_schema, members, outer)?),
+            op: *op,
+            right: Box::new(fold_aggregates(
+                engine,
+                right,
+                input_schema,
+                members,
+                outer,
+            )?),
+        },
+        Expr::IsNull { expr: e, negated } => Expr::IsNull {
+            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            low: Box::new(fold_aggregates(engine, low, input_schema, members, outer)?),
+            high: Box::new(fold_aggregates(engine, high, input_schema, members, outer)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            list: list
+                .iter()
+                .map(|i| fold_aggregates(engine, i, input_schema, members, outer))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| fold_aggregates(engine, o, input_schema, members, outer).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        fold_aggregates(engine, w, input_schema, members, outer)?,
+                        fold_aggregates(engine, t, input_schema, members, outer)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_result: else_result
+                .as_ref()
+                .map(|e| fold_aggregates(engine, e, input_schema, members, outer).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| fold_aggregates(engine, a, input_schema, members, outer))
+                .collect::<Result<_>>()?,
+        },
+        other => other.clone(),
+    };
+    Ok(rebuilt)
+}
+
+fn compute_aggregate(
+    engine: &Engine,
+    name: &str,
+    args: &[Expr],
+    input_schema: &Schema,
+    members: &[Tuple],
+    outer: &[Frame<'_>],
+) -> Result<Value> {
+    if name == "count" && args.len() == 1 && matches!(args[0], Expr::Wildcard) {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    if args.len() != 1 {
+        return Err(Error::Type(format!(
+            "{name}() expects exactly one argument"
+        )));
+    }
+    let mut values = Vec::with_capacity(members.len());
+    for row in members {
+        let v = eval_row(engine, &args[0], input_schema, row, outer)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    match name {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "sum" | "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = Value::Int(0);
+            for v in &values {
+                acc = acc.add(v)?;
+            }
+            if name == "avg" {
+                acc.coerce_to(DataType::Float)?
+                    .div(&Value::Float(values.len() as f64))
+            } else {
+                Ok(acc)
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.sql_cmp(&b) {
+                        Some(Ordering::Less) if name == "min" => v,
+                        Some(Ordering::Greater) if name == "max" => v,
+                        Some(_) => b,
+                        None => {
+                            return Err(Error::Type(format!("{name}() over incomparable values")))
+                        }
+                    },
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        _ => unreachable!("caller checked the aggregate name"),
+    }
+}

@@ -1,0 +1,632 @@
+//! The logical plan: a query block compiled into an operator tree.
+//!
+//! [`plan_query`] turns a parsed [`Query`] into a [`PlanNode`] tree exactly
+//! once per statement, absorbing all plan-time decisions — access-path
+//! selection ([`choose_access_path`]), view expansion, ORDER BY alias
+//! substitution, projection/aggregate output schemas. The tree is the
+//! single source of truth for execution: `EXPLAIN` renders it and the
+//! physical operators of [`crate::physical`] run it, so the two can never
+//! drift apart.
+
+use crate::access::{choose_access_path, AccessPath};
+use crate::Engine;
+use prefsql_parser::ast::{Expr, Query, SelectItem, Statement, TableRef};
+use prefsql_parser::parse_statement;
+use prefsql_types::{Column, DataType, Error, Result, Schema};
+
+/// One compiled query block, ready for execution and EXPLAIN.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    root: PlanNode,
+}
+
+impl QueryPlan {
+    /// The root of the operator tree.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+}
+
+/// A node of the logical operator tree. Every node knows its output
+/// schema; expressions are resolved copies of the AST (aliases already
+/// substituted where SQL requires it).
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// `SELECT` without `FROM`: a single empty tuple.
+    Nothing {
+        /// The (empty) output schema.
+        schema: Schema,
+    },
+    /// Full scan of a base table: streams straight off the stored rows,
+    /// no copy.
+    SeqScan {
+        /// Table name in the catalog.
+        table: String,
+        /// Qualifier the columns are exposed under (alias or table name).
+        qualifier: String,
+        /// Row count at plan time (informational, for EXPLAIN).
+        rows: usize,
+        /// Output schema (table schema re-qualified).
+        schema: Schema,
+    },
+    /// Index probe of a base table: candidate row ids were computed at
+    /// plan time; the full predicate is re-checked by the parent
+    /// [`PlanNode::Filter`], so the probe never changes results.
+    IndexScan {
+        /// Table name in the catalog.
+        table: String,
+        /// Qualifier the columns are exposed under (alias or table name).
+        qualifier: String,
+        /// Candidate row ids.
+        row_ids: Vec<usize>,
+        /// Human-readable probe description (for EXPLAIN).
+        describe: String,
+        /// Output schema (table schema re-qualified).
+        schema: Schema,
+    },
+    /// A sub-plan materialized once per statement (views and derived
+    /// tables are uncorrelated in SQL92, so caching is sound).
+    Materialize {
+        /// `View expansion: ...` / `Derived table ...` (for EXPLAIN).
+        label: String,
+        /// Per-statement materialization cache key.
+        cache_key: String,
+        /// The sub-plan.
+        input: Box<PlanNode>,
+        /// Output schema (sub-plan schema re-qualified).
+        schema: Schema,
+    },
+    /// Nested-loop join; `on: None` is a cross join.
+    NestedLoopJoin {
+        /// Left (streamed) input.
+        left: Box<PlanNode>,
+        /// Right (materialized once) input.
+        right: Box<PlanNode>,
+        /// Join condition.
+        on: Option<Expr>,
+        /// Combined output schema.
+        schema: Schema,
+    },
+    /// Keep rows whose predicate is exactly TRUE.
+    Filter {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Evaluate the SELECT list.
+    Project {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// One entry per output column.
+        projections: Vec<Projection>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Stable sort (runs below [`PlanNode::Project`]: sort keys may use
+    /// non-projected columns).
+    Sort {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Sort keys, select aliases already substituted.
+        keys: Vec<SortKey>,
+    },
+    /// Duplicate elimination (first occurrence wins).
+    Distinct {
+        /// Input node.
+        input: Box<PlanNode>,
+    },
+    /// Emit at most `n` rows.
+    Limit {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Row cap.
+        n: u64,
+        /// EXPLAIN label.
+        label: String,
+    },
+    /// Grouped aggregation (GROUP BY / HAVING / aggregate SELECT items,
+    /// including the post-aggregate ORDER BY).
+    Aggregate {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Everything the aggregate operator needs.
+        spec: AggSpec,
+        /// Output schema.
+        schema: Schema,
+    },
+}
+
+/// How one output column of a [`PlanNode::Project`] is produced.
+#[derive(Debug, Clone)]
+pub enum Projection {
+    /// Copy input column by position (wildcards).
+    Passthrough(usize),
+    /// Evaluate an expression.
+    Computed(Expr),
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// The key expression (aliases substituted).
+    pub expr: Expr,
+    /// Ascending (default) or descending.
+    pub asc: bool,
+}
+
+/// The full specification of an aggregate block.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// One output expression per SELECT item (may contain aggregates).
+    pub select: Vec<Expr>,
+    /// Post-aggregate ORDER BY keys.
+    pub order_by: Vec<AggSortKey>,
+}
+
+/// An ORDER BY key over aggregate output: evaluated against the output
+/// schema first (aliases substituted), recomputed from the group on
+/// failure (aggregate expressions referenced verbatim).
+#[derive(Debug, Clone)]
+pub struct AggSortKey {
+    /// Alias-substituted expression, tried against the output schema.
+    pub output: Expr,
+    /// The verbatim ORDER BY expression, recomputed over the group.
+    pub original: Expr,
+    /// Ascending or descending.
+    pub asc: bool,
+}
+
+impl PlanNode {
+    /// The node's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PlanNode::Nothing { schema }
+            | PlanNode::SeqScan { schema, .. }
+            | PlanNode::IndexScan { schema, .. }
+            | PlanNode::Materialize { schema, .. }
+            | PlanNode::NestedLoopJoin { schema, .. }
+            | PlanNode::Project { schema, .. }
+            | PlanNode::Aggregate { schema, .. } => schema,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// The node's single input, if it is a pass-through node.
+    pub fn input(&self) -> Option<&PlanNode> {
+        match self {
+            PlanNode::Filter { input, .. }
+            | PlanNode::Materialize { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Aggregate { input, .. } => Some(input),
+            _ => None,
+        }
+    }
+}
+
+/// The PREFERRING/GROUPING/BUT ONLY clauses and quality functions never
+/// reach the host engine — the Preference SQL layer rewrites them away.
+pub(crate) fn reject_preference_constructs(query: &Query) -> Result<()> {
+    if query.preferring.is_some() || !query.grouping.is_empty() || query.but_only.is_some() {
+        return Err(Error::Unsupported(
+            "PREFERRING/GROUPING/BUT ONLY must be rewritten by the Preference \
+             SQL optimizer before reaching the host SQL engine"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Compile one query block into a plan tree.
+pub fn plan_query(engine: &Engine, query: &Query) -> Result<QueryPlan> {
+    reject_preference_constructs(query)?;
+    let source = plan_source(engine, query)?;
+    let root = plan_block(query, source)?;
+    Ok(QueryPlan { root })
+}
+
+/// Compile only the FROM/WHERE part of a query block (the shape shared by
+/// `EXISTS` probes and the native preference path's candidate fetch).
+pub(crate) fn plan_source(engine: &Engine, query: &Query) -> Result<PlanNode> {
+    let input = plan_from(engine, query)?;
+    Ok(match &query.where_clause {
+        None => input,
+        Some(pred) => PlanNode::Filter {
+            input: Box::new(input),
+            pred: pred.clone(),
+        },
+    })
+}
+
+/// Layer projection/aggregation, DISTINCT and LIMIT on top of a source.
+fn plan_block(query: &Query, source: PlanNode) -> Result<PlanNode> {
+    let needs_agg = !query.group_by.is_empty()
+        || query.having.is_some()
+        || query.select.iter().any(|item| match item {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+    let mut node = if needs_agg {
+        plan_aggregate(query, source)?
+    } else {
+        let input_schema = source.schema().clone();
+        let sorted = if query.order_by.is_empty() {
+            source
+        } else {
+            PlanNode::Sort {
+                input: Box::new(source),
+                keys: query
+                    .order_by
+                    .iter()
+                    .map(|o| SortKey {
+                        expr: substitute_alias(&o.expr, query),
+                        asc: o.asc,
+                    })
+                    .collect(),
+            }
+        };
+        let (schema, projections) = projection_plan(query, &input_schema)?;
+        PlanNode::Project {
+            input: Box::new(sorted),
+            projections,
+            schema,
+        }
+    };
+    if query.distinct {
+        node = PlanNode::Distinct {
+            input: Box::new(node),
+        };
+    }
+    if let Some(n) = query.limit {
+        node = PlanNode::Limit {
+            input: Box::new(node),
+            n,
+            label: format!("limit {n}"),
+        };
+    }
+    Ok(node)
+}
+
+fn plan_aggregate(query: &Query, source: PlanNode) -> Result<PlanNode> {
+    let input_schema = source.schema().clone();
+    let mut columns = Vec::new();
+    let mut select = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                columns.push(Column::new(
+                    output_name(expr, alias.as_deref()),
+                    infer_type(expr, &input_schema),
+                ));
+                select.push(expr.clone());
+            }
+            _ => {
+                return Err(Error::Plan(
+                    "SELECT * cannot be combined with GROUP BY/aggregates".into(),
+                ))
+            }
+        }
+    }
+    let schema = Schema::new(dedupe_columns(columns))?;
+    let order_by = query
+        .order_by
+        .iter()
+        .map(|o| AggSortKey {
+            output: substitute_alias(&o.expr, query),
+            original: o.expr.clone(),
+            asc: o.asc,
+        })
+        .collect();
+    Ok(PlanNode::Aggregate {
+        input: Box::new(source),
+        spec: AggSpec {
+            group_by: query.group_by.clone(),
+            having: query.having.clone(),
+            select,
+            order_by,
+        },
+        schema,
+    })
+}
+
+/// Resolve the FROM clause into a source node. Multiple FROM items
+/// cross-join left to right.
+fn plan_from(engine: &Engine, query: &Query) -> Result<PlanNode> {
+    if query.from.is_empty() {
+        return Ok(PlanNode::Nothing {
+            schema: Schema::empty(),
+        });
+    }
+    // Index access only applies when one named table is the *only* FROM
+    // item (the sargable conjunct analysis resolves against its schema;
+    // with joins the residual re-check could not see the other side).
+    let allow_index = query.from.len() == 1 && matches!(&query.from[0], TableRef::Named { .. });
+    let mut acc: Option<PlanNode> = None;
+    for item in &query.from {
+        let next = plan_table_ref(engine, item, query, allow_index)?;
+        acc = Some(match acc {
+            None => next,
+            Some(left) => {
+                let schema = left.schema().join(next.schema());
+                PlanNode::NestedLoopJoin {
+                    left: Box::new(left),
+                    right: Box::new(next),
+                    on: None,
+                    schema,
+                }
+            }
+        });
+    }
+    Ok(acc.expect("non-empty FROM"))
+}
+
+fn plan_table_ref(
+    engine: &Engine,
+    item: &TableRef,
+    query: &Query,
+    allow_index: bool,
+) -> Result<PlanNode> {
+    match item {
+        TableRef::Named { name, alias } => {
+            plan_named(engine, name, alias.as_deref(), query, allow_index)
+        }
+        TableRef::Derived { query: sub, alias } => {
+            reject_preference_constructs(sub)?;
+            let body = plan_query(engine, sub)?;
+            let schema = body
+                .root
+                .schema()
+                .without_qualifiers()
+                .with_qualifier(alias);
+            Ok(PlanNode::Materialize {
+                label: format!("Derived table {alias}"),
+                cache_key: format!("derived:{alias}:{sub}"),
+                input: Box::new(body.root),
+                schema,
+            })
+        }
+        TableRef::Join { left, right, on } => {
+            let l = plan_table_ref(engine, left, query, false)?;
+            let r = plan_table_ref(engine, right, query, false)?;
+            let schema = l.schema().join(r.schema());
+            Ok(PlanNode::NestedLoopJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                on: on.clone(),
+                schema,
+            })
+        }
+    }
+}
+
+fn plan_named(
+    engine: &Engine,
+    name: &str,
+    alias: Option<&str>,
+    query: &Query,
+    allow_index: bool,
+) -> Result<PlanNode> {
+    let qual = alias.unwrap_or(name).to_ascii_lowercase();
+    // Views expand recursively at plan time.
+    if let Some(view) = engine.catalog().view(name) {
+        let depth = *engine.view_depth.borrow();
+        if depth > 32 {
+            return Err(Error::Plan(format!("view expansion too deep at '{name}'")));
+        }
+        let parsed = parse_statement(&view.sql)?;
+        let body = match parsed {
+            Statement::Select(q) => q,
+            other => {
+                return Err(Error::Catalog(format!(
+                    "view '{name}' does not contain a query: {other:?}"
+                )))
+            }
+        };
+        *engine.view_depth.borrow_mut() += 1;
+        let planned = plan_query(engine, &body);
+        *engine.view_depth.borrow_mut() -= 1;
+        let plan = planned?;
+        let schema = plan
+            .root
+            .schema()
+            .without_qualifiers()
+            .with_qualifier(&qual);
+        let shown = match alias {
+            Some(a) => format!("{name} AS {a}"),
+            None => name.to_string(),
+        };
+        return Ok(PlanNode::Materialize {
+            label: format!("View expansion: {shown}"),
+            cache_key: format!("view:{name}:{qual}"),
+            input: Box::new(plan.root),
+            schema,
+        });
+    }
+    let table = engine.catalog().table(name)?;
+    let schema = table.schema().without_qualifiers().with_qualifier(&qual);
+    let path = if engine.use_indexes() && allow_index {
+        choose_access_path(table, query.where_clause.as_ref())
+    } else {
+        AccessPath::SeqScan
+    };
+    Ok(match path {
+        AccessPath::SeqScan => PlanNode::SeqScan {
+            table: name.to_string(),
+            qualifier: qual,
+            rows: table.len(),
+            schema,
+        },
+        // The probe counter is bumped at operator open, not here: EXPLAIN
+        // plans without executing and must not disturb the statistics.
+        AccessPath::Index { row_ids, describe } => PlanNode::IndexScan {
+            table: name.to_string(),
+            qualifier: qual,
+            row_ids,
+            describe,
+            schema,
+        },
+    })
+}
+
+/// Expand the SELECT list against the input schema.
+pub(crate) fn projection_plan(
+    query: &Query,
+    input_schema: &Schema,
+) -> Result<(Schema, Vec<Projection>)> {
+    let mut columns = Vec::new();
+    let mut projections = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in input_schema.columns().iter().enumerate() {
+                    columns.push(c.clone());
+                    projections.push(Projection::Passthrough(i));
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let t = t.to_ascii_lowercase();
+                let mut any = false;
+                for (i, c) in input_schema.columns().iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(t.as_str()) {
+                        columns.push(c.clone());
+                        projections.push(Projection::Passthrough(i));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(Error::Plan(format!("unknown table '{t}' in '{t}.*'")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = output_name(expr, alias.as_deref());
+                let dtype = infer_type(expr, input_schema);
+                columns.push(Column::new(name, dtype));
+                projections.push(Projection::Computed(expr.clone()));
+            }
+        }
+    }
+    Ok((Schema::new(dedupe_columns(columns))?, projections))
+}
+
+/// Substitute a bare output-alias reference in ORDER BY with its select
+/// expression (`SELECT price * 2 AS p ... ORDER BY p`).
+fn substitute_alias(expr: &Expr, query: &Query) -> Expr {
+    if let Expr::Column {
+        qualifier: None,
+        name,
+    } = expr
+    {
+        for item in &query.select {
+            if let SelectItem::Expr {
+                expr: sel,
+                alias: Some(a),
+            } = item
+            {
+                if a == name {
+                    return sel.clone();
+                }
+            }
+        }
+    }
+    expr.clone()
+}
+
+/// Make output column names unique (SQL permits `SELECT a1.x, a2.x` and
+/// repeated aggregates; our [`Schema`] requires unique names, so later
+/// duplicates get a positional suffix).
+fn dedupe_columns(columns: Vec<Column>) -> Vec<Column> {
+    let mut out: Vec<Column> = Vec::with_capacity(columns.len());
+    for mut c in columns {
+        let clashes = |name: &str, out: &[Column]| {
+            out.iter()
+                .any(|o| o.name == name && o.qualifier == c.qualifier)
+        };
+        if clashes(&c.name, &out) {
+            let mut k = 2;
+            while clashes(&format!("{}_{k}", c.name), &out) {
+                k += 1;
+            }
+            c.name = format!("{}_{k}", c.name);
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Output column name for an expression select item.
+fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_owned();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        other => other.to_string().to_ascii_lowercase(),
+    }
+}
+
+/// Best-effort static type inference for output schemas (informational —
+/// runtime values carry their own types).
+fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
+    match expr {
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Str),
+        Expr::Column { qualifier, name } => schema
+            .resolve(qualifier.as_deref(), name)
+            .map(|i| schema.column(i).data_type)
+            .unwrap_or(DataType::Str),
+        Expr::Unary { expr, .. } => infer_type(expr, schema),
+        Expr::Binary { left, op, right } => match op {
+            prefsql_parser::ast::BinaryOp::Plus
+            | prefsql_parser::ast::BinaryOp::Minus
+            | prefsql_parser::ast::BinaryOp::Mul
+            | prefsql_parser::ast::BinaryOp::Div => {
+                let l = infer_type(left, schema);
+                let r = infer_type(right, schema);
+                if l == DataType::Float || r == DataType::Float {
+                    DataType::Float
+                } else {
+                    DataType::Int
+                }
+            }
+            _ => DataType::Bool,
+        },
+        Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::Like { .. } => DataType::Bool,
+        Expr::Case {
+            branches,
+            else_result,
+            ..
+        } => branches
+            .first()
+            .map(|(_, t)| infer_type(t, schema))
+            .or_else(|| else_result.as_ref().map(|e| infer_type(e, schema)))
+            .unwrap_or(DataType::Str),
+        Expr::Function { name, args } => match name.as_str() {
+            "count" | "length" => DataType::Int,
+            "avg" => DataType::Float,
+            "abs" | "sum" | "min" | "max" | "round" | "floor" | "ceil" | "least" | "greatest"
+            | "coalesce" => args
+                .first()
+                .map(|a| infer_type(a, schema))
+                .unwrap_or(DataType::Float),
+            "lower" | "upper" => DataType::Str,
+            _ => DataType::Str,
+        },
+        Expr::ScalarSubquery(_) => DataType::Str,
+        Expr::Wildcard => DataType::Str,
+    }
+}

@@ -399,6 +399,22 @@ fn explain_renders_plan() {
 }
 
 #[test]
+fn explain_does_not_disturb_stats() {
+    // EXPLAIN plans without executing: a read-only introspection
+    // statement must leave the execution counters untouched.
+    let mut e = setup_cars();
+    e.execute_sql("CREATE INDEX i_make ON cars (make) USING hash")
+        .unwrap();
+    e.take_stats();
+    e.execute_sql("EXPLAIN SELECT * FROM cars WHERE make = 'Audi'")
+        .unwrap();
+    let s = e.take_stats();
+    assert_eq!(s.index_probes, 0);
+    assert_eq!(s.rows_scanned, 0);
+    assert_eq!(s.subquery_evals, 0);
+}
+
+#[test]
 fn ddl_errors() {
     let mut e = Engine::new();
     e.execute_sql("CREATE TABLE t (x INTEGER)").unwrap();

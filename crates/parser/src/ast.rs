@@ -495,7 +495,7 @@ pub enum PrefExpr {
         edges: Vec<(Value, Value)>,
     },
     /// `expr CONTAINS ('term', ...)` — full-text preference: the more of
-    /// the terms occur in the text, the better (paper §2.2.1 / [LeK99]).
+    /// the terms occur in the text, the better (paper §2.2.1 / \[LeK99\]).
     Contains {
         /// The text expression.
         expr: Expr,

@@ -16,9 +16,92 @@
 //!
 //! The ablation benchmark A1 compares them against the rewrite.
 
+use crate::base::BasePref;
 use crate::compose::Preference;
 use prefsql_types::Value;
 use std::cmp::Ordering;
+
+/// Which maximal-set algorithm evaluates a preference.
+///
+/// `Naive`, `Bnl` and `Sfs` force one implementation; [`SkylineAlgo::Auto`]
+/// (the default) picks among them per evaluation with [`choose_algo`],
+/// based on input cardinality and the shape of the preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SkylineAlgo {
+    /// The paper's abstract selection method (§3.2): O(n²) nested loop.
+    Naive,
+    /// Block-nested-loops \[BKS01\].
+    Bnl,
+    /// Sort-filter-skyline (pre-sort by a dominance-compatible order).
+    Sfs,
+    /// Cost-based selection among the three, per input.
+    #[default]
+    Auto,
+}
+
+impl SkylineAlgo {
+    /// Short lowercase label (`naive`/`bnl`/`sfs`/`auto`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SkylineAlgo::Naive => "naive",
+            SkylineAlgo::Bnl => "bnl",
+            SkylineAlgo::Sfs => "sfs",
+            SkylineAlgo::Auto => "auto",
+        }
+    }
+
+    /// Parse a label produced by [`SkylineAlgo::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "naive" => Some(SkylineAlgo::Naive),
+            "bnl" => Some(SkylineAlgo::Bnl),
+            "sfs" => Some(SkylineAlgo::Sfs),
+            "auto" => Some(SkylineAlgo::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Below this cardinality the O(n²) nested loop wins: no window
+/// bookkeeping, no pre-sort, perfect cache locality.
+const NAIVE_CUTOFF: usize = 64;
+
+/// Cost-based algorithm selection for [`SkylineAlgo::Auto`]: pick the
+/// concrete algorithm from the input cardinality `n` and the preference
+/// shape. Small inputs run the naive nested loop; larger inputs run SFS
+/// when every base preference is scorable (the pre-sort is then a true
+/// topological order and most dominated tuples die on their first window
+/// probe), and BNL otherwise (`EXPLICIT` bases have no scores, so the SFS
+/// pre-sort would degenerate to an arbitrary order).
+pub fn choose_algo(n: usize, pref: &Preference) -> SkylineAlgo {
+    if n <= NAIVE_CUTOFF {
+        SkylineAlgo::Naive
+    } else if pref
+        .bases()
+        .iter()
+        .any(|b| matches!(b, BasePref::Explicit { .. }))
+    {
+        SkylineAlgo::Bnl
+    } else {
+        SkylineAlgo::Sfs
+    }
+}
+
+/// Run the maximal-set selection with `algo`, resolving
+/// [`SkylineAlgo::Auto`] through [`choose_algo`]. All algorithms return
+/// identical index sets in input order (the cross-algorithm equivalence
+/// test suites depend on that).
+pub fn maximal(slot_vectors: &[Vec<Value>], pref: &Preference, algo: SkylineAlgo) -> Vec<usize> {
+    match algo {
+        SkylineAlgo::Naive => maximal_naive(slot_vectors, pref),
+        SkylineAlgo::Bnl => maximal_bnl(slot_vectors, pref),
+        SkylineAlgo::Sfs => maximal_sfs(slot_vectors, pref),
+        SkylineAlgo::Auto => {
+            let chosen = choose_algo(slot_vectors.len(), pref);
+            maximal(slot_vectors, pref, chosen)
+        }
+    }
+}
 
 /// The paper's abstract selection method: `t1` is maximal iff no `t2` in
 /// the input is better. Returns indices in input order.
@@ -234,6 +317,50 @@ mod tests {
             .map(|i| vec![Value::Int(i), Value::Int(i)])
             .collect();
         assert_eq!(maximal_bnl(&pts, &p), vec![0]);
+    }
+
+    #[test]
+    fn auto_selection_matches_forced_algorithms() {
+        for (n, seed) in [(20usize, 3u64), (200, 4)] {
+            for d in [1, 2, 4] {
+                let pts = random_points(n, d, seed);
+                let p = pareto(d);
+                let auto = maximal(&pts, &p, SkylineAlgo::Auto);
+                assert_eq!(auto, maximal_naive(&pts, &p), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_algo_heuristics() {
+        let p = pareto(2);
+        assert_eq!(choose_algo(10, &p), SkylineAlgo::Naive);
+        assert_eq!(choose_algo(10_000, &p), SkylineAlgo::Sfs);
+        let explicit = Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![
+                BasePref::Explicit {
+                    edges: vec![(Value::Int(0), Value::Int(1))],
+                },
+                BasePref::Lowest,
+            ],
+        )
+        .unwrap();
+        assert_eq!(choose_algo(10_000, &explicit), SkylineAlgo::Bnl);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for algo in [
+            SkylineAlgo::Naive,
+            SkylineAlgo::Bnl,
+            SkylineAlgo::Sfs,
+            SkylineAlgo::Auto,
+        ] {
+            assert_eq!(SkylineAlgo::parse(algo.label()), Some(algo));
+        }
+        assert_eq!(SkylineAlgo::parse("warp"), None);
+        assert_eq!(SkylineAlgo::default(), SkylineAlgo::Auto);
     }
 
     proptest! {

@@ -12,10 +12,12 @@
 //!   accumulation** (`AND`) and **prioritization** (`CASCADE`), evaluated
 //!   over *slot vectors* (the base-preference expressions of a tuple,
 //!   pre-evaluated by the engine);
-//! * [`bmo`] — the Best-Matches-Only query model (§2.2.5);
+//! * [`bmo()`](bmo::bmo) — the Best-Matches-Only query model (§2.2.5);
 //! * [`algo`] — maximal-set algorithms: the paper's abstract nested-loop
 //!   selection method (§3.2), BNL \[BKS01\] and SFS, used as native
-//!   baselines in the ablation experiments.
+//!   baselines in the ablation experiments, plus [`SkylineAlgo`] with a
+//!   cost-based [`SkylineAlgo::Auto`] mode that picks among them from
+//!   input cardinality and preference shape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +27,7 @@ pub mod base;
 pub mod bmo;
 pub mod compose;
 
-pub use algo::{maximal_bnl, maximal_naive, maximal_sfs};
+pub use algo::{choose_algo, maximal, maximal_bnl, maximal_naive, maximal_sfs, SkylineAlgo};
 pub use base::BasePref;
 pub use bmo::{bmo, bmo_grouped};
 pub use compose::{PrefNode, Preference};

@@ -1,0 +1,319 @@
+//! Equivalence evidence for the physical operator pipeline.
+//!
+//! Two layers of proof that the refactored executor preserves semantics:
+//!
+//! 1. A property test over *random preference compositions* (Pareto ⊗ and
+//!    prioritization & trees, not just single base preferences): the three
+//!    maximal-set algorithms, the cost-based auto selection, and the
+//!    planned [`prefsql::native::PreferenceOp`] pipeline must all return
+//!    exactly the maximal set computed by the abstract §3.2 definition.
+//! 2. A golden sweep running every workload's demo queries through both
+//!    the paper's rewrite path and the native operator pipeline, diffing
+//!    the result sets.
+
+use prefsql::parser::ast::{Expr, PrefExpr, Query, SelectItem, TableRef};
+use prefsql::pref::maximal_naive;
+use prefsql::rewrite::compile::compile_preference;
+use prefsql::storage::Table;
+use prefsql::types::{Column, DataType, Schema, Tuple, Value};
+use prefsql::{ExecutionMode, PrefSqlConnection, SkylineAlgo};
+use prefsql_rewrite::PreferenceRegistry;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ proptest
+
+/// A random table over (id, a, b, c) with NULLs mixed into c.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, Option<i64>)>> {
+    proptest::collection::vec(
+        (
+            0i64..12,
+            0i64..12,
+            prop_oneof![(0i64..8).prop_map(Some), Just(None)],
+        ),
+        0..40,
+    )
+}
+
+/// A random preference composition tree over columns a, b, c — base
+/// preferences at the leaves, Pareto (`AND`) and prioritization
+/// (`CASCADE`) at the inner nodes.
+fn arb_pref() -> impl Strategy<Value = PrefExpr> {
+    let leaf = prop_oneof![
+        Just(PrefExpr::Lowest {
+            expr: Expr::col("a")
+        }),
+        Just(PrefExpr::Highest {
+            expr: Expr::col("b")
+        }),
+        (0i64..12).prop_map(|k| PrefExpr::Around {
+            expr: Expr::col("a"),
+            target: Box::new(Expr::lit(k)),
+        }),
+        (0i64..6, 6i64..12).prop_map(|(l, u)| PrefExpr::Between {
+            expr: Expr::col("b"),
+            low: Box::new(Expr::lit(l)),
+            up: Box::new(Expr::lit(u)),
+        }),
+        proptest::collection::vec(0i64..8, 1..3).prop_map(|vs| PrefExpr::Pos {
+            expr: Expr::col("c"),
+            values: vs.into_iter().map(Value::Int).collect(),
+        }),
+        Just(PrefExpr::Neg {
+            expr: Expr::col("c"),
+            values: vec![Value::Int(3)],
+        }),
+    ];
+    leaf.prop_recursive(3, 10, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(PrefExpr::Pareto),
+            proptest::collection::vec(inner, 2..3).prop_map(PrefExpr::Prioritized),
+        ]
+    })
+}
+
+fn build_table(rows: &[(i64, i64, Option<i64>)]) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("a", DataType::Int),
+        Column::new("b", DataType::Int),
+        Column::new("c", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("r", schema);
+    for (i, (a, b, c)) in rows.iter().enumerate() {
+        let c = c.map(Value::Int).unwrap_or(Value::Null);
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int(*a),
+            Value::Int(*b),
+            c,
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+/// The query `SELECT id FROM r PREFERRING <pref>` as an AST.
+fn pref_query(pref: PrefExpr) -> Query {
+    Query {
+        select: vec![SelectItem::Expr {
+            expr: Expr::col("id"),
+            alias: None,
+        }],
+        from: vec![TableRef::Named {
+            name: "r".into(),
+            alias: None,
+        }],
+        preferring: Some(pref),
+        ..Default::default()
+    }
+}
+
+/// Winner ids computed out-of-band: evaluate each base expression (plain
+/// column references here) into slot vectors and apply the abstract §3.2
+/// selection via `maximal_naive`.
+fn expected_ids(table: &Table, pref: &PrefExpr) -> Vec<i64> {
+    let compiled = compile_preference(pref).expect("compilable preference");
+    let schema = table.schema();
+    let slot_cols: Vec<usize> = compiled
+        .base_exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Column { name, .. } => schema.resolve(None, name).expect("known column"),
+            other => panic!("unexpected base expression {other}"),
+        })
+        .collect();
+    let slots: Vec<Vec<Value>> = table
+        .rows()
+        .iter()
+        .map(|r| slot_cols.iter().map(|&c| r[c].clone()).collect())
+        .collect();
+    maximal_naive(&slots, &compiled.preference)
+        .into_iter()
+        .map(|i| table.rows()[i][0].as_int().expect("integer id"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// naive ≡ bnl ≡ sfs ≡ auto ≡ the planned Preference operator, over
+    /// random composition trees and random slot vectors.
+    #[test]
+    fn algorithms_and_planned_operator_agree(rows in arb_rows(), pref in arb_pref()) {
+        let table = build_table(&rows);
+        let expected = expected_ids(&table, &pref);
+        let query = pref_query(pref);
+        let registry = PreferenceRegistry::new();
+        for algo in [
+            SkylineAlgo::Naive,
+            SkylineAlgo::Bnl,
+            SkylineAlgo::Sfs,
+            SkylineAlgo::Auto,
+        ] {
+            let mut conn = PrefSqlConnection::new();
+            conn.engine_mut()
+                .catalog_mut()
+                .create_table(table.clone())
+                .expect("fresh catalog");
+            let rs = prefsql::native::run_native(conn.engine(), &registry, &query, algo)
+                .expect("native evaluation succeeds");
+            let ids = rs.column_as_ints(0);
+            prop_assert_eq!(
+                &ids,
+                &expected,
+                "algorithm {:?} disagrees with the abstract selection",
+                algo
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------- golden sweep
+
+/// Run `sql` in rewrite mode and in the native auto pipeline; assert
+/// identical row multisets.
+fn diff_rewrite_vs_pipeline(table: Table, sql: &str) {
+    let mut results = Vec::new();
+    for mode in [ExecutionMode::Rewrite, ExecutionMode::native()] {
+        let mut conn = PrefSqlConnection::new();
+        conn.engine_mut()
+            .catalog_mut()
+            .create_table(table.clone())
+            .expect("fresh catalog");
+        conn.set_mode(mode);
+        let rs = conn
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{mode:?} failed on {sql}: {e}"));
+        let mut rows: Vec<String> = rs.rows().iter().map(|r| r.to_string()).collect();
+        rows.sort();
+        results.push((mode, rows));
+    }
+    assert_eq!(
+        results[0].1, results[1].1,
+        "rewrite vs pipeline mismatch on: {sql}"
+    );
+}
+
+#[test]
+fn golden_oldtimer_demo() {
+    use prefsql_workload::oldtimer;
+    diff_rewrite_vs_pipeline(oldtimer::table(), oldtimer::QUERY);
+}
+
+#[test]
+fn golden_cars_demos() {
+    use prefsql_workload::cars;
+    diff_rewrite_vs_pipeline(
+        cars::paper_fixture(),
+        "SELECT identifier, make FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'",
+    );
+    diff_rewrite_vs_pipeline(cars::market(250, 71), cars::OPEL_QUERY);
+}
+
+#[test]
+fn golden_computers_demos() {
+    use prefsql_workload::computers;
+    let t = computers::table(200, 72);
+    diff_rewrite_vs_pipeline(t.clone(), computers::PARETO_QUERY);
+    diff_rewrite_vs_pipeline(t, computers::CASCADE_QUERY);
+}
+
+#[test]
+fn golden_trips_demo() {
+    use prefsql_workload::trips;
+    diff_rewrite_vs_pipeline(trips::table(200, 73), trips::BUT_ONLY_QUERY);
+}
+
+#[test]
+fn golden_hotels_demos() {
+    use prefsql_workload::hotels;
+    diff_rewrite_vs_pipeline(hotels::table(150, 74), hotels::NEG_QUERY);
+    diff_rewrite_vs_pipeline(
+        hotels::table(150, 75),
+        "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location",
+    );
+}
+
+#[test]
+fn golden_products_demo() {
+    use prefsql_workload::products;
+    diff_rewrite_vs_pipeline(products::table(200, 76), products::SEARCH_MASK_QUERY);
+}
+
+#[test]
+fn golden_cosima_demo() {
+    use prefsql_workload::cosima;
+    diff_rewrite_vs_pipeline(cosima::snapshot(200, 77).offers, cosima::COMPARISON_QUERY);
+}
+
+#[test]
+fn golden_bks01_demos() {
+    use prefsql_workload::bks01;
+    for dist in bks01::Distribution::ALL {
+        diff_rewrite_vs_pipeline(bks01::table(150, 3, dist, 78), &bks01::skyline_query(3));
+    }
+}
+
+#[test]
+fn golden_jobs_demo() {
+    use prefsql_workload::jobs;
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    let sql = format!(
+        "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
+        soft.join(" AND ")
+    );
+    diff_rewrite_vs_pipeline(jobs::table(1_500, 79), &sql);
+}
+
+// -------------------------------------------------- plan/EXPLAIN parity
+
+/// EXPLAIN must render the plan the executor runs, in both modes.
+#[test]
+fn explain_reflects_executed_plan_in_both_modes() {
+    let mut conn = PrefSqlConnection::new();
+    conn.execute("CREATE TABLE t (x INTEGER, y INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 9), (2, 8), (3, 7)")
+        .unwrap();
+
+    // Rewrite mode: the host plan tree shows the scan + dominance filter.
+    let out = conn
+        .execute("EXPLAIN SELECT x FROM t WHERE y > 0 PREFERRING LOWEST(x)")
+        .unwrap();
+    let text = match out {
+        prefsql::QueryResult::Explain(text) => text,
+        other => panic!("expected explain, got {other:?}"),
+    };
+    assert!(text.contains("Preference SQL rewrite:"), "{text}");
+    assert!(text.contains("Host engine plan:"), "{text}");
+    assert!(text.contains("Seq scan"), "{text}");
+    assert!(text.contains("Filter:"), "{text}");
+
+    // Native mode: the Preference operator sits on the same planned source.
+    conn.set_mode(ExecutionMode::native());
+    let out = conn
+        .execute("EXPLAIN SELECT x FROM t WHERE y > 0 PREFERRING LOWEST(x)")
+        .unwrap();
+    let text = match out {
+        prefsql::QueryResult::Explain(text) => text,
+        other => panic!("expected explain, got {other:?}"),
+    };
+    assert!(text.contains("Native preference plan:"), "{text}");
+    assert!(text.contains("Preference (BMO, algo=auto"), "{text}");
+    assert!(text.contains("Seq scan"), "{text}");
+    assert!(text.contains("Filter:"), "{text}");
+}
+
+/// The non-panicking result accessors report rows exactly for SELECTs.
+#[test]
+fn non_panicking_row_accessors() {
+    let mut conn = PrefSqlConnection::new();
+    let ddl = conn.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    assert!(ddl.rows().is_none());
+    assert!(ddl.into_rows().is_none());
+    conn.execute("INSERT INTO t VALUES (1)").unwrap();
+    let sel = conn.execute("SELECT x FROM t").unwrap();
+    assert_eq!(sel.rows().map(|rs| rs.len()), Some(1));
+    assert!(sel.into_rows().is_some());
+}

@@ -7,8 +7,9 @@
 use prefsql::{ExecutionMode, PrefSqlConnection, SkylineAlgo};
 use prefsql_workload::{bks01, cars, computers, cosima, hotels, oldtimer, trips};
 
-/// Run `sql` in rewrite mode and all three native modes; assert identical
-/// row multisets (order-insensitive unless the query orders).
+/// Run `sql` in rewrite mode and all four native modes (including the
+/// cost-based auto selection); assert identical row multisets
+/// (order-insensitive unless the query orders).
 fn assert_all_modes_agree(table: prefsql::storage::Table, sql: &str) {
     let mut results = Vec::new();
     for mode in [
@@ -16,6 +17,7 @@ fn assert_all_modes_agree(table: prefsql::storage::Table, sql: &str) {
         ExecutionMode::Native(SkylineAlgo::Naive),
         ExecutionMode::Native(SkylineAlgo::Bnl),
         ExecutionMode::Native(SkylineAlgo::Sfs),
+        ExecutionMode::Native(SkylineAlgo::Auto),
     ] {
         let mut conn = PrefSqlConnection::new();
         conn.engine_mut()
