@@ -3,7 +3,7 @@
 //! SQL; preference queries are rewritten to standard SQL and forwarded to
 //! the host engine; everything else passes through untouched.
 
-use crate::native::{self, SkylineAlgo};
+use crate::native::{self, NativeOptions, SkylineAlgo};
 use crate::result::ResultSet;
 use prefsql_engine::{Engine, ExecOutcome};
 use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
@@ -80,6 +80,9 @@ pub struct PrefSqlConnection {
     engine: Engine,
     rewriter: Rewriter,
     mode: ExecutionMode,
+    /// Parallel-window degree knob for native preference evaluation
+    /// (default: `PREFSQL_THREADS` or the host width).
+    threads: usize,
 }
 
 impl Default for PrefSqlConnection {
@@ -99,6 +102,7 @@ impl PrefSqlConnection {
             engine: Engine::new(),
             rewriter: Rewriter::new(),
             mode: ExecutionMode::Rewrite,
+            threads: prefsql_pref::default_threads(),
         }
     }
 
@@ -110,6 +114,19 @@ impl PrefSqlConnection {
     /// The current evaluation strategy.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Cap the parallel-window degree for native preference evaluation
+    /// (clamped to at least 1; `1` forces the serial window). The
+    /// skyline only actually parallelizes above
+    /// [`prefsql_pref::PARALLEL_CUTOFF`] candidates.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The parallel-window degree knob.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The underlying host engine (catalog access, stats, index toggles).
@@ -165,20 +182,28 @@ impl PrefSqlConnection {
         // Native mode evaluates preference SELECTs inside this layer and
         // explains them with the native plan it would run.
         if let ExecutionMode::Native(algo) = self.mode {
+            // Built literally: the connection's own `\threads` knob must
+            // win over `NativeOptions::default()`'s session default.
+            let opts = NativeOptions {
+                algo,
+                threads: self.threads,
+                batch: Some(prefsql_engine::physical::DEFAULT_BATCH),
+            };
             if let Statement::Select(q) = stmt {
                 if q.preferring.is_some() {
-                    let rs = native::run_native(&self.engine, self.rewriter.registry(), q, algo)?;
+                    let rs =
+                        native::run_native_opts(&self.engine, self.rewriter.registry(), q, opts)?;
                     return Ok(QueryResult::Rows(rs));
                 }
             }
             if let Statement::Explain(inner) = stmt {
                 if let Statement::Select(q) = inner.as_ref() {
                     if q.preferring.is_some() {
-                        let plan = native::explain_native(
+                        let plan = native::explain_native_opts(
                             &self.engine,
                             self.rewriter.registry(),
                             q,
-                            algo,
+                            opts,
                         )?;
                         return Ok(QueryResult::Explain(format!(
                             "Native preference plan:\n{plan}"
@@ -341,6 +366,21 @@ mod tests {
             }
             other => panic!("expected explain, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_knob_is_clamped_and_preserves_results() {
+        let mut c = PrefSqlConnection::new();
+        assert!(c.threads() >= 1);
+        c.set_threads(0);
+        assert_eq!(c.threads(), 1);
+        c.set_threads(8);
+        assert_eq!(c.threads(), 8);
+        c.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.execute("INSERT INTO t VALUES (5), (3), (9)").unwrap();
+        c.set_mode(ExecutionMode::native());
+        let rs = c.query("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![3]);
     }
 
     #[test]

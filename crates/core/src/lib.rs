@@ -44,7 +44,7 @@ pub mod result;
 pub mod shell;
 
 pub use connection::{ExecutionMode, PrefSqlConnection, QueryResult};
-pub use native::SkylineAlgo;
+pub use native::{NativeOptions, SkylineAlgo};
 pub use result::ResultSet;
 
 /// Re-export: the host SQL engine.

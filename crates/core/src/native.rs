@@ -15,15 +15,56 @@
 
 use crate::result::ResultSet;
 use prefsql_engine::eval::{eval, truth, Frame, SubqueryEval};
-use prefsql_engine::physical::{build, drain, BoxOperator, Operator};
+use prefsql_engine::physical::{
+    batch_from, build, drain_batched, drain_tuple_at_a_time, slice_from, BoxOperator, Operator,
+    DEFAULT_BATCH,
+};
 use prefsql_engine::{Engine, Relation};
 use prefsql_parser::ast::{Expr, Query, SelectItem};
-use prefsql_pref::{bmo_grouped, maximal, BasePref};
+use prefsql_pref::{bmo_grouped, maximal_with_threads, BasePref};
 use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
 use prefsql_rewrite::PreferenceRegistry;
 use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
 
 pub use prefsql_pref::SkylineAlgo;
+
+/// Execution knobs for the native preference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeOptions {
+    /// Maximal-set algorithm ([`SkylineAlgo::Auto`] = cost-based).
+    pub algo: SkylineAlgo,
+    /// Parallel-window degree knob (the shell's `\threads N`):
+    /// [`SkylineAlgo::Auto`] splits the skyline across up to this many
+    /// scoped OS threads once the candidate set exceeds
+    /// [`prefsql_pref::PARALLEL_CUTOFF`]; `1` forces the serial window.
+    pub threads: usize,
+    /// Batch size of the drive loop pulling the source plan; `None`
+    /// drives tuple-at-a-time through [`Operator::next`] (the
+    /// differential suites pin batched ≡ streaming with this).
+    pub batch: Option<usize>,
+}
+
+impl Default for NativeOptions {
+    /// Auto algorithm, session-default parallelism (`PREFSQL_THREADS`
+    /// or the host width), batched drive loop.
+    fn default() -> Self {
+        NativeOptions {
+            algo: SkylineAlgo::default(),
+            threads: prefsql_pref::default_threads(),
+            batch: Some(DEFAULT_BATCH),
+        }
+    }
+}
+
+impl NativeOptions {
+    /// Default options with a forced algorithm.
+    pub fn with_algo(algo: SkylineAlgo) -> Self {
+        NativeOptions {
+            algo,
+            ..NativeOptions::default()
+        }
+    }
+}
 
 /// The validated, compiled ingredients of one native preference query.
 struct NativeQuery {
@@ -89,7 +130,7 @@ pub struct PreferenceOp<'a> {
     schema: &'a Schema,
     compiled: &'a CompiledPreference,
     but_only: Option<&'a Expr>,
-    algo: SkylineAlgo,
+    opts: NativeOptions,
     /// Columns of the original relation (before the appended slots).
     n_orig: usize,
     n_groups: usize,
@@ -107,7 +148,7 @@ impl<'a> PreferenceOp<'a> {
         schema: &'a Schema,
         compiled: &'a CompiledPreference,
         but_only: Option<&'a Expr>,
-        algo: SkylineAlgo,
+        opts: NativeOptions,
         n_groups: usize,
     ) -> Self {
         let n_orig = schema.len() - compiled.preference.arity() - n_groups;
@@ -117,7 +158,7 @@ impl<'a> PreferenceOp<'a> {
             schema,
             compiled,
             but_only,
-            algo,
+            opts,
             n_orig,
             n_groups,
             winners: Vec::new(),
@@ -150,7 +191,12 @@ impl<'a> PreferenceOp<'a> {
 impl Operator for PreferenceOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.pos = 0;
-        let rows = drain(self.input.as_mut())?;
+        // Consume the source through the batched drive loop (or the
+        // tuple-at-a-time baseline when the differential suites ask).
+        let rows = match self.opts.batch {
+            Some(batch) => drain_batched(self.input.as_mut(), batch)?,
+            None => drain_tuple_at_a_time(self.input.as_mut())?,
+        };
         let arity = self.compiled.preference.arity();
 
         // Data-dependent optima for LOWEST/HIGHEST quality functions.
@@ -202,7 +248,12 @@ impl Operator for PreferenceOp<'_> {
                 .collect();
             bmo_grouped(&slot_vectors, &keys, &self.compiled.preference)
         } else {
-            maximal(&slot_vectors, &self.compiled.preference, self.algo)
+            maximal_with_threads(
+                &slot_vectors,
+                &self.compiled.preference,
+                self.opts.algo,
+                self.opts.threads,
+            )
         };
         let mut candidates = candidates.into_iter().map(Some).collect::<Vec<_>>();
         self.winners = winner_indices
@@ -222,21 +273,42 @@ impl Operator for PreferenceOp<'_> {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(&self.winners, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(&self.winners, &mut self.pos, max)))
+    }
+
     fn close(&mut self) {
         self.input.close();
         self.winners = Vec::new();
     }
 }
 
-/// Evaluate a preference query natively: FROM/WHERE run on the host
-/// engine's planned operator pipeline; a [`PreferenceOp`] on top performs
-/// the BMO selection; ORDER BY, projection (with quality functions),
-/// DISTINCT and LIMIT post-process the winners.
+/// Evaluate a preference query natively with the default knobs for
+/// `algo`: see [`run_native_opts`].
 pub fn run_native(
     engine: &Engine,
     registry: &PreferenceRegistry,
     query: &Query,
     algo: SkylineAlgo,
+) -> Result<ResultSet> {
+    run_native_opts(engine, registry, query, NativeOptions::with_algo(algo))
+}
+
+/// Evaluate a preference query natively: FROM/WHERE run on the host
+/// engine's planned operator pipeline (consumed through the batched
+/// drive loop); a [`PreferenceOp`] on top performs the BMO selection
+/// (parallelizing the window per `opts.threads`); ORDER BY, projection
+/// (with quality functions), DISTINCT and LIMIT post-process the
+/// winners.
+pub fn run_native_opts(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    opts: NativeOptions,
 ) -> Result<ResultSet> {
     let native = prepare(registry, query)?;
     engine.begin_statement();
@@ -250,7 +322,7 @@ pub fn run_native(
         &schema,
         &native.compiled,
         query.but_only.as_ref(),
-        algo,
+        opts,
         native.n_groups,
     );
     op.open()?;
@@ -378,14 +450,26 @@ pub fn run_native(
     }))
 }
 
-/// Render the native execution plan for a preference query: the
-/// [`PreferenceOp`] description on top of the very source plan
-/// [`run_native`] would execute.
+/// Render the native execution plan with the default knobs for `algo`:
+/// see [`explain_native_opts`].
 pub fn explain_native(
     engine: &Engine,
     registry: &PreferenceRegistry,
     query: &Query,
     algo: SkylineAlgo,
+) -> Result<String> {
+    explain_native_opts(engine, registry, query, NativeOptions::with_algo(algo))
+}
+
+/// Render the native execution plan for a preference query: the
+/// [`PreferenceOp`] description on top of the very source plan
+/// [`run_native_opts`] would execute, surfacing the parallel-window
+/// degree the session knob allows.
+pub fn explain_native_opts(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    opts: NativeOptions,
 ) -> Result<String> {
     let native = prepare(registry, query)?;
     engine.begin_statement();
@@ -413,8 +497,12 @@ pub fn explain_native(
     // of naming an algorithm the executor would not use.
     let algo_shown = if native.n_groups > 0 {
         format!("grouped-bmo, {} key(s)", native.n_groups)
+    } else if matches!(opts.algo, SkylineAlgo::Auto) && opts.threads > 1 {
+        // The effective degree is cost-based per input (serial under
+        // PARALLEL_CUTOFF candidates) — surface the session's ceiling.
+        format!("algo={}, threads={}", opts.algo.label(), opts.threads)
     } else {
-        format!("algo={}", algo.label())
+        format!("algo={}", opts.algo.label())
     };
     let but_only = if query.but_only.is_some() {
         ", but-only threshold"
@@ -583,5 +671,91 @@ struct EngineSubqueries<'e> {
 impl SubqueryEval for EngineSubqueries<'_> {
     fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
         Ok(self.engine.run_query(query, frames)?.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_parser::ast::Statement;
+
+    /// [`PreferenceOp`] advertises the engine's full [`Operator`]
+    /// contract, so its buffered `next_batch`/`next_slice` overrides
+    /// must walk the same cursor as `next()` — pinned here by driving
+    /// three identical operators through the three surfaces (the
+    /// batched calls interleaved with `next()`) over a winner set that
+    /// straddles the batch boundary.
+    #[test]
+    fn preference_op_batched_surface_matches_next() {
+        let mut engine = Engine::new();
+        engine
+            .execute_sql("CREATE TABLE t (id INTEGER, x INTEGER, y INTEGER)")
+            .unwrap();
+        // Five pairwise-incomparable rows (the winners) plus two
+        // dominated ones, so batches of 2 end with a short final batch.
+        engine
+            .execute_sql(
+                "INSERT INTO t VALUES (1, 0, 9), (2, 1, 7), (3, 2, 5), \
+                 (4, 3, 3), (5, 4, 1), (6, 5, 9), (7, 9, 9)",
+            )
+            .unwrap();
+        let registry = PreferenceRegistry::new();
+        let Statement::Select(query) = prefsql_parser::parse_statement(
+            "SELECT id FROM t PREFERRING x AROUND 0 AND y AROUND 0",
+        )
+        .unwrap() else {
+            panic!("expected a SELECT");
+        };
+        let native = prepare(&registry, &query).unwrap();
+        engine.begin_statement();
+        let plan = engine.plan_for(&native.aux).unwrap();
+        let schema = plan.root().schema().clone();
+        let open = || {
+            let mut op = PreferenceOp::new(
+                build(&engine, plan.root(), &[]),
+                &engine,
+                &schema,
+                &native.compiled,
+                query.but_only.as_ref(),
+                NativeOptions::default(),
+                native.n_groups,
+            );
+            op.open().unwrap();
+            op
+        };
+
+        let mut baseline = open();
+        let mut expected = Vec::new();
+        while let Some(t) = baseline.next().unwrap() {
+            expected.push(t);
+        }
+        baseline.close();
+        assert_eq!(expected.len(), 5, "winner set should be the antichain");
+
+        // next_batch interleaved with next(): one shared cursor.
+        let mut op = open();
+        let mut got = vec![op.next().unwrap().expect("first winner")];
+        loop {
+            let more = op.next_batch(&mut got, 2).unwrap();
+            if !more {
+                break;
+            }
+        }
+        assert!(!op.next_batch(&mut got, 2).unwrap(), "stays exhausted");
+        op.close();
+        assert_eq!(got, expected);
+
+        // next_slice lends the same stream; empty slice marks the end.
+        let mut op = open();
+        let mut got = vec![op.next().unwrap().expect("first winner")];
+        loop {
+            let slice = op.next_slice(2).unwrap().expect("buffered operator");
+            if slice.is_empty() {
+                break;
+            }
+            got.extend_from_slice(slice);
+        }
+        op.close();
+        assert_eq!(got, expected);
     }
 }

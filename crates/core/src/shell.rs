@@ -10,6 +10,7 @@
 //! | `\d <table>` | show a table's schema and indexes |
 //! | `\mode [rewrite\|native\|naive\|bnl\|sfs\|auto]` | show/switch the execution mode |
 //! | `\algo [auto\|naive\|bnl\|sfs]` | show/set the native skyline algorithm |
+//! | `\threads [N]` | show/set the parallel skyline degree |
 //! | `\timing` | toggle per-statement timing |
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
@@ -117,6 +118,7 @@ impl Shell {
             "\\help" | "\\?" => "\\d [table]   list relations / describe a table\n\
                  \\mode [m]    show or set execution mode (rewrite|native|naive|bnl|sfs|auto)\n\
                  \\algo [a]    show or set the native skyline algorithm (auto|naive|bnl|sfs)\n\
+                 \\threads [n] show or set the parallel skyline degree (1 = serial)\n\
                  \\rewrite q   show the standard SQL a preference query becomes\n\
                  \\timing      toggle timing\n\
                  \\q           quit\n"
@@ -158,6 +160,16 @@ impl Shell {
                         format!("algo: {}\n", algo.label())
                     }
                     None => format!("unknown algorithm '{a}' (auto|naive|bnl|sfs)\n"),
+                },
+            },
+            "\\threads" => match arg {
+                "" => format!("threads: {}\n", self.conn.threads()),
+                n => match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.conn.set_threads(n);
+                        format!("threads: {}\n", self.conn.threads())
+                    }
+                    _ => format!("invalid thread count '{n}' (positive integer)\n"),
                 },
             },
             "\\rewrite" => match self.conn.rewritten_sql(arg) {
@@ -343,6 +355,31 @@ mod tests {
         assert_eq!(sh.feed_line("\\mode"), "mode: native (auto)\n");
         assert!(sh.feed_line("\\algo warp").contains("unknown algorithm"));
         assert!(sh.feed_line("\\help").contains("\\algo"));
+    }
+
+    #[test]
+    fn threads_command_controls_parallel_degree() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\threads 4"), "threads: 4\n");
+        assert_eq!(sh.feed_line("\\threads"), "threads: 4\n");
+        // Queries still work with the knob set, in both modes.
+        sh.feed_line("CREATE TABLE t (x INTEGER);");
+        sh.feed_line("INSERT INTO t VALUES (2), (1);");
+        sh.feed_line("\\mode native");
+        let out = sh.feed_line("SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(out.contains("| 1 |"), "{out}");
+        // EXPLAIN surfaces the degree ceiling next to the algorithm.
+        let out = sh.feed_line("EXPLAIN SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(out.contains("algo=auto, threads=4"), "{out}");
+        // Serial knob drops the annotation again.
+        sh.feed_line("\\threads 1");
+        let out = sh.feed_line("EXPLAIN SELECT x FROM t PREFERRING LOWEST(x);");
+        assert!(!out.contains("threads="), "{out}");
+        assert!(sh.feed_line("\\threads 0").contains("invalid thread count"));
+        assert!(sh
+            .feed_line("\\threads many")
+            .contains("invalid thread count"));
+        assert!(sh.feed_line("\\help").contains("\\threads"));
     }
 
     #[test]

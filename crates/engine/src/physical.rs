@@ -27,6 +27,61 @@ pub trait Operator {
     fn open(&mut self) -> Result<()>;
     /// The next output tuple, or `None` when exhausted.
     fn next(&mut self) -> Result<Option<Tuple>>;
+    /// Append up to `max` tuples (`max >= 1`) to `out`. Returns
+    /// `Ok(true)` while the stream may still have tuples and `Ok(false)`
+    /// once it is exhausted; a `true` return with a coincidentally
+    /// drained input simply makes the following call report `false`
+    /// having appended nothing.
+    ///
+    /// The default implementation loops [`Operator::next`]; hot
+    /// operators override it to amortize dynamic dispatch and per-tuple
+    /// `Result` plumbing (scans and materialized buffers copy slices,
+    /// filters and projections process whole child batches). `next` and
+    /// `next_batch` advance the same cursor, so callers may interleave
+    /// them freely.
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        for _ in 0..max {
+            match self.next()? {
+                Some(t) => out.push(t),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+    /// Borrowed batched access: operators whose output already sits in a
+    /// buffer (scans, index probes, materialized views, sorted or
+    /// aggregated results) expose the next run of up to `max` tuples
+    /// (`max >= 1`) as a borrowed slice, advancing the same cursor
+    /// `next`/`next_batch` use. Returns `Ok(None)` when the operator
+    /// streams and has no buffer to lend (the default) — callers then
+    /// fall back to [`Operator::next_batch`]; an empty slice means
+    /// exhausted.
+    ///
+    /// This is what makes batching pay on this engine: tuples are
+    /// heap-allocated, so consumers that can work on borrowed tuples
+    /// (filters deciding survival, projections building narrow output
+    /// rows) skip cloning the wide source tuples entirely.
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        let _ = max;
+        Ok(None)
+    }
+    /// Selection-vector variant of [`Operator::next_slice`]: lend a
+    /// borrowed batch together with the indices into it that this
+    /// operator actually emits (appended to `sel`). Filters implement
+    /// this by lending their child's slice untouched and selecting the
+    /// surviving indices, which lets a projection above a filtered scan
+    /// run the whole chain without cloning a single wide source tuple.
+    /// The default delegates to `next_slice` with an all-rows selection;
+    /// `Ok(None)` and the empty-slice end marker behave as there.
+    fn next_selection(&mut self, max: usize, sel: &mut Vec<usize>) -> Result<Option<&[Tuple]>> {
+        match self.next_slice(max)? {
+            Some(slice) => {
+                sel.extend(0..slice.len());
+                Ok(Some(slice))
+            }
+            None => Ok(None),
+        }
+    }
     /// Release resources (idempotent).
     fn close(&mut self);
 }
@@ -92,6 +147,7 @@ pub fn build<'a>(
             input: build(engine, input, outer),
             pred,
             outer,
+            batch: Vec::new(),
         }),
         PlanNode::Project {
             input, projections, ..
@@ -101,6 +157,8 @@ pub fn build<'a>(
             input: build(engine, input, outer),
             projections,
             outer,
+            batch: Vec::new(),
+            sel: Vec::new(),
         }),
         PlanNode::Sort { input, keys } => Box::new(SortOp {
             engine,
@@ -145,11 +203,60 @@ pub fn execute(engine: &Engine, node: &PlanNode, outer: &[Frame<'_>]) -> Result<
     Ok(Relation { schema, rows })
 }
 
+/// Tuples pulled per [`Operator::next_batch`] call by the default drive
+/// loops: large enough to amortize a virtual call over a cache-friendly
+/// run of tuples, small enough to keep scratch buffers resident.
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Shared [`Operator::next_batch`] body for buffered operators: append
+/// the next run of up to `max` tuples of `rows` to `out`, advancing
+/// `pos`. Returns `true` while tuples remain.
+pub fn batch_from(rows: &[Tuple], pos: &mut usize, out: &mut Vec<Tuple>, max: usize) -> bool {
+    let end = (*pos + max).min(rows.len());
+    out.extend_from_slice(&rows[*pos..end]);
+    *pos = end;
+    *pos < rows.len()
+}
+
+/// Shared [`Operator::next_slice`] body for buffered operators: lend
+/// the next run of up to `max` tuples of `rows`, advancing `pos`.
+/// Empty at exhaustion.
+pub fn slice_from<'a>(rows: &'a [Tuple], pos: &mut usize, max: usize) -> &'a [Tuple] {
+    let end = (*pos + max).min(rows.len());
+    let slice = &rows[*pos..end];
+    *pos = end;
+    slice
+}
+
 /// Open `op`, pull every tuple, and close it — the operator is closed
 /// even when opening or pulling errors, so resources held by the
 /// sub-tree are always released. Pipeline breakers use this to consume
-/// their children.
+/// their children. Pulls batches of [`DEFAULT_BATCH`].
 pub fn drain(op: &mut (dyn Operator + '_)) -> Result<Vec<Tuple>> {
+    drain_batched(op, DEFAULT_BATCH)
+}
+
+/// [`drain`] with an explicit batch size (clamped to at least 1) — the
+/// batch-boundary tests sweep this to pin batched ≡ streaming.
+pub fn drain_batched(op: &mut (dyn Operator + '_), batch: usize) -> Result<Vec<Tuple>> {
+    let batch = batch.max(1);
+    let mut rows = Vec::new();
+    let result = op.open().and_then(|()| loop {
+        match op.next_batch(&mut rows, batch) {
+            Ok(true) => {}
+            Ok(false) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    });
+    op.close();
+    result?;
+    Ok(rows)
+}
+
+/// The tuple-at-a-time drive loop: one virtual call and one `Result`
+/// per tuple through [`Operator::next`]. Kept as the differential
+/// baseline the batched loop is tested against.
+pub fn drain_tuple_at_a_time(op: &mut (dyn Operator + '_)) -> Result<Vec<Tuple>> {
     let mut rows = Vec::new();
     let result = op.open().and_then(|()| loop {
         match op.next() {
@@ -264,6 +371,14 @@ impl Operator for SeqScanOp<'_> {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(self.rows, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(self.rows, &mut self.pos, max)))
+    }
+
     fn close(&mut self) {
         self.rows = &[];
     }
@@ -304,6 +419,14 @@ impl Operator for IndexScanOp<'_> {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(&self.rows, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(&self.rows, &mut self.pos, max)))
     }
 
     fn close(&mut self) {
@@ -355,6 +478,16 @@ impl Operator for MaterializeOp<'_> {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        let rel = self.rel.as_ref().expect("open() before next_batch()");
+        Ok(batch_from(&rel.rows, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        let rel = self.rel.as_ref().expect("open() before next_slice()");
+        Ok(Some(slice_from(&rel.rows, &mut self.pos, max)))
+    }
+
     fn close(&mut self) {
         self.rel = None;
     }
@@ -369,6 +502,8 @@ struct FilterOp<'a> {
     input: BoxOperator<'a>,
     pred: &'a Expr,
     outer: &'a [Frame<'a>],
+    /// Reused child-batch scratch buffer for [`Operator::next_batch`].
+    batch: Vec<Tuple>,
 }
 
 impl Operator for FilterOp<'_> {
@@ -386,8 +521,70 @@ impl Operator for FilterOp<'_> {
         Ok(None)
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        // The filter only shrinks a batch, so requesting `max - appended`
+        // from the child can never overfill `out`.
+        let mut appended = 0;
+        // Fast path: a buffered child lends borrowed slices — evaluate
+        // the predicate on borrowed tuples and clone only the survivors,
+        // so dropped rows are never copied at all.
+        let (engine, schema, pred, outer) = (self.engine, self.child_schema, self.pred, self.outer);
+        while appended < max {
+            let Some(slice) = self.input.next_slice(max - appended)? else {
+                break;
+            };
+            if slice.is_empty() {
+                return Ok(false);
+            }
+            for t in slice {
+                let v = eval_row(engine, pred, schema, t, outer)?;
+                if truth(&v) == Some(true) {
+                    out.push(t.clone());
+                    appended += 1;
+                }
+            }
+        }
+        // General path: a streaming child hands owned batches through
+        // the scratch buffer.
+        while appended < max {
+            self.batch.clear();
+            let more = self.input.next_batch(&mut self.batch, max - appended)?;
+            for t in self.batch.drain(..) {
+                let v = eval_row(self.engine, self.pred, self.child_schema, &t, self.outer)?;
+                if truth(&v) == Some(true) {
+                    out.push(t);
+                    appended += 1;
+                }
+            }
+            if !more {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn next_selection(&mut self, max: usize, sel: &mut Vec<usize>) -> Result<Option<&[Tuple]>> {
+        // Lend the child's borrowed slice untouched and select the
+        // surviving indices — no tuple is cloned at all; the parent
+        // copies only what it keeps.
+        let (engine, schema, pred, outer) = (self.engine, self.child_schema, self.pred, self.outer);
+        match self.input.next_slice(max)? {
+            None => Ok(None),
+            Some(slice) => {
+                for (i, t) in slice.iter().enumerate() {
+                    let v = eval_row(engine, pred, schema, t, outer)?;
+                    if truth(&v) == Some(true) {
+                        sel.push(i);
+                    }
+                }
+                Ok(Some(slice))
+            }
+        }
+    }
+
     fn close(&mut self) {
         self.input.close();
+        self.batch = Vec::new();
     }
 }
 
@@ -456,6 +653,28 @@ struct ProjectOp<'a> {
     input: BoxOperator<'a>,
     projections: &'a [Projection],
     outer: &'a [Frame<'a>],
+    /// Reused child-batch scratch buffer for [`Operator::next_batch`].
+    batch: Vec<Tuple>,
+    /// Reused selection-vector scratch for the borrowed fast path.
+    sel: Vec<usize>,
+}
+
+/// Evaluate one SELECT list against one (borrowed) child tuple.
+fn project_one(
+    engine: &Engine,
+    child_schema: &Schema,
+    projections: &[Projection],
+    outer: &[Frame<'_>],
+    t: &Tuple,
+) -> Result<Tuple> {
+    let mut values = Vec::with_capacity(projections.len());
+    for p in projections {
+        values.push(match p {
+            Projection::Passthrough(idx) => t[*idx].clone(),
+            Projection::Computed(e) => eval_row(engine, e, child_schema, t, outer)?,
+        });
+    }
+    Ok(Tuple::new(values))
 }
 
 impl Operator for ProjectOp<'_> {
@@ -467,20 +686,63 @@ impl Operator for ProjectOp<'_> {
         let Some(t) = self.input.next()? else {
             return Ok(None);
         };
-        let mut values = Vec::with_capacity(self.projections.len());
-        for p in self.projections {
-            values.push(match p {
-                Projection::Passthrough(idx) => t[*idx].clone(),
-                Projection::Computed(e) => {
-                    eval_row(self.engine, e, self.child_schema, &t, self.outer)?
-                }
-            });
+        Ok(Some(project_one(
+            self.engine,
+            self.child_schema,
+            self.projections,
+            self.outer,
+            &t,
+        )?))
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        let mut appended = 0;
+        // Fast path: project straight off a borrowed slice-with-selection
+        // (a buffered child, or a filter lending its own buffered
+        // child's slice) — the wide source tuples are never cloned.
+        let (engine, schema, projections, outer) =
+            (self.engine, self.child_schema, self.projections, self.outer);
+        let mut sel = std::mem::take(&mut self.sel);
+        while appended < max {
+            sel.clear();
+            let Some(slice) = self.input.next_selection(max - appended, &mut sel)? else {
+                break;
+            };
+            if slice.is_empty() {
+                self.sel = sel;
+                return Ok(false);
+            }
+            for &i in &sel {
+                out.push(project_one(engine, schema, projections, outer, &slice[i])?);
+                appended += 1;
+            }
         }
-        Ok(Some(Tuple::new(values)))
+        self.sel = sel;
+        // General path: one projected tuple per owned child-batch tuple
+        // through the scratch buffer.
+        while appended < max {
+            self.batch.clear();
+            let more = self.input.next_batch(&mut self.batch, max - appended)?;
+            for t in &self.batch {
+                out.push(project_one(
+                    self.engine,
+                    self.child_schema,
+                    self.projections,
+                    self.outer,
+                    t,
+                )?);
+                appended += 1;
+            }
+            if !more {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     fn close(&mut self) {
         self.input.close();
+        self.batch = Vec::new();
     }
 }
 
@@ -523,6 +785,14 @@ impl Operator for SortOp<'_> {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(&self.sorted, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(&self.sorted, &mut self.pos, max)))
     }
 
     fn close(&mut self) {
@@ -590,6 +860,37 @@ impl Operator for LimitOp<'_> {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        // Never request more than the remaining quota from the child: a
+        // LIMIT cutoff in the middle of a batch must stop the pull there.
+        let want = self.remaining.min(max as u64) as usize;
+        let mut taken = 0;
+        let mut more = true;
+        while taken < want && more {
+            // Prefer the child's borrowed slice (still quota-clamped).
+            match self.input.next_slice(want - taken)? {
+                Some([]) => more = false,
+                Some(slice) => {
+                    out.extend_from_slice(slice);
+                    taken += slice.len();
+                }
+                None => {
+                    let before = out.len();
+                    more = self.input.next_batch(out, want - taken)?;
+                    taken += out.len() - before;
+                }
+            }
+        }
+        self.remaining -= taken as u64;
+        if !more {
+            self.remaining = 0;
+        }
+        Ok(self.remaining > 0)
+    }
+
     fn close(&mut self) {
         self.input.close();
     }
@@ -633,6 +934,14 @@ impl Operator for AggregateOp<'_> {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(&self.out, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(&self.out, &mut self.pos, max)))
     }
 
     fn close(&mut self) {
@@ -894,5 +1203,228 @@ fn compute_aggregate(
             Ok(best.unwrap_or(Value::Null))
         }
         _ => unreachable!("caller checked the aggregate name"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// An instrumented source: serves integer tuples and records how many
+    /// tuples it handed out and the largest batch ever requested, so the
+    /// tests can prove a parent stopped pulling mid-batch.
+    struct ProbeSource {
+        rows: Vec<Tuple>,
+        pos: usize,
+        serve_slices: bool,
+        served: Rc<Cell<usize>>,
+        largest_request: Rc<Cell<usize>>,
+    }
+
+    fn probe(n: i64) -> (ProbeSource, Rc<Cell<usize>>, Rc<Cell<usize>>) {
+        let served = Rc::new(Cell::new(0));
+        let largest = Rc::new(Cell::new(0));
+        let src = ProbeSource {
+            rows: (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect(),
+            pos: 0,
+            serve_slices: false,
+            served: Rc::clone(&served),
+            largest_request: Rc::clone(&largest),
+        };
+        (src, served, largest)
+    }
+
+    impl Operator for ProbeSource {
+        fn open(&mut self) -> Result<()> {
+            self.pos = 0;
+            Ok(())
+        }
+
+        fn next(&mut self) -> Result<Option<Tuple>> {
+            self.largest_request.set(self.largest_request.get().max(1));
+            match self.rows.get(self.pos) {
+                Some(t) => {
+                    self.pos += 1;
+                    self.served.set(self.served.get() + 1);
+                    Ok(Some(t.clone()))
+                }
+                None => Ok(None),
+            }
+        }
+
+        fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+            self.largest_request
+                .set(self.largest_request.get().max(max));
+            let end = (self.pos + max).min(self.rows.len());
+            out.extend_from_slice(&self.rows[self.pos..end]);
+            self.served.set(self.served.get() + (end - self.pos));
+            self.pos = end;
+            Ok(self.pos < self.rows.len())
+        }
+
+        fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+            if !self.serve_slices {
+                return Ok(None);
+            }
+            self.largest_request
+                .set(self.largest_request.get().max(max));
+            let end = (self.pos + max).min(self.rows.len());
+            let slice = &self.rows[self.pos..end];
+            self.served.set(self.served.get() + slice.len());
+            self.pos = end;
+            Ok(Some(slice))
+        }
+
+        fn close(&mut self) {}
+    }
+
+    fn ints(rows: &[Tuple]) -> Vec<i64> {
+        rows.iter().map(|t| t[0].as_int().expect("int")).collect()
+    }
+
+    #[test]
+    fn limit_stops_pulling_its_child_mid_batch_via_slices() {
+        // Same quota discipline when the child lends borrowed slices.
+        let (mut src, served, largest) = probe(100);
+        src.serve_slices = true;
+        let mut limit = LimitOp {
+            input: Box::new(src),
+            remaining: 3,
+        };
+        limit.open().unwrap();
+        let mut out = Vec::new();
+        assert!(!limit.next_batch(&mut out, 10).unwrap());
+        assert_eq!(ints(&out), vec![0, 1, 2]);
+        assert_eq!(served.get(), 3);
+        assert_eq!(largest.get(), 3);
+        limit.close();
+    }
+
+    #[test]
+    fn limit_stops_pulling_its_child_mid_batch() {
+        let (src, served, largest) = probe(100);
+        let mut limit = LimitOp {
+            input: Box::new(src),
+            remaining: 3,
+        };
+        limit.open().unwrap();
+        let mut out = Vec::new();
+        // One oversized request: the limit must clamp the child pull to
+        // its quota, not forward `max` and discard the overshoot.
+        let more = limit.next_batch(&mut out, 10).unwrap();
+        assert_eq!(ints(&out), vec![0, 1, 2]);
+        assert!(!more, "quota exhausted must report end-of-stream");
+        assert_eq!(served.get(), 3, "child must serve exactly the quota");
+        assert_eq!(largest.get(), 3, "child must never be asked for more");
+        // Exhausted limits never touch the child again.
+        let mut out2 = Vec::new();
+        assert!(!limit.next_batch(&mut out2, 10).unwrap());
+        assert!(out2.is_empty());
+        assert_eq!(served.get(), 3);
+        limit.close();
+    }
+
+    #[test]
+    fn limit_batches_straddling_the_cutoff_agree_with_next() {
+        for (rows, lim, batch) in [
+            (10i64, 4u64, 3usize), // cutoff mid-batch
+            (10, 10, 3),           // cutoff == input end, short final batch
+            (10, 0, 5),            // LIMIT 0
+            (0, 5, 4),             // empty input
+            (7, 20, 7),            // limit beyond input, exact batch fit
+        ] {
+            let (src, _, _) = probe(rows);
+            let mut batched = LimitOp {
+                input: Box::new(src),
+                remaining: lim,
+            };
+            let batched_rows = drain_batched(&mut batched, batch).unwrap();
+
+            let (src, _, _) = probe(rows);
+            let mut streamed = LimitOp {
+                input: Box::new(src),
+                remaining: lim,
+            };
+            let streamed_rows = drain_tuple_at_a_time(&mut streamed).unwrap();
+            assert_eq!(
+                ints(&batched_rows),
+                ints(&streamed_rows),
+                "rows={rows} lim={lim} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_next_batch_mirrors_next() {
+        // Drive the default implementation (ProbeSource wrapped so the
+        // override is not used) against plain next().
+        struct DefaultOnly(ProbeSource);
+        impl Operator for DefaultOnly {
+            fn open(&mut self) -> Result<()> {
+                self.0.open()
+            }
+            fn next(&mut self) -> Result<Option<Tuple>> {
+                self.0.next()
+            }
+            fn close(&mut self) {
+                self.0.close()
+            }
+        }
+        let (src, _, _) = probe(10);
+        let mut op = DefaultOnly(src);
+        op.open().unwrap();
+        let mut out = Vec::new();
+        assert!(op.next_batch(&mut out, 7).unwrap());
+        assert_eq!(out.len(), 7);
+        // Final short batch reports exhaustion.
+        assert!(!op.next_batch(&mut out, 7).unwrap());
+        assert_eq!(ints(&out), (0..10).collect::<Vec<_>>());
+        // Subsequent calls keep reporting exhaustion with no tuples.
+        assert!(!op.next_batch(&mut out, 7).unwrap());
+        assert_eq!(out.len(), 10);
+        op.close();
+    }
+
+    #[test]
+    fn scan_style_emission_yields_final_short_batch() {
+        let (mut src, _, _) = probe(10);
+        src.open().unwrap();
+        let mut out = Vec::new();
+        assert!(src.next_batch(&mut out, 7).unwrap());
+        assert_eq!(out.len(), 7);
+        assert!(!src.next_batch(&mut out, 7).unwrap());
+        assert_eq!(out.len(), 10);
+        // Empty batch after exhaustion.
+        assert!(!src.next_batch(&mut out, 7).unwrap());
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn interleaving_next_and_next_batch_shares_the_cursor() {
+        let (mut src, _, _) = probe(6);
+        src.open().unwrap();
+        assert_eq!(src.next().unwrap().unwrap()[0], Value::Int(0));
+        let mut out = Vec::new();
+        assert!(src.next_batch(&mut out, 3).unwrap());
+        assert_eq!(ints(&out), vec![1, 2, 3]);
+        assert_eq!(src.next().unwrap().unwrap()[0], Value::Int(4));
+        assert!(!src.next_batch(&mut out, 3).unwrap());
+        assert_eq!(ints(&out), vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn drain_batched_clamps_zero_batch() {
+        let (src, _, _) = probe(4);
+        let mut limit = LimitOp {
+            input: Box::new(src),
+            remaining: 4,
+        };
+        // A zero batch size must not loop forever.
+        assert_eq!(
+            ints(&drain_batched(&mut limit, 0).unwrap()),
+            vec![0, 1, 2, 3]
+        );
     }
 }

@@ -1,0 +1,119 @@
+//! Batch-boundary integration tests: the batched drive loop must agree
+//! with the tuple-at-a-time drive loop for every operator shape the
+//! planner emits — including batches that straddle LIMIT cutoffs, empty
+//! result sets, and final short batches — at every batch size.
+
+use prefsql_engine::physical::{build, drain_batched, drain_tuple_at_a_time};
+use prefsql_engine::Engine;
+use prefsql_parser::ast::Statement;
+use prefsql_parser::parse_statement;
+use prefsql_types::Tuple;
+
+/// Batch sizes covering degenerate (1), prime mid-size straddles (3, 7)
+/// and everything-in-one-pull (1024).
+const BATCH_SIZES: [usize; 4] = [1, 3, 7, 1024];
+
+fn setup() -> Engine {
+    let mut e = Engine::new();
+    e.execute_sql("CREATE TABLE t (id INTEGER NOT NULL, grp INTEGER, v INTEGER)")
+        .unwrap();
+    // 50 rows: grp cycles 0..5, v descends — enough to straddle every
+    // batch size in BATCH_SIZES several times.
+    for i in 0..50 {
+        e.execute_sql(&format!(
+            "INSERT INTO t VALUES ({i}, {}, {})",
+            i % 5,
+            100 - i
+        ))
+        .unwrap();
+    }
+    e.execute_sql("CREATE INDEX idx_grp ON t (grp) USING hash")
+        .unwrap();
+    e
+}
+
+fn select_query(sql: &str) -> prefsql_parser::ast::Query {
+    match parse_statement(sql).unwrap() {
+        Statement::Select(q) => *q,
+        other => panic!("expected SELECT, got {other:?}"),
+    }
+}
+
+/// Drive `sql` tuple-at-a-time and at every batch size; all runs must
+/// produce identical row vectors (same tuples, same order).
+fn assert_batched_matches_streaming(engine: &Engine, sql: &str) {
+    let query = select_query(sql);
+    engine.begin_statement();
+    let plan = engine.plan_for(&query).unwrap();
+
+    let streamed: Vec<Tuple> = {
+        let mut op = build(engine, plan.root(), &[]);
+        drain_tuple_at_a_time(op.as_mut()).unwrap()
+    };
+    for batch in BATCH_SIZES {
+        let mut op = build(engine, plan.root(), &[]);
+        let batched = drain_batched(op.as_mut(), batch).unwrap();
+        assert_eq!(batched, streamed, "batch={batch} diverged on: {sql}");
+    }
+}
+
+#[test]
+fn scan_filter_project_agree_across_batch_sizes() {
+    let e = setup();
+    for sql in [
+        "SELECT id, v FROM t",
+        "SELECT id FROM t WHERE v > 75",
+        "SELECT id, v + 1 FROM t WHERE grp = 2",
+        // Empty result: every batch is an empty final batch.
+        "SELECT id FROM t WHERE v > 1000",
+    ] {
+        assert_batched_matches_streaming(&e, sql);
+    }
+}
+
+#[test]
+fn limit_cutoffs_agree_across_batch_sizes() {
+    let e = setup();
+    for sql in [
+        // Cutoffs that land mid-batch, on batch edges, at 0 and past the end.
+        "SELECT id FROM t LIMIT 1",
+        "SELECT id FROM t LIMIT 5",
+        "SELECT id FROM t LIMIT 7",
+        "SELECT id FROM t LIMIT 49",
+        "SELECT id FROM t LIMIT 50",
+        "SELECT id FROM t LIMIT 500",
+        "SELECT id FROM t WHERE grp = 1 LIMIT 4",
+        "SELECT id, v FROM t ORDER BY v LIMIT 9",
+    ] {
+        assert_batched_matches_streaming(&e, sql);
+    }
+}
+
+#[test]
+fn pipeline_breakers_and_joins_agree_across_batch_sizes() {
+    let e = setup();
+    for sql in [
+        "SELECT id, v FROM t ORDER BY v DESC",
+        "SELECT DISTINCT grp FROM t",
+        "SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp",
+        "SELECT a.id, b.id FROM t a, t b WHERE a.id = b.id AND a.v > 90",
+        "SELECT x.id FROM (SELECT id, v FROM t WHERE v > 60) x WHERE x.v < 90",
+    ] {
+        assert_batched_matches_streaming(&e, sql);
+    }
+}
+
+#[test]
+fn index_scan_agrees_across_batch_sizes() {
+    let e = setup();
+    // grp has a hash index; the planner picks the index probe for
+    // equality — verify by the stats, then diff the drive loops.
+    e.begin_statement();
+    let query = select_query("SELECT id FROM t WHERE grp = 3");
+    let plan = e.plan_for(&query).unwrap();
+    let mut op = build(&e, plan.root(), &[]);
+    let rows = drain_batched(op.as_mut(), 3).unwrap();
+    assert_eq!(rows.len(), 10);
+    assert!(e.take_stats().index_probes > 0, "expected an index probe");
+    assert_batched_matches_streaming(&e, "SELECT id FROM t WHERE grp = 3");
+}

@@ -13,8 +13,14 @@
 //!   order compatible with dominance (lexicographic over base-preference
 //!   scores), then run the window filter. Sorting makes most dominated
 //!   candidates die on their first window probe.
+//! * [`maximal_parallel`] — the decomposable-window formulation of
+//!   \[BKS01\]: partition the candidates across OS threads, skyline each
+//!   partition locally, then merge-filter the union of the local
+//!   skylines. Dominance is transitive, so checking survivors against
+//!   the union of local skylines is exact.
 //!
-//! The ablation benchmark A1 compares them against the rewrite.
+//! The ablation benchmark A1 compares them against the rewrite; the
+//! `parallel_skyline` bench target covers the threaded window.
 
 use crate::base::BasePref;
 use crate::compose::Preference;
@@ -66,6 +72,49 @@ impl SkylineAlgo {
 /// bookkeeping, no pre-sort, perfect cache locality.
 const NAIVE_CUTOFF: usize = 64;
 
+/// Below this candidate count [`SkylineAlgo::Auto`] never parallelizes:
+/// thread spawn + merge-filter overhead beats the window work saved.
+pub const PARALLEL_CUTOFF: usize = 1024;
+
+/// Minimum rows per partition worth dedicating a thread to.
+const MIN_PARTITION: usize = 256;
+
+/// The parallel degree [`SkylineAlgo::Auto`] runs `n` candidates at,
+/// given the session's thread knob: `1` (serial) below
+/// [`PARALLEL_CUTOFF`], otherwise `threads` clamped so every partition
+/// keeps at least `MIN_PARTITION` (256) rows.
+pub fn choose_degree(n: usize, threads: usize) -> usize {
+    if threads <= 1 || n < PARALLEL_CUTOFF {
+        1
+    } else {
+        threads.min(n / MIN_PARTITION).max(1)
+    }
+}
+
+/// The session-default parallel degree: `PREFSQL_THREADS` when set
+/// (`0` or an unparseable value cap at serial — the knob is a ceiling,
+/// so a set-but-invalid value must never escalate the degree),
+/// otherwise the host's available parallelism. Resolved once per
+/// process and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        resolve_threads(
+            std::env::var("PREFSQL_THREADS").ok().as_deref(),
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
+fn resolve_threads(env: Option<&str>, host: usize) -> usize {
+    match env {
+        Some(v) => v.trim().parse::<usize>().map_or(1, |n| n.max(1)),
+        None => host.max(1),
+    }
+}
+
 /// Cost-based algorithm selection for [`SkylineAlgo::Auto`]: pick the
 /// concrete algorithm from the input cardinality `n` and the preference
 /// shape. Small inputs run the naive nested loop; larger inputs run SFS
@@ -103,6 +152,98 @@ pub fn maximal(slot_vectors: &[Vec<Value>], pref: &Preference, algo: SkylineAlgo
     }
 }
 
+/// [`maximal`] with a parallel-degree knob: [`SkylineAlgo::Auto`] runs
+/// the threaded window ([`maximal_parallel`]) at the degree picked by
+/// [`choose_degree`]; forced algorithms stay serial so the differential
+/// suites can pin each implementation individually.
+pub fn maximal_with_threads(
+    slot_vectors: &[Vec<Value>],
+    pref: &Preference,
+    algo: SkylineAlgo,
+    threads: usize,
+) -> Vec<usize> {
+    if matches!(algo, SkylineAlgo::Auto) {
+        let degree = choose_degree(slot_vectors.len(), threads);
+        if degree > 1 {
+            return maximal_parallel(slot_vectors, pref, degree);
+        }
+    }
+    maximal(slot_vectors, pref, algo)
+}
+
+/// One pass of the BNL window filter over `candidates` (global indices
+/// into `slot_vectors`): dominated candidates are dropped, candidates
+/// evict dominated window entries. Returns the window in insertion
+/// order — callers sort when they need input order.
+fn window_filter(
+    slot_vectors: &[Vec<Value>],
+    pref: &Preference,
+    candidates: impl IntoIterator<Item = usize>,
+) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'candidates: for i in candidates {
+        let cand = &slot_vectors[i];
+        let mut k = 0;
+        while k < window.len() {
+            let w = &slot_vectors[window[k]];
+            if pref.better(w, cand) {
+                continue 'candidates; // dominated: drop the candidate
+            }
+            if pref.better(cand, w) {
+                window.swap_remove(k); // candidate evicts window entry
+            } else {
+                k += 1;
+            }
+        }
+        window.push(i);
+    }
+    window
+}
+
+/// Parallel BNL \[BKS01\]'s decomposable window: split the candidates
+/// into `threads` contiguous partitions, run the window filter on each
+/// partition in its own scoped OS thread, then merge-filter the union of
+/// the local skylines serially.
+///
+/// Exactness: `better` is a strict partial order, so if a candidate `t`
+/// is dominated by some `u` outside its partition, then either `u`
+/// survives its own local window, or something dominating `u` does — and
+/// by transitivity that survivor dominates `t`. Checking the union of
+/// local skylines therefore suffices.
+///
+/// The requested `threads` is honored exactly (clamped only to the
+/// candidate count), so tests can force partitioning on tiny inputs;
+/// cost-based clamping lives in [`choose_degree`]. Returns indices
+/// sorted in input order, identical to every serial algorithm.
+pub fn maximal_parallel(
+    slot_vectors: &[Vec<Value>],
+    pref: &Preference,
+    threads: usize,
+) -> Vec<usize> {
+    let n = slot_vectors.len();
+    let degree = threads.clamp(1, n.max(1));
+    if degree <= 1 {
+        return maximal_bnl(slot_vectors, pref);
+    }
+    let chunk = n.div_ceil(degree);
+    let locals: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..degree)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || window_filter(slot_vectors, pref, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("skyline worker panicked"))
+            .collect()
+    });
+    let mut merged = window_filter(slot_vectors, pref, locals.into_iter().flatten());
+    merged.sort_unstable();
+    merged
+}
+
 /// The paper's abstract selection method: `t1` is maximal iff no `t2` in
 /// the input is better. Returns indices in input order.
 pub fn maximal_naive(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize> {
@@ -120,22 +261,7 @@ pub fn maximal_naive(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usiz
 /// in-memory case — the candidate sets of the paper's benchmark fit in
 /// memory by construction). Returns indices sorted in input order.
 pub fn maximal_bnl(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize> {
-    let mut window: Vec<usize> = Vec::new();
-    'candidates: for (i, cand) in slot_vectors.iter().enumerate() {
-        let mut k = 0;
-        while k < window.len() {
-            let w = &slot_vectors[window[k]];
-            if pref.better(w, cand) {
-                continue 'candidates; // dominated: drop the candidate
-            }
-            if pref.better(cand, w) {
-                window.swap_remove(k); // candidate evicts window entry
-            } else {
-                k += 1;
-            }
-        }
-        window.push(i);
-    }
+    let mut window = window_filter(slot_vectors, pref, 0..slot_vectors.len());
     window.sort_unstable();
     window
 }
@@ -174,24 +300,9 @@ pub fn maximal_sfs(slot_vectors: &[Vec<Value>], pref: &Preference) -> Vec<usize>
         }
         Ordering::Equal
     });
-    let mut window: Vec<usize> = Vec::new();
-    'candidates: for &i in &order {
-        let cand = &slot_vectors[i];
-        let mut k = 0;
-        while k < window.len() {
-            let w = &slot_vectors[window[k]];
-            if pref.better(w, cand) {
-                continue 'candidates;
-            }
-            if pref.better(cand, w) {
-                // Only possible among sort ties (EXPLICIT bases).
-                window.swap_remove(k);
-            } else {
-                k += 1;
-            }
-        }
-        window.push(i);
-    }
+    // Evictions inside the window remain possible only among sort ties
+    // (EXPLICIT bases); the filter checks both directions regardless.
+    let mut window = window_filter(slot_vectors, pref, order);
     window.sort_unstable();
     window
 }
@@ -347,6 +458,122 @@ mod tests {
         )
         .unwrap();
         assert_eq!(choose_algo(10_000, &explicit), SkylineAlgo::Bnl);
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial_at_every_degree() {
+        for seed in 0..6 {
+            for d in [1, 2, 3] {
+                let pts = random_points(140, d, seed * 17 + d as u64);
+                let p = pareto(d);
+                let serial = maximal_naive(&pts, &p);
+                // Degrees beyond the candidate count must clamp, not panic.
+                for threads in [1usize, 2, 3, 8, 200] {
+                    assert_eq!(
+                        maximal_parallel(&pts, &p, threads),
+                        serial,
+                        "parallel({threads}) vs naive, d={d} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_inputs() {
+        let p = pareto(2);
+        assert_eq!(maximal_parallel(&[], &p, 8), Vec::<usize>::new());
+        let one = vec![vec![Value::Int(1), Value::Int(2)]];
+        assert_eq!(maximal_parallel(&one, &p, 8), vec![0]);
+        // All-identical points: every copy survives on every thread count.
+        let pts = vec![vec![Value::Int(3), Value::Int(3)]; 10];
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(
+                maximal_parallel(&pts, &p, threads),
+                (0..10).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_explicit_bases() {
+        let p = Preference::new(
+            PrefNode::Pareto(vec![PrefNode::Base { slot: 0 }, PrefNode::Base { slot: 1 }]),
+            vec![
+                BasePref::Explicit {
+                    edges: vec![
+                        (Value::Int(0), Value::Int(1)),
+                        (Value::Int(1), Value::Int(2)),
+                    ],
+                },
+                BasePref::Lowest,
+            ],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Vec<Value>> = (0..200)
+            .map(|_| {
+                vec![
+                    Value::Int(rng.gen_range(0..4)),
+                    Value::Int(rng.gen_range(0..4)),
+                ]
+            })
+            .collect();
+        let serial = maximal_naive(&pts, &p);
+        for threads in [2, 5, 8] {
+            assert_eq!(maximal_parallel(&pts, &p, threads), serial);
+        }
+    }
+
+    #[test]
+    fn choose_degree_cost_model() {
+        // Serial below the cutoff or with a serial knob.
+        assert_eq!(choose_degree(100_000, 1), 1);
+        assert_eq!(choose_degree(PARALLEL_CUTOFF - 1, 8), 1);
+        // Above the cutoff: the knob, clamped to MIN_PARTITION-sized work.
+        assert_eq!(choose_degree(PARALLEL_CUTOFF, 2), 2);
+        assert_eq!(choose_degree(64_000, 8), 8);
+        assert_eq!(choose_degree(2_048, 64), 8); // 2048 / 256
+        assert_eq!(choose_degree(PARALLEL_CUTOFF, 4096), 4);
+    }
+
+    #[test]
+    fn maximal_with_threads_routes_by_algo_and_degree() {
+        let p = pareto(2);
+        let pts = random_points(PARALLEL_CUTOFF + 100, 2, 9);
+        let expected = maximal_bnl(&pts, &p);
+        // Auto over the cutoff with a wide knob takes the parallel path...
+        assert_eq!(
+            maximal_with_threads(&pts, &p, SkylineAlgo::Auto, 8),
+            expected
+        );
+        // ...and stays serial when forced or when the knob is 1.
+        assert_eq!(
+            maximal_with_threads(&pts, &p, SkylineAlgo::Sfs, 8),
+            expected
+        );
+        assert_eq!(
+            maximal_with_threads(&pts, &p, SkylineAlgo::Auto, 1),
+            expected
+        );
+        let small = random_points(30, 2, 10);
+        assert_eq!(
+            maximal_with_threads(&small, &p, SkylineAlgo::Auto, 8),
+            maximal_naive(&small, &p)
+        );
+    }
+
+    #[test]
+    fn thread_knob_resolution() {
+        assert_eq!(resolve_threads(Some("4"), 16), 4);
+        assert_eq!(resolve_threads(Some(" 2 "), 16), 2);
+        // Absent falls back to the host width (min 1); a set-but-invalid
+        // or zero value caps at serial — the env knob is a ceiling, so
+        // it must never raise the degree above what was asked for.
+        assert_eq!(resolve_threads(Some("banana"), 16), 1);
+        assert_eq!(resolve_threads(Some("0"), 16), 1);
+        assert_eq!(resolve_threads(None, 16), 16);
+        assert_eq!(resolve_threads(None, 0), 1);
     }
 
     #[test]

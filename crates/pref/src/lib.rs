@@ -17,7 +17,9 @@
 //!   selection method (§3.2), BNL \[BKS01\] and SFS, used as native
 //!   baselines in the ablation experiments, plus [`SkylineAlgo`] with a
 //!   cost-based [`SkylineAlgo::Auto`] mode that picks among them from
-//!   input cardinality and preference shape.
+//!   input cardinality and preference shape — and, above
+//!   [`PARALLEL_CUTOFF`] candidates, runs the decomposable window
+//!   ([`maximal_parallel`]) across scoped OS threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +29,10 @@ pub mod base;
 pub mod bmo;
 pub mod compose;
 
-pub use algo::{choose_algo, maximal, maximal_bnl, maximal_naive, maximal_sfs, SkylineAlgo};
+pub use algo::{
+    choose_algo, choose_degree, default_threads, maximal, maximal_bnl, maximal_naive,
+    maximal_parallel, maximal_sfs, maximal_with_threads, SkylineAlgo, PARALLEL_CUTOFF,
+};
 pub use base::BasePref;
 pub use bmo::{bmo, bmo_grouped};
 pub use compose::{PrefNode, Preference};

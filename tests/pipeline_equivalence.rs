@@ -1,22 +1,30 @@
 //! Equivalence evidence for the physical operator pipeline.
 //!
-//! Two layers of proof that the refactored executor preserves semantics:
+//! Three layers of proof that the refactored executor preserves
+//! semantics:
 //!
 //! 1. A property test over *random preference compositions* (Pareto ⊗ and
-//!    prioritization & trees, not just single base preferences): the three
-//!    maximal-set algorithms, the cost-based auto selection, and the
-//!    planned [`prefsql::native::PreferenceOp`] pipeline must all return
-//!    exactly the maximal set computed by the abstract §3.2 definition.
+//!    prioritization & trees, not just single base preferences): every
+//!    tree is executed four ways — tuple-at-a-time, batched (batch sizes
+//!    1, 7, 1024), parallel (1, 2, 8 threads, both through the full
+//!    pipeline and directly on the decomposable window), and the naive
+//!    abstract §3.2 selection — asserting identical result *sequences*
+//!    (the native path guarantees input order, so order is part of the
+//!    contract, not just the multiset).
 //! 2. A golden sweep running every workload's demo queries through both
 //!    the paper's rewrite path and the native operator pipeline, diffing
 //!    the result sets.
+//! 3. A thread-count invariance sweep: the same demo queries, evaluated
+//!    natively with `threads ∈ {1, 2, 8, 64}`, must render byte-identical
+//!    outputs — including a workload large enough that the cost model
+//!    actually engages the parallel window.
 
 use prefsql::parser::ast::{Expr, PrefExpr, Query, SelectItem, TableRef};
-use prefsql::pref::maximal_naive;
+use prefsql::pref::{maximal_naive, maximal_parallel, Preference};
 use prefsql::rewrite::compile::compile_preference;
 use prefsql::storage::Table;
 use prefsql::types::{Column, DataType, Schema, Tuple, Value};
-use prefsql::{ExecutionMode, PrefSqlConnection, SkylineAlgo};
+use prefsql::{ExecutionMode, NativeOptions, PrefSqlConnection, SkylineAlgo};
 use prefsql_rewrite::PreferenceRegistry;
 use proptest::prelude::*;
 
@@ -109,10 +117,9 @@ fn pref_query(pref: PrefExpr) -> Query {
     }
 }
 
-/// Winner ids computed out-of-band: evaluate each base expression (plain
-/// column references here) into slot vectors and apply the abstract §3.2
-/// selection via `maximal_naive`.
-fn expected_ids(table: &Table, pref: &PrefExpr) -> Vec<i64> {
+/// The compiled preference and per-row slot vectors, evaluated
+/// out-of-band (base expressions are plain column references here).
+fn compiled_slots(table: &Table, pref: &PrefExpr) -> (Preference, Vec<Vec<Value>>) {
     let compiled = compile_preference(pref).expect("compilable preference");
     let schema = table.schema();
     let slot_cols: Vec<usize> = compiled
@@ -128,10 +135,30 @@ fn expected_ids(table: &Table, pref: &PrefExpr) -> Vec<i64> {
         .iter()
         .map(|r| slot_cols.iter().map(|&c| r[c].clone()).collect())
         .collect();
-    maximal_naive(&slots, &compiled.preference)
+    (compiled.preference, slots)
+}
+
+/// Winner ids of the abstract §3.2 selection via `maximal_naive`.
+fn expected_ids(table: &Table, pref: &PrefExpr) -> Vec<i64> {
+    let (preference, slots) = compiled_slots(table, pref);
+    maximal_naive(&slots, &preference)
         .into_iter()
         .map(|i| table.rows()[i][0].as_int().expect("integer id"))
         .collect()
+}
+
+/// Run `query` natively with `opts` against a fresh catalog holding
+/// `table`, returning the id column.
+fn native_ids(table: &Table, query: &Query, opts: NativeOptions) -> Vec<i64> {
+    let registry = PreferenceRegistry::new();
+    let mut conn = PrefSqlConnection::new();
+    conn.engine_mut()
+        .catalog_mut()
+        .create_table(table.clone())
+        .expect("fresh catalog");
+    let rs = prefsql::native::run_native_opts(conn.engine(), &registry, query, opts)
+        .expect("native evaluation succeeds");
+    rs.column_as_ints(0)
 }
 
 proptest! {
@@ -144,26 +171,58 @@ proptest! {
         let table = build_table(&rows);
         let expected = expected_ids(&table, &pref);
         let query = pref_query(pref);
-        let registry = PreferenceRegistry::new();
         for algo in [
             SkylineAlgo::Naive,
             SkylineAlgo::Bnl,
             SkylineAlgo::Sfs,
             SkylineAlgo::Auto,
         ] {
-            let mut conn = PrefSqlConnection::new();
-            conn.engine_mut()
-                .catalog_mut()
-                .create_table(table.clone())
-                .expect("fresh catalog");
-            let rs = prefsql::native::run_native(conn.engine(), &registry, &query, algo)
-                .expect("native evaluation succeeds");
-            let ids = rs.column_as_ints(0);
+            let ids = native_ids(&table, &query, NativeOptions::with_algo(algo));
             prop_assert_eq!(
                 &ids,
                 &expected,
                 "algorithm {:?} disagrees with the abstract selection",
                 algo
+            );
+        }
+    }
+
+    /// The four execution shapes — tuple-at-a-time, batched (1, 7, 1024)
+    /// and parallel (1, 2, 8 threads) — all reproduce the abstract
+    /// selection, in the same order (winners stream in input order).
+    #[test]
+    fn batched_parallel_and_streaming_agree(rows in arb_rows(), pref in arb_pref()) {
+        let table = build_table(&rows);
+        let expected = expected_ids(&table, &pref);
+        let query = pref_query(pref.clone());
+        for batch in [None, Some(1), Some(7), Some(1024)] {
+            for threads in [1usize, 2, 8] {
+                let opts = NativeOptions {
+                    algo: SkylineAlgo::Auto,
+                    threads,
+                    batch,
+                };
+                let ids = native_ids(&table, &query, opts);
+                prop_assert_eq!(
+                    &ids,
+                    &expected,
+                    "batch={:?} threads={} disagrees with the abstract selection",
+                    batch,
+                    threads
+                );
+            }
+        }
+        // The cost model keeps tiny inputs serial; force the threaded
+        // window directly on the compiled slot vectors so partitioning
+        // and the merge-filter are genuinely exercised per tree.
+        let (preference, slots) = compiled_slots(&table, &pref);
+        let serial = maximal_naive(&slots, &preference);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                maximal_parallel(&slots, &preference, threads),
+                serial.clone(),
+                "forced parallel window (threads={}) diverged",
+                threads
             );
         }
     }
@@ -196,74 +255,152 @@ fn diff_rewrite_vs_pipeline(table: Table, sql: &str) {
 }
 
 #[test]
-fn golden_oldtimer_demo() {
-    use prefsql_workload::oldtimer;
-    diff_rewrite_vs_pipeline(oldtimer::table(), oldtimer::QUERY);
+fn golden_rewrite_vs_pipeline_demo_queries() {
+    for (table, sql) in demo_queries() {
+        diff_rewrite_vs_pipeline(table, &sql);
+    }
 }
 
-#[test]
-fn golden_cars_demos() {
-    use prefsql_workload::cars;
-    diff_rewrite_vs_pipeline(
-        cars::paper_fixture(),
-        "SELECT identifier, make FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'",
-    );
-    diff_rewrite_vs_pipeline(cars::market(250, 71), cars::OPEL_QUERY);
-}
-
-#[test]
-fn golden_computers_demos() {
-    use prefsql_workload::computers;
-    let t = computers::table(200, 72);
-    diff_rewrite_vs_pipeline(t.clone(), computers::PARETO_QUERY);
-    diff_rewrite_vs_pipeline(t, computers::CASCADE_QUERY);
-}
-
-#[test]
-fn golden_trips_demo() {
-    use prefsql_workload::trips;
-    diff_rewrite_vs_pipeline(trips::table(200, 73), trips::BUT_ONLY_QUERY);
-}
-
-#[test]
-fn golden_hotels_demos() {
-    use prefsql_workload::hotels;
-    diff_rewrite_vs_pipeline(hotels::table(150, 74), hotels::NEG_QUERY);
-    diff_rewrite_vs_pipeline(
-        hotels::table(150, 75),
-        "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location",
-    );
-}
-
-#[test]
-fn golden_products_demo() {
-    use prefsql_workload::products;
-    diff_rewrite_vs_pipeline(products::table(200, 76), products::SEARCH_MASK_QUERY);
-}
-
-#[test]
-fn golden_cosima_demo() {
-    use prefsql_workload::cosima;
-    diff_rewrite_vs_pipeline(cosima::snapshot(200, 77).offers, cosima::COMPARISON_QUERY);
-}
-
-#[test]
-fn golden_bks01_demos() {
-    use prefsql_workload::bks01;
+/// Every workload's demo queries as `(table, sql)` pairs — the single
+/// fixture list both golden sweeps (rewrite-vs-pipeline above,
+/// thread-count invariance below) iterate, so a demo query added here
+/// is automatically covered by both.
+fn demo_queries() -> Vec<(Table, String)> {
+    use prefsql_workload::{
+        bks01, cars, computers, cosima, hotels, jobs, oldtimer, products, trips,
+    };
+    let mut queries: Vec<(Table, String)> = vec![
+        (oldtimer::table(), oldtimer::QUERY.to_string()),
+        (
+            cars::paper_fixture(),
+            "SELECT identifier, make FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'"
+                .to_string(),
+        ),
+        (cars::market(250, 71), cars::OPEL_QUERY.to_string()),
+        (
+            computers::table(200, 72),
+            computers::PARETO_QUERY.to_string(),
+        ),
+        (
+            computers::table(200, 72),
+            computers::CASCADE_QUERY.to_string(),
+        ),
+        (trips::table(200, 73), trips::BUT_ONLY_QUERY.to_string()),
+        (hotels::table(150, 74), hotels::NEG_QUERY.to_string()),
+        (
+            hotels::table(150, 75),
+            "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location"
+                .to_string(),
+        ),
+        (
+            products::table(200, 76),
+            products::SEARCH_MASK_QUERY.to_string(),
+        ),
+        (
+            cosima::snapshot(200, 77).offers,
+            cosima::COMPARISON_QUERY.to_string(),
+        ),
+    ];
     for dist in bks01::Distribution::ALL {
-        diff_rewrite_vs_pipeline(bks01::table(150, 3, dist, 78), &bks01::skyline_query(3));
+        queries.push((bks01::table(150, 3, dist, 78), bks01::skyline_query(3)));
+    }
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    queries.push((
+        jobs::table(1_500, 79),
+        format!(
+            "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
+            soft.join(" AND ")
+        ),
+    ));
+    queries
+}
+
+// ------------------------------------------- thread-count invariance
+
+/// Evaluate `sql` natively with `threads ∈ {1, 2, 8, 64}` (64 exceeds
+/// any plausible host width); every rendering must be byte-identical to
+/// the single-threaded one.
+fn native_thread_sweep(table: &Table, sql: &str) {
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    for threads in [1usize, 2, 8, 64] {
+        let mut conn = PrefSqlConnection::new();
+        conn.engine_mut()
+            .catalog_mut()
+            .create_table(table.clone())
+            .expect("fresh catalog");
+        conn.set_mode(ExecutionMode::native());
+        conn.set_threads(threads);
+        let rs = conn
+            .query(sql)
+            .unwrap_or_else(|e| panic!("threads={threads} failed on {sql}: {e}"));
+        outputs.push((threads, rs.to_string()));
+    }
+    let base = outputs[0].1.clone();
+    for (threads, out) in &outputs[1..] {
+        assert_eq!(out, &base, "threads={threads} changed the result of: {sql}");
     }
 }
 
 #[test]
-fn golden_jobs_demo() {
+fn golden_thread_sweep_demo_queries() {
+    for (table, sql) in demo_queries() {
+        native_thread_sweep(&table, &sql);
+    }
+}
+
+/// A fresh connection's thread knob comes from `PREFSQL_THREADS` (or
+/// the host width) — CI pins that env var to 1 and to 8 and re-runs
+/// this suite, so the env-selected degree flows through the *default*
+/// path of a query large enough to engage the partitioned window, and
+/// must match the explicitly-serial result.
+#[test]
+fn golden_default_threads_follow_env_on_large_query() {
+    use prefsql::pref::PARALLEL_CUTOFF;
     use prefsql_workload::jobs;
+    let n = 5_000;
+    assert!(n > PARALLEL_CUTOFF);
+    let table = jobs::table(n, 82);
     let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
-    let sql = format!(
-        "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
-        soft.join(" AND ")
+    let sql = format!("SELECT id FROM profiles PREFERRING {}", soft.join(" AND "));
+
+    let mut serial = PrefSqlConnection::new();
+    serial
+        .engine_mut()
+        .catalog_mut()
+        .create_table(table.clone())
+        .expect("fresh catalog");
+    serial.set_mode(ExecutionMode::native());
+    serial.set_threads(1);
+    let expected = serial.query(&sql).expect("serial run").to_string();
+
+    let mut env_driven = PrefSqlConnection::new(); // knob left at the env default
+    env_driven
+        .engine_mut()
+        .catalog_mut()
+        .create_table(table)
+        .expect("fresh catalog");
+    env_driven.set_mode(ExecutionMode::native());
+    let got = env_driven.query(&sql).expect("env-default run").to_string();
+    assert_eq!(
+        got,
+        expected,
+        "default threads knob ({}) changed the result",
+        env_driven.threads()
     );
-    diff_rewrite_vs_pipeline(jobs::table(1_500, 79), &sql);
+}
+
+#[test]
+fn golden_thread_sweep_engages_parallel_window() {
+    use prefsql::pref::{choose_degree, PARALLEL_CUTOFF};
+    use prefsql_workload::jobs;
+    // 5 000 unfiltered profiles: above the cutoff, so threads >= 2
+    // genuinely run the partitioned window, not the serial fallback.
+    let n = 5_000;
+    assert!(n > PARALLEL_CUTOFF);
+    assert!(choose_degree(n, 2) > 1, "cost model must engage here");
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    let sql = format!("SELECT id FROM profiles PREFERRING {}", soft.join(" AND "));
+    native_thread_sweep(&jobs::table(n, 80), &sql);
 }
 
 // -------------------------------------------------- plan/EXPLAIN parity
