@@ -83,6 +83,9 @@ pub struct PrefSqlConnection {
     /// Parallel-window degree knob for native preference evaluation
     /// (default: `PREFSQL_THREADS` or the host width).
     threads: usize,
+    /// External-memory window budget in bytes for native preference
+    /// evaluation (default: `PREFSQL_WINDOW`, or `None` = unbounded).
+    window_bytes: Option<usize>,
 }
 
 impl Default for PrefSqlConnection {
@@ -102,7 +105,8 @@ impl PrefSqlConnection {
             engine: Engine::new(),
             rewriter: Rewriter::new(),
             mode: ExecutionMode::Rewrite,
-            threads: prefsql_pref::default_threads(),
+            threads: crate::knobs::default_threads(),
+            window_bytes: crate::knobs::default_window_bytes(),
         }
     }
 
@@ -127,6 +131,20 @@ impl PrefSqlConnection {
     /// The parallel-window degree knob.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Set the external-memory window budget for native preference
+    /// evaluation: `Some(bytes)` streams candidate sets larger than the
+    /// budget through the bounded-window multi-pass BNL with
+    /// spill-to-disk overflow runs (clamped to at least
+    /// [`crate::knobs::MIN_WINDOW_BYTES`]); `None` never spills.
+    pub fn set_window_bytes(&mut self, window_bytes: Option<usize>) {
+        self.window_bytes = window_bytes.map(|b| b.max(crate::knobs::MIN_WINDOW_BYTES));
+    }
+
+    /// The external-memory window budget knob.
+    pub fn window_bytes(&self) -> Option<usize> {
+        self.window_bytes
     }
 
     /// The underlying host engine (catalog access, stats, index toggles).
@@ -188,6 +206,7 @@ impl PrefSqlConnection {
                 algo,
                 threads: self.threads,
                 batch: Some(prefsql_engine::physical::DEFAULT_BATCH),
+                window_bytes: self.window_bytes,
             };
             if let Statement::Select(q) = stmt {
                 if q.preferring.is_some() {
@@ -381,6 +400,32 @@ mod tests {
         c.set_mode(ExecutionMode::native());
         let rs = c.query("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
         assert_eq!(rs.column_as_ints(0), vec![3]);
+    }
+
+    #[test]
+    fn window_knob_is_clamped_and_preserves_results() {
+        let mut c = PrefSqlConnection::new();
+        c.set_window_bytes(None);
+        assert_eq!(c.window_bytes(), None);
+        // Sub-minimum budgets clamp up to the smallest sane window.
+        c.set_window_bytes(Some(1));
+        assert_eq!(c.window_bytes(), Some(crate::knobs::MIN_WINDOW_BYTES));
+        c.set_window_bytes(Some(1 << 20));
+        assert_eq!(c.window_bytes(), Some(1 << 20));
+        // A bounded window returns the same rows, with metrics attached.
+        c.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.execute("INSERT INTO t VALUES (5), (3), (9)").unwrap();
+        c.set_mode(ExecutionMode::native());
+        c.set_window_bytes(Some(4096));
+        let rs = c.query("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![3]);
+        let m = rs.spill_metrics().expect("window budget reports metrics");
+        assert_eq!(m.runs_written, 0, "3 tuples fit any window");
+        assert_eq!(m.passes, 0, "stayed in memory");
+        // Without a budget there are no metrics.
+        c.set_window_bytes(None);
+        let rs = c.query("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
+        assert!(rs.spill_metrics().is_none());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Session resource knobs and their `PREFSQL_*` environment ceilings.
+//!
+//! Two knobs share one resolution policy (this module exists so they
+//! can't drift):
+//!
+//! * `PREFSQL_THREADS` — parallel-window degree ceiling (the shell's
+//!   `\threads N`); absent falls back to the host width.
+//! * `PREFSQL_WINDOW` — external-memory window budget in bytes, with
+//!   optional `k`/`m` suffixes (KiB/MiB; the shell's `\window N[k|m]`);
+//!   absent means unbounded (no spilling).
+//!
+//! The shared semantics, pinned by [`ceiling_from_value`]: **a set env
+//! var is a ceiling**. A parseable value is clamped to at least the
+//! knob's minimum; zero or garbage caps *at* the minimum — a
+//! set-but-invalid value must never escalate past the most conservative
+//! setting (serial execution, the smallest window).
+
+use std::sync::OnceLock;
+
+/// The smallest admissible external-memory window budget (4 KiB).
+/// Budgets below this thrash: the window always admits at least one
+/// tuple, but a sub-page budget spills nearly every candidate every
+/// pass. Both the env ceiling and the shell's `\window` clamp up to it.
+pub const MIN_WINDOW_BYTES: usize = 4096;
+
+/// Resolve a *set* `PREFSQL_*` ceiling value: parse it with `parse` and
+/// clamp to at least `min`; zero or garbage (unparseable, overflowing)
+/// caps at `min`. Callers handle the unset case themselves — the two
+/// knobs fall back differently (host width vs unbounded).
+pub fn ceiling_from_value<T: Ord>(raw: &str, parse: impl FnOnce(&str) -> Option<T>, min: T) -> T {
+    match parse(raw.trim()) {
+        Some(v) if v > min => v,
+        _ => min,
+    }
+}
+
+/// Parse a byte size with an optional binary suffix: `65536`, `64k`,
+/// `1M` (case-insensitive; `k` = KiB, `m` = MiB). `None` on garbage or
+/// overflow.
+pub fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, factor) = match s.char_indices().next_back()? {
+        (i, 'k') | (i, 'K') => (&s[..i], 1024usize),
+        (i, 'm') | (i, 'M') => (&s[..i], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<usize>().ok()?.checked_mul(factor)
+}
+
+/// The session-default parallel degree: `PREFSQL_THREADS` when set
+/// (ceiling semantics, minimum 1 = serial), otherwise the host's
+/// available parallelism. Resolved once per process and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("PREFSQL_THREADS") {
+        Ok(v) => ceiling_from_value(&v, |s| s.parse::<usize>().ok(), 1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .max(1),
+    })
+}
+
+/// The session-default external-memory window budget: `PREFSQL_WINDOW`
+/// when set (ceiling semantics, minimum [`MIN_WINDOW_BYTES`]), otherwise
+/// `None` — unbounded, never spilling. Resolved once per process and
+/// cached.
+pub fn default_window_bytes() -> Option<usize> {
+    static DEFAULT: OnceLock<Option<usize>> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PREFSQL_WINDOW")
+            .ok()
+            .map(|v| ceiling_from_value(&v, parse_size, MIN_WINDOW_BYTES))
+    })
+}
+
+/// Render a byte count the way the shell and EXPLAIN display it:
+/// `512 B`, `64 KiB`, `1.5 MiB`.
+pub fn fmt_bytes(n: u64) -> String {
+    if n < 1024 {
+        format!("{n} B")
+    } else if n < 1024 * 1024 {
+        let kib = n as f64 / 1024.0;
+        if kib.fract() == 0.0 {
+            format!("{kib:.0} KiB")
+        } else {
+            format!("{kib:.1} KiB")
+        }
+    } else {
+        let mib = n as f64 / (1024.0 * 1024.0);
+        if mib.fract() == 0.0 {
+            format!("{mib:.0} MiB")
+        } else {
+            format!("{mib:.1} MiB")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threads_of(raw: &str) -> usize {
+        ceiling_from_value(raw, |s| s.parse::<usize>().ok(), 1)
+    }
+
+    fn window_of(raw: &str) -> usize {
+        ceiling_from_value(raw, parse_size, MIN_WINDOW_BYTES)
+    }
+
+    #[test]
+    fn thread_ceiling_resolution() {
+        assert_eq!(threads_of("4"), 4);
+        assert_eq!(threads_of(" 2 "), 2);
+        // Zero or garbage caps at serial — the knob is a ceiling, so a
+        // set-but-invalid value must never raise the degree.
+        assert_eq!(threads_of("0"), 1);
+        assert_eq!(threads_of("banana"), 1);
+        assert_eq!(threads_of(""), 1);
+        // A huge unparseable value (u64 overflow) is garbage, not ∞.
+        assert_eq!(threads_of("99999999999999999999999999"), 1);
+    }
+
+    #[test]
+    fn window_ceiling_resolution() {
+        assert_eq!(window_of("65536"), 65536);
+        assert_eq!(window_of("64k"), 65536);
+        assert_eq!(window_of("1M"), 1 << 20);
+        // Zero, sub-minimum, and garbage all cap at the minimum window.
+        assert_eq!(window_of("0"), MIN_WINDOW_BYTES);
+        assert_eq!(window_of("100"), MIN_WINDOW_BYTES);
+        assert_eq!(window_of("lots"), MIN_WINDOW_BYTES);
+        assert_eq!(window_of("99999999999999999999999999"), MIN_WINDOW_BYTES);
+        // Suffix overflow is garbage too, not a wrapped tiny number.
+        assert_eq!(window_of("999999999999999999m"), MIN_WINDOW_BYTES);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("4k"), Some(4096));
+        assert_eq!(parse_size("4K"), Some(4096));
+        assert_eq!(parse_size("2m"), Some(2 << 20));
+        assert_eq!(parse_size(" 8 k "), Some(8192));
+        assert_eq!(parse_size("k"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("4g"), None);
+        assert_eq!(parse_size("-1"), None);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4096), "4 KiB");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(1 << 20), "1 MiB");
+        assert_eq!(fmt_bytes(3 << 19), "1.5 MiB");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        // Whatever the environment says, the resolved defaults respect
+        // the knob minimums.
+        assert!(default_threads() >= 1);
+        if let Some(w) = default_window_bytes() {
+            assert!(w >= MIN_WINDOW_BYTES);
+        }
+    }
+}

@@ -39,12 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod connection;
+pub mod knobs;
 pub mod native;
 pub mod result;
 pub mod shell;
 
 pub use connection::{ExecutionMode, PrefSqlConnection, QueryResult};
-pub use native::{NativeOptions, SkylineAlgo};
+pub use native::{NativeOptions, SkylineAlgo, SpillMetrics};
 pub use result::ResultSet;
 
 /// Re-export: the host SQL engine.

@@ -13,6 +13,7 @@
 //! Semantics are identical to the rewrite path — the `rewrite_vs_native`
 //! differential test suite and ablation benchmark A1 depend on that.
 
+use crate::knobs;
 use crate::result::ResultSet;
 use prefsql_engine::eval::{eval, truth, Frame, SubqueryEval};
 use prefsql_engine::physical::{
@@ -21,12 +22,14 @@ use prefsql_engine::physical::{
 };
 use prefsql_engine::{Engine, Relation};
 use prefsql_parser::ast::{Expr, Query, SelectItem};
-use prefsql_pref::{bmo_grouped, maximal_with_threads, BasePref};
+use prefsql_pref::external::ExternalSkyline;
+use prefsql_pref::{bmo_grouped, maximal_with_threads, should_spill, BasePref};
 use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
 use prefsql_rewrite::PreferenceRegistry;
+use prefsql_storage::spill::{tuple_spill_bytes, RunReader, SpillManager};
 use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
 
-pub use prefsql_pref::SkylineAlgo;
+pub use prefsql_pref::{SkylineAlgo, SpillMetrics};
 
 /// Execution knobs for the native preference path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,16 +45,24 @@ pub struct NativeOptions {
     /// drives tuple-at-a-time through [`Operator::next`] (the
     /// differential suites pin batched ≡ streaming with this).
     pub batch: Option<usize>,
+    /// External-memory window budget in bytes (the shell's
+    /// `\window N[k|m]`): [`SkylineAlgo::Auto`] streams the candidate
+    /// set through the bounded-window multi-pass BNL with spill-to-disk
+    /// overflow runs once the candidates exceed this many bytes. `None`
+    /// (the default without `PREFSQL_WINDOW`) never spills.
+    pub window_bytes: Option<usize>,
 }
 
 impl Default for NativeOptions {
     /// Auto algorithm, session-default parallelism (`PREFSQL_THREADS`
-    /// or the host width), batched drive loop.
+    /// or the host width), batched drive loop, session-default window
+    /// budget (`PREFSQL_WINDOW` or unbounded).
     fn default() -> Self {
         NativeOptions {
             algo: SkylineAlgo::default(),
-            threads: prefsql_pref::default_threads(),
+            threads: knobs::default_threads(),
             batch: Some(DEFAULT_BATCH),
+            window_bytes: knobs::default_window_bytes(),
         }
     }
 }
@@ -136,6 +147,7 @@ pub struct PreferenceOp<'a> {
     n_groups: usize,
     winners: Vec<Tuple>,
     best_scores: Vec<Option<f64>>,
+    spill: Option<SpillMetrics>,
     pos: usize,
 }
 
@@ -163,6 +175,7 @@ impl<'a> PreferenceOp<'a> {
             n_groups,
             winners: Vec::new(),
             best_scores: Vec::new(),
+            spill: None,
             pos: 0,
         }
     }
@@ -186,17 +199,57 @@ impl<'a> PreferenceOp<'a> {
     pub fn take_winners(&mut self) -> Vec<Tuple> {
         std::mem::take(&mut self.winners)
     }
-}
 
-impl Operator for PreferenceOp<'_> {
-    fn open(&mut self) -> Result<()> {
-        self.pos = 0;
-        // Consume the source through the batched drive loop (or the
-        // tuple-at-a-time baseline when the differential suites ask).
-        let rows = match self.opts.batch {
-            Some(batch) => drain_batched(self.input.as_mut(), batch)?,
-            None => drain_tuple_at_a_time(self.input.as_mut())?,
+    /// Spill observability of the last [`Operator::open`]: `Some`
+    /// whenever a window budget governed the evaluation (`passes == 0`
+    /// means the candidates fit and the selection stayed in memory),
+    /// `None` when no budget applied (forced algorithm, GROUPING, or no
+    /// `\window`/`PREFSQL_WINDOW`).
+    pub fn spill_metrics(&self) -> Option<&SpillMetrics> {
+        self.spill.as_ref()
+    }
+
+    /// `BUT ONLY` filter for one extended row (§2.2.5), evaluated with
+    /// the final data-dependent optima.
+    fn passes_but_only(&self, row: &Tuple, best_scores: &[Option<f64>]) -> Result<bool> {
+        let Some(b) = self.but_only else {
+            return Ok(true);
         };
+        let substituted = substitute_quality(b, self.compiled, &self.slot_of(row), best_scores)?;
+        let frames = [Frame {
+            schema: self.schema,
+            tuple: row,
+        }];
+        let ctx = EngineSubqueries {
+            engine: self.engine,
+        };
+        Ok(truth(&eval(&substituted, &frames, &ctx)?) == Some(true))
+    }
+
+    /// Running update of the per-base minima that `LOWEST`/`HIGHEST`
+    /// quality functions need — the streaming path folds this over every
+    /// input row, matching the batch path's global `min_by`.
+    fn update_best_scores(best: &mut [Option<f64>], bases: &[BasePref], slots: &[Value]) {
+        for ((best, base), v) in best.iter_mut().zip(bases).zip(slots) {
+            if let Some(s) = base.score(v) {
+                *best = Some(match best {
+                    Some(b) => {
+                        if s.total_cmp(b).is_lt() {
+                            s
+                        } else {
+                            *b
+                        }
+                    }
+                    None => s,
+                });
+            }
+        }
+    }
+
+    /// The in-memory tail shared by the materializing path and the
+    /// under-budget streaming path: compute the data-dependent optima,
+    /// apply `BUT ONLY`, run the maximal-set selection, buffer winners.
+    fn select_in_memory(&mut self, rows: Vec<Tuple>) -> Result<()> {
         let arity = self.compiled.preference.arity();
 
         // Data-dependent optima for LOWEST/HIGHEST quality functions.
@@ -209,30 +262,17 @@ impl Operator for PreferenceOp<'_> {
             .collect();
 
         // BUT ONLY filters candidates before dominance (§2.2.5).
-        let ctx = EngineSubqueries {
-            engine: self.engine,
-        };
-        let candidates: Vec<Tuple> = match self.but_only {
-            None => rows,
-            Some(b) => {
-                let mut kept = Vec::new();
-                for row in rows {
-                    let substituted = substitute_quality(
-                        b,
-                        self.compiled,
-                        &self.slot_of(&row),
-                        &self.best_scores,
-                    )?;
-                    let frames = [Frame {
-                        schema: self.schema,
-                        tuple: &row,
-                    }];
-                    if truth(&eval(&substituted, &frames, &ctx)?) == Some(true) {
-                        kept.push(row);
-                    }
+        let candidates: Vec<Tuple> = if self.but_only.is_none() {
+            rows
+        } else {
+            let best = self.best_scores.clone();
+            let mut kept = Vec::new();
+            for row in rows {
+                if self.passes_but_only(&row, &best)? {
+                    kept.push(row);
                 }
-                kept
             }
+            kept
         };
 
         // Maximal-set selection.
@@ -261,6 +301,165 @@ impl Operator for PreferenceOp<'_> {
             .map(|&i| candidates[i].take().expect("winner indices are unique"))
             .collect();
         Ok(())
+    }
+
+    /// The external-memory path: pull input through the batch API,
+    /// buffering until the window budget trips, then hand the stream to
+    /// the bounded-window multi-pass BNL (spilling overflow runs to
+    /// disk). Queries with a `BUT ONLY` threshold first spool the input
+    /// to a run — the threshold's quality functions need the
+    /// data-dependent optima, which are only final after the last input
+    /// row — and feed the skyline from the spool on a second pass.
+    fn open_external(&mut self, budget: usize) -> Result<()> {
+        let bases = self.compiled.preference.bases().to_vec();
+        let arity = bases.len();
+        let n_orig = self.n_orig;
+        let mut best: Vec<Option<f64>> = vec![None; arity];
+        let mut buffered: Vec<Tuple> = Vec::new();
+        let mut buffered_bytes = 0usize;
+
+        // Pull phase. `sink` engages once the budget trips: the skyline
+        // machine directly, or a spool run when BUT ONLY must wait for
+        // the optima.
+        enum Sink<'p> {
+            Skyline(ExternalSkyline<'p>),
+            Spool {
+                manager: SpillManager,
+                writer: prefsql_storage::spill::RunWriter,
+            },
+        }
+        let mut sink: Option<Sink<'_>> = None;
+
+        let mut scratch: Vec<Tuple> = Vec::new();
+        loop {
+            scratch.clear();
+            let more = match self.opts.batch {
+                Some(batch) => self.input.next_batch(&mut scratch, batch.max(1))?,
+                None => match self.input.next()? {
+                    Some(t) => {
+                        scratch.push(t);
+                        true
+                    }
+                    None => false,
+                },
+            };
+            for row in &scratch {
+                Self::update_best_scores(&mut best, &bases, &row.values()[n_orig..n_orig + arity]);
+            }
+            let mut rows = scratch.drain(..);
+            // Buffering phase: accumulate until the budget trips, then
+            // replay the buffer into the engaged sink.
+            if sink.is_none() {
+                for row in rows.by_ref() {
+                    buffered_bytes += tuple_spill_bytes(&row);
+                    buffered.push(row);
+                    if should_spill(self.opts.algo, buffered_bytes, Some(budget)) {
+                        if self.but_only.is_some() {
+                            let mut manager = SpillManager::new()?;
+                            let mut writer = manager.begin_run()?;
+                            writer.write_batch(&buffered)?;
+                            buffered = Vec::new();
+                            sink = Some(Sink::Spool { manager, writer });
+                        } else {
+                            let mut machine = ExternalSkyline::with_manager(
+                                &self.compiled.preference,
+                                n_orig,
+                                budget,
+                                SpillManager::new()?,
+                            );
+                            machine.push_batch(buffered.drain(..))?;
+                            sink = Some(Sink::Skyline(machine));
+                        }
+                        break;
+                    }
+                }
+            }
+            // Streaming phase: the rest of the batch goes to the sink
+            // whole — the spool writes one frame per pulled batch, not
+            // one per tuple.
+            match &mut sink {
+                Some(Sink::Skyline(machine)) => machine.push_batch(rows)?,
+                Some(Sink::Spool { writer, .. }) => {
+                    let rest: Vec<Tuple> = rows.collect();
+                    writer.write_batch(&rest)?;
+                }
+                None => debug_assert_eq!(rows.count(), 0, "unbuffered rows without a sink"),
+            }
+            if !more {
+                break;
+            }
+        }
+
+        match sink {
+            None => {
+                // The whole candidate set fits the budget: stay in
+                // memory (and report that the budget was honored).
+                self.select_in_memory(buffered)?;
+                self.spill = Some(SpillMetrics::default());
+            }
+            Some(Sink::Skyline(machine)) => {
+                self.best_scores = best;
+                let (winners, metrics) = machine.finish()?;
+                self.winners = winners.into_iter().map(|(_, row)| row).collect();
+                self.spill = Some(metrics);
+            }
+            Some(Sink::Spool {
+                mut manager,
+                writer,
+            }) => {
+                // Optima are final now; filter the spooled candidates
+                // and feed the survivors through the bounded window.
+                self.best_scores = best;
+                let spool = writer.finish()?;
+                manager.record_run(&spool);
+                let mut machine = ExternalSkyline::with_manager(
+                    &self.compiled.preference,
+                    n_orig,
+                    budget,
+                    manager,
+                );
+                let mut reader = RunReader::open(&spool)?;
+                while let Some(row) = reader.next_tuple()? {
+                    if self.passes_but_only(&row, &self.best_scores)? {
+                        machine.push(row)?;
+                    }
+                }
+                drop(reader);
+                spool.delete()?;
+                let (winners, mut metrics) = machine.finish()?;
+                // The spool pass reads the whole candidate set once more.
+                metrics.passes += 1;
+                self.winners = winners.into_iter().map(|(_, row)| row).collect();
+                self.spill = Some(metrics);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for PreferenceOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        self.spill = None;
+        // External-memory mode: a window budget under [`SkylineAlgo::Auto`]
+        // streams the input through the bounded window instead of
+        // materializing it (GROUPING runs the grouped BMO, which stays
+        // in memory; forced algorithms stay pinned for the differential
+        // suites).
+        if self.n_groups == 0 && matches!(self.opts.algo, SkylineAlgo::Auto) {
+            if let Some(budget) = self.opts.window_bytes {
+                let result = self.input.open().and_then(|()| self.open_external(budget));
+                self.input.close();
+                return result;
+            }
+        }
+        // Consume the source through the batched drive loop (or the
+        // tuple-at-a-time baseline when the differential suites ask).
+        let rows = match self.opts.batch {
+            Some(batch) => drain_batched(self.input.as_mut(), batch)?,
+            None => drain_tuple_at_a_time(self.input.as_mut())?,
+        };
+        self.select_in_memory(rows)
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
@@ -328,6 +527,7 @@ pub fn run_native_opts(
     op.open()?;
     let mut winners: Vec<Tuple> = op.take_winners();
     let best_scores = op.best_scores().to_vec();
+    let spill = op.spill_metrics().cloned();
     op.close();
 
     let compiled = &native.compiled;
@@ -447,7 +647,8 @@ pub fn run_native_opts(
     Ok(ResultSet::new(Relation {
         schema: out_schema,
         rows,
-    }))
+    })
+    .with_spill(spill))
 }
 
 /// Render the native execution plan with the default knobs for `algo`:
@@ -495,7 +696,7 @@ pub fn explain_native_opts(
     // GROUPING queries always run the grouped BMO (the algo choice only
     // applies to the ungrouped maximal-set selection) — say so, instead
     // of naming an algorithm the executor would not use.
-    let algo_shown = if native.n_groups > 0 {
+    let mut algo_shown = if native.n_groups > 0 {
         format!("grouped-bmo, {} key(s)", native.n_groups)
     } else if matches!(opts.algo, SkylineAlgo::Auto) && opts.threads > 1 {
         // The effective degree is cost-based per input (serial under
@@ -504,6 +705,14 @@ pub fn explain_native_opts(
     } else {
         format!("algo={}", opts.algo.label())
     };
+    // External-memory mode: surface the window budget the operator will
+    // stream under (spilled_runs/passes are runtime facts — the shell
+    // prints them as a metrics line after each execution).
+    if native.n_groups == 0 && matches!(opts.algo, SkylineAlgo::Auto) {
+        if let Some(budget) = opts.window_bytes {
+            algo_shown.push_str(&format!(", window={}", knobs::fmt_bytes(budget as u64)));
+        }
+    }
     let but_only = if query.but_only.is_some() {
         ", but-only threshold"
     } else {

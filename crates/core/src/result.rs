@@ -1,15 +1,29 @@
 //! Result sets returned to the application.
 
 use prefsql_engine::Relation;
+use prefsql_pref::SpillMetrics;
 use prefsql_types::{Schema, Tuple, Value};
 use std::fmt;
 
 /// A query result: schema plus rows, with display helpers for the
-/// examples and the experiment harness.
-#[derive(Debug, Clone, PartialEq)]
+/// examples and the experiment harness. Native preference queries
+/// evaluated under a window budget additionally carry their
+/// [`SpillMetrics`].
+#[derive(Debug, Clone)]
 pub struct ResultSet {
     schema: Schema,
     rows: Vec<Tuple>,
+    spill: Option<SpillMetrics>,
+}
+
+/// Result equality is *relation* equality (schema and rows). Spill
+/// metrics are execution observability — two runs of the same query at
+/// different window budgets return equal results, which is exactly what
+/// the differential suites assert.
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl ResultSet {
@@ -18,7 +32,22 @@ impl ResultSet {
         ResultSet {
             schema: rel.schema,
             rows: rel.rows,
+            spill: None,
         }
+    }
+
+    /// Attach external-memory spill metrics (native path only).
+    pub(crate) fn with_spill(mut self, spill: Option<SpillMetrics>) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Spill metrics of the evaluation that produced this result:
+    /// `Some` whenever a window budget governed a native preference
+    /// query (`passes == 0` means the candidates fit in the window and
+    /// the selection stayed in memory), `None` otherwise.
+    pub fn spill_metrics(&self) -> Option<&SpillMetrics> {
+        self.spill.as_ref()
     }
 
     /// The result schema.
@@ -89,7 +118,11 @@ impl ResultSet {
             .collect();
         let schema = Schema::new(columns).expect("stripping preserves uniqueness");
         let rows = self.rows.iter().map(|r| r.project(&keep)).collect();
-        ResultSet { schema, rows }
+        ResultSet {
+            schema,
+            rows,
+            spill: self.spill,
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! | `\mode [rewrite\|native\|naive\|bnl\|sfs\|auto]` | show/switch the execution mode |
 //! | `\algo [auto\|naive\|bnl\|sfs]` | show/set the native skyline algorithm |
 //! | `\threads [N]` | show/set the parallel skyline degree |
+//! | `\window [N[k\|m]\|off]` | show/set the external-memory window budget |
 //! | `\timing` | toggle per-statement timing |
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
@@ -94,7 +95,26 @@ impl Shell {
         let result = self.conn.execute(sql);
         let elapsed = t0.elapsed();
         let mut out = match result {
-            Ok(QueryResult::Rows(rs)) => rs.to_string(),
+            Ok(QueryResult::Rows(rs)) => {
+                let mut text = rs.to_string();
+                // External-memory observability: queries evaluated under
+                // a window budget report their spill behaviour.
+                if let Some(m) = rs.spill_metrics() {
+                    let window = self
+                        .conn
+                        .window_bytes()
+                        .map(|b| crate::knobs::fmt_bytes(b as u64))
+                        .unwrap_or_else(|| "off".into());
+                    let _ = writeln!(
+                        text,
+                        "Spill: window={window}, spilled_runs={}, spilled_bytes={}, passes={}",
+                        m.runs_written,
+                        crate::knobs::fmt_bytes(m.bytes_spilled),
+                        m.passes
+                    );
+                }
+                text
+            }
             Ok(QueryResult::Count(n)) => format!("INSERT {n}\n"),
             Ok(QueryResult::Message(m)) => format!("{m}\n"),
             Ok(QueryResult::Explain(text)) => text,
@@ -119,6 +139,8 @@ impl Shell {
                  \\mode [m]    show or set execution mode (rewrite|native|naive|bnl|sfs|auto)\n\
                  \\algo [a]    show or set the native skyline algorithm (auto|naive|bnl|sfs)\n\
                  \\threads [n] show or set the parallel skyline degree (1 = serial)\n\
+                 \\window [w]  show or set the external-memory window budget\n\
+                 \\            (bytes with optional k/m suffix, or 'off' = never spill)\n\
                  \\rewrite q   show the standard SQL a preference query becomes\n\
                  \\timing      toggle timing\n\
                  \\q           quit\n"
@@ -172,6 +194,24 @@ impl Shell {
                     _ => format!("invalid thread count '{n}' (positive integer)\n"),
                 },
             },
+            "\\window" => match arg {
+                "" => format!("window: {}\n", self.window_label()),
+                "off" | "unlimited" => {
+                    self.conn.set_window_bytes(None);
+                    "window: off\n".into()
+                }
+                w => match crate::knobs::parse_size(w) {
+                    // The connection clamps sub-minimum budgets up to
+                    // MIN_WINDOW_BYTES; echo what actually took effect.
+                    Some(n) if n >= 1 => {
+                        self.conn.set_window_bytes(Some(n));
+                        format!("window: {}\n", self.window_label())
+                    }
+                    _ => format!(
+                        "invalid window budget '{w}' (bytes with optional k/m suffix, or 'off')\n"
+                    ),
+                },
+            },
             "\\rewrite" => match self.conn.rewritten_sql(arg) {
                 Ok(Some(sql)) => format!("{sql}\n"),
                 Ok(None) => "query contains no preference constructs\n".into(),
@@ -185,6 +225,13 @@ impl Shell {
                 }
             }
             other => format!("unknown command '{other}' (try \\help)\n"),
+        }
+    }
+
+    fn window_label(&self) -> String {
+        match self.conn.window_bytes() {
+            Some(b) => crate::knobs::fmt_bytes(b as u64),
+            None => "off".into(),
         }
     }
 
@@ -380,6 +427,62 @@ mod tests {
             .feed_line("\\threads many")
             .contains("invalid thread count"));
         assert!(sh.feed_line("\\help").contains("\\threads"));
+    }
+
+    #[test]
+    fn window_command_controls_external_memory_budget() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed_line("\\window 64k"), "window: 64 KiB\n");
+        assert_eq!(sh.feed_line("\\window"), "window: 64 KiB\n");
+        assert_eq!(sh.feed_line("\\window 1m"), "window: 1 MiB\n");
+        // Sub-minimum budgets clamp up to MIN_WINDOW_BYTES (4 KiB).
+        assert_eq!(sh.feed_line("\\window 100"), "window: 4 KiB\n");
+        // Zero and garbage are rejected like `\threads 0`.
+        assert!(sh.feed_line("\\window 0").contains("invalid window budget"));
+        assert!(sh
+            .feed_line("\\window banana")
+            .contains("invalid window budget"));
+        assert_eq!(sh.feed_line("\\window off"), "window: off\n");
+        assert_eq!(sh.feed_line("\\window"), "window: off\n");
+        assert!(sh.feed_line("\\help").contains("\\window"));
+    }
+
+    #[test]
+    fn window_budget_spills_prints_metrics_and_explains() {
+        let mut sh = Shell::new();
+        sh.feed_line("CREATE TABLE pts (x INTEGER, y INTEGER);");
+        // Anti-correlated points: x + y = 400, nothing dominates
+        // anything, so the whole table is the skyline and a 4 KiB
+        // window must overflow and re-feed runs.
+        let values: Vec<String> = (0..400).map(|i| format!("({i}, {})", 400 - i)).collect();
+        sh.feed_line(&format!("INSERT INTO pts VALUES {};", values.join(", ")));
+        sh.feed_line("\\mode native");
+        sh.feed_line("\\window 4k");
+
+        // EXPLAIN surfaces the budget the operator will stream under.
+        let out = sh.feed_line("EXPLAIN SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y);");
+        assert!(out.contains("window=4 KiB"), "{out}");
+
+        // Execution reports the spill metrics after the rows.
+        let out = sh.feed_line("SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y);");
+        assert!(out.contains("(400 rows)"), "{out}");
+        assert!(out.contains("Spill: window=4 KiB"), "{out}");
+        assert!(out.contains("spilled_runs="), "{out}");
+        assert!(out.contains("passes="), "{out}");
+        let runs: u64 = out
+            .split("spilled_runs=")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("metrics line carries a run count");
+        assert!(runs >= 1, "{out}");
+
+        // Turning the window off drops both the annotation and the line.
+        sh.feed_line("\\window off");
+        let out = sh.feed_line("EXPLAIN SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y);");
+        assert!(!out.contains("window="), "{out}");
+        let out = sh.feed_line("SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y);");
+        assert!(!out.contains("Spill:"), "{out}");
     }
 
     #[test]

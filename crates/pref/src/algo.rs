@@ -91,30 +91,6 @@ pub fn choose_degree(n: usize, threads: usize) -> usize {
     }
 }
 
-/// The session-default parallel degree: `PREFSQL_THREADS` when set
-/// (`0` or an unparseable value cap at serial — the knob is a ceiling,
-/// so a set-but-invalid value must never escalate the degree),
-/// otherwise the host's available parallelism. Resolved once per
-/// process and cached.
-pub fn default_threads() -> usize {
-    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        resolve_threads(
-            std::env::var("PREFSQL_THREADS").ok().as_deref(),
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
-        )
-    })
-}
-
-fn resolve_threads(env: Option<&str>, host: usize) -> usize {
-    match env {
-        Some(v) => v.trim().parse::<usize>().map_or(1, |n| n.max(1)),
-        None => host.max(1),
-    }
-}
-
 /// Cost-based algorithm selection for [`SkylineAlgo::Auto`]: pick the
 /// concrete algorithm from the input cardinality `n` and the preference
 /// shape. Small inputs run the naive nested loop; larger inputs run SFS
@@ -169,6 +145,21 @@ pub fn maximal_with_threads(
         }
     }
     maximal(slot_vectors, pref, algo)
+}
+
+/// The external-memory engagement test for [`SkylineAlgo::Auto`] — the
+/// cost model the native operator consults per input: spill when a
+/// window budget is set and the estimated candidate bytes (the run
+/// encoding's own size table, [`crate::external::slot_vectors_bytes`] /
+/// `tuple_spill_bytes`) exceed it. Forced algorithms (`naive`/`bnl`/
+/// `sfs`) always stay in memory so the differential suites can pin each
+/// implementation individually.
+pub fn should_spill(
+    algo: SkylineAlgo,
+    candidate_bytes: usize,
+    window_bytes: Option<usize>,
+) -> bool {
+    matches!(algo, SkylineAlgo::Auto) && window_bytes.is_some_and(|b| candidate_bytes > b)
 }
 
 /// One pass of the BNL window filter over `candidates` (global indices
@@ -564,16 +555,34 @@ mod tests {
     }
 
     #[test]
-    fn thread_knob_resolution() {
-        assert_eq!(resolve_threads(Some("4"), 16), 4);
-        assert_eq!(resolve_threads(Some(" 2 "), 16), 2);
-        // Absent falls back to the host width (min 1); a set-but-invalid
-        // or zero value caps at serial — the env knob is a ceiling, so
-        // it must never raise the degree above what was asked for.
-        assert_eq!(resolve_threads(Some("banana"), 16), 1);
-        assert_eq!(resolve_threads(Some("0"), 16), 1);
-        assert_eq!(resolve_threads(None, 16), 16);
-        assert_eq!(resolve_threads(None, 0), 1);
+    fn should_spill_requires_auto_and_an_exceeded_budget() {
+        assert!(should_spill(SkylineAlgo::Auto, 10_000, Some(4_096)));
+        assert!(!should_spill(SkylineAlgo::Auto, 4_000, Some(4_096)));
+        assert!(!should_spill(SkylineAlgo::Auto, 10_000, None));
+        // Forced algorithms never take the external path.
+        for algo in [SkylineAlgo::Naive, SkylineAlgo::Bnl, SkylineAlgo::Sfs] {
+            assert!(!should_spill(algo, 10_000, Some(64)));
+        }
+    }
+
+    #[test]
+    fn external_dispatch_under_should_spill_matches_in_memory() {
+        let p = pareto(2);
+        let pts = random_points(400, 2, 15);
+        let expected = maximal_naive(&pts, &p);
+        let bytes = crate::external::slot_vectors_bytes(&pts);
+        // The budgets the engagement test fires at run the external
+        // window to the same winners as the in-memory dispatch.
+        assert!(should_spill(SkylineAlgo::Auto, bytes, Some(64)));
+        let (got, metrics) = crate::external::maximal_external(&pts, &p, 64).unwrap();
+        assert_eq!(got, expected);
+        assert!(metrics.passes >= 1);
+        // ...and the budgets it declines keep the in-memory result.
+        assert!(!should_spill(SkylineAlgo::Auto, bytes, Some(1 << 20)));
+        assert_eq!(
+            maximal_with_threads(&pts, &p, SkylineAlgo::Auto, 1),
+            expected
+        );
     }
 
     #[test]

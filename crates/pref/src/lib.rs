@@ -19,7 +19,11 @@
 //!   cost-based [`SkylineAlgo::Auto`] mode that picks among them from
 //!   input cardinality and preference shape — and, above
 //!   [`PARALLEL_CUTOFF`] candidates, runs the decomposable window
-//!   ([`maximal_parallel`]) across scoped OS threads.
+//!   ([`maximal_parallel`]) across scoped OS threads;
+//! * [`external`] — the external-memory skyline: \[BKS01\]'s multi-pass
+//!   BNL with a bounded window and spill-to-disk overflow runs
+//!   ([`ExternalSkyline`]), engaged by [`should_spill`] when the
+//!   estimated candidate bytes exceed the session's window budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,11 +32,13 @@ pub mod algo;
 pub mod base;
 pub mod bmo;
 pub mod compose;
+pub mod external;
 
 pub use algo::{
-    choose_algo, choose_degree, default_threads, maximal, maximal_bnl, maximal_naive,
-    maximal_parallel, maximal_sfs, maximal_with_threads, SkylineAlgo, PARALLEL_CUTOFF,
+    choose_algo, choose_degree, maximal, maximal_bnl, maximal_naive, maximal_parallel, maximal_sfs,
+    maximal_with_threads, should_spill, SkylineAlgo, PARALLEL_CUTOFF,
 };
 pub use base::BasePref;
 pub use bmo::{bmo, bmo_grouped};
 pub use compose::{PrefNode, Preference};
+pub use external::{maximal_external, ExternalSkyline, SpillMetrics};

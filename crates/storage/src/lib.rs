@@ -13,8 +13,10 @@
 
 pub mod catalog;
 pub mod index;
+pub mod spill;
 pub mod table;
 
 pub use catalog::{Catalog, ViewDef};
 pub use index::{BTreeIndex, HashIndex, IndexKind};
+pub use spill::{RunReader, RunWriter, SpillManager, SpillRun};
 pub use table::Table;

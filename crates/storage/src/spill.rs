@@ -1,0 +1,510 @@
+//! Spill-to-disk overflow runs for external-memory operators.
+//!
+//! \[BKS01\]'s block-nested-loops skyline is specified over inputs that
+//! need not fit in memory: tuples that survive the window but find it
+//! full are written to a temporary overflow file and re-fed on the next
+//! pass. This module is that substrate, kept deliberately generic so any
+//! pipeline breaker can graduate to a disk-run architecture:
+//!
+//! * [`RunWriter`] / [`RunReader`] — serialize whole batches of
+//!   [`Tuple`]s to a run file and read them back in write order;
+//! * [`SpillManager`] — owns the run directory and its lifecycle: run
+//!   naming, byte/run accounting, and **cleanup on drop** (the directory
+//!   and everything in it is removed even when a pass errors mid-read).
+//!
+//! The on-disk format is a private length-prefixed binary encoding
+//! (frame = tuple count + tuples; tuple = arity + tagged values). Runs
+//! are temporary per-query files, never persisted artifacts, so the
+//! format carries no version header and makes no compatibility promise.
+
+use prefsql_types::{Date, Error, Result, Tuple, Value};
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Value tags of the run encoding (one byte per value).
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+/// The serialized size of one tuple in a run file, in bytes. Also used
+/// as the in-memory byte estimate for window accounting, so "window
+/// budget" and "bytes spilled" speak the same unit.
+pub fn tuple_spill_bytes(t: &Tuple) -> usize {
+    4 + t.values().iter().map(value_spill_bytes).sum::<usize>()
+}
+
+/// The serialized size of one value in a run file (tag byte + payload).
+/// The single size table behind every byte estimate — callers that
+/// weigh candidates without building [`Tuple`]s sum this directly.
+pub fn value_spill_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) | Value::Date(_) => 9,
+        Value::Str(s) => 5 + s.len(),
+    }
+}
+
+fn write_value(out: &mut impl Write, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.write_all(&[TAG_NULL])?,
+        Value::Bool(b) => out.write_all(&[TAG_BOOL, u8::from(*b)])?,
+        Value::Int(i) => {
+            out.write_all(&[TAG_INT])?;
+            out.write_all(&i.to_le_bytes())?;
+        }
+        Value::Float(f) => {
+            out.write_all(&[TAG_FLOAT])?;
+            out.write_all(&f.to_bits().to_le_bytes())?;
+        }
+        Value::Str(s) => {
+            let len = u32::try_from(s.len()).map_err(|_| {
+                Error::Io(format!("string of {} bytes exceeds run format", s.len()))
+            })?;
+            out.write_all(&[TAG_STR])?;
+            out.write_all(&len.to_le_bytes())?;
+            out.write_all(s.as_bytes())?;
+        }
+        Value::Date(d) => {
+            out.write_all(&[TAG_DATE])?;
+            out.write_all(&d.days().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize>(input: &mut impl Read) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    input
+        .read_exact(&mut buf)
+        .map_err(|e| Error::Io(format!("truncated spill run: {e}")))?;
+    Ok(buf)
+}
+
+fn read_value(input: &mut impl Read) -> Result<Value> {
+    let [tag] = read_exact::<1>(input)?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(read_exact::<1>(input)?[0] != 0),
+        TAG_INT => Value::Int(i64::from_le_bytes(read_exact::<8>(input)?)),
+        TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(read_exact::<8>(input)?))),
+        TAG_STR => {
+            let len = u32::from_le_bytes(read_exact::<4>(input)?) as usize;
+            let mut bytes = vec![0u8; len];
+            input
+                .read_exact(&mut bytes)
+                .map_err(|e| Error::Io(format!("truncated spill run: {e}")))?;
+            Value::Str(
+                String::from_utf8(bytes)
+                    .map_err(|e| Error::Io(format!("corrupt spill run: {e}")))?,
+            )
+        }
+        TAG_DATE => Value::Date(Date::from_days(i64::from_le_bytes(read_exact::<8>(input)?))),
+        other => return Err(Error::Io(format!("corrupt spill run: unknown tag {other}"))),
+    })
+}
+
+/// A completed overflow run: the file path plus its totals, returned by
+/// [`RunWriter::finish`] and consumed by [`RunReader::open`]. The file
+/// itself is owned by the [`SpillManager`] whose directory it lives in.
+#[derive(Debug)]
+pub struct SpillRun {
+    path: PathBuf,
+    /// Number of tuples written to the run.
+    pub tuples: u64,
+    /// Serialized bytes written to the run.
+    pub bytes: u64,
+}
+
+impl SpillRun {
+    /// The run file's path (inside its manager's spill directory).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Delete the run file eagerly (a fully re-fed run is dead weight;
+    /// the manager's drop would remove it anyway, later).
+    pub fn delete(self) -> Result<()> {
+        fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Streams batches of tuples into one overflow run file.
+#[derive(Debug)]
+pub struct RunWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    tuples: u64,
+    bytes: u64,
+}
+
+impl RunWriter {
+    /// Append a whole batch of tuples (one frame) to the run. Batches
+    /// are the write granularity — the external operators hand over the
+    /// very `next_batch` buffers they pull — but [`RunReader`] yields
+    /// tuples, so batch boundaries carry no semantics.
+    pub fn write_batch(&mut self, batch: &[Tuple]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let count = u32::try_from(batch.len()).map_err(|_| {
+            Error::Io(format!(
+                "batch of {} tuples exceeds run format",
+                batch.len()
+            ))
+        })?;
+        self.out.write_all(&count.to_le_bytes())?;
+        self.bytes += 4;
+        for t in batch {
+            let arity = u32::try_from(t.len()).map_err(|_| {
+                Error::Io(format!("tuple of {} fields exceeds run format", t.len()))
+            })?;
+            self.out.write_all(&arity.to_le_bytes())?;
+            for v in t.values() {
+                write_value(&mut self.out, v)?;
+            }
+            self.bytes += tuple_spill_bytes(t) as u64;
+        }
+        self.tuples += count as u64;
+        Ok(())
+    }
+
+    /// Append a single tuple (a one-tuple frame).
+    pub fn write_tuple(&mut self, t: &Tuple) -> Result<()> {
+        self.write_batch(std::slice::from_ref(t))
+    }
+
+    /// Tuples written so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Serialized bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush and seal the run for reading.
+    pub fn finish(mut self) -> Result<SpillRun> {
+        self.out.flush()?;
+        Ok(SpillRun {
+            path: self.path,
+            tuples: self.tuples,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// Reads a sealed run back, tuple by tuple, in write order.
+#[derive(Debug)]
+pub struct RunReader {
+    input: BufReader<File>,
+    /// Tuples left in the current frame.
+    in_frame: u32,
+    /// Tuples the run claims to hold — a clean EOF before this many is a
+    /// truncation error, not an end-of-stream.
+    remaining: u64,
+}
+
+impl RunReader {
+    /// Open a sealed run for reading.
+    pub fn open(run: &SpillRun) -> Result<Self> {
+        Ok(RunReader {
+            input: BufReader::new(File::open(&run.path)?),
+            in_frame: 0,
+            remaining: run.tuples,
+        })
+    }
+
+    /// The next tuple, or `None` at a clean end of the run. A file that
+    /// ends early (crash, concurrent truncation) is an [`Error::Io`].
+    pub fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if self.in_frame == 0 {
+            self.in_frame = u32::from_le_bytes(read_exact::<4>(&mut self.input)?);
+            if self.in_frame == 0 {
+                return Err(Error::Io("corrupt spill run: empty frame".into()));
+            }
+        }
+        let arity = u32::from_le_bytes(read_exact::<4>(&mut self.input)?) as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(read_value(&mut self.input)?);
+        }
+        self.in_frame -= 1;
+        self.remaining -= 1;
+        Ok(Some(Tuple::new(values)))
+    }
+
+    /// Append the next frame's tuples to `out`. Returns `false` at a
+    /// clean end of the run.
+    pub fn next_batch(&mut self, out: &mut Vec<Tuple>) -> Result<bool> {
+        match self.next_tuple()? {
+            None => Ok(false),
+            Some(first) => {
+                out.push(first);
+                while self.in_frame > 0 {
+                    match self.next_tuple()? {
+                        Some(t) => out.push(t),
+                        None => break,
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Owns one query's overflow runs: a private temp directory, run naming,
+/// byte/run accounting, and removal of the whole directory on drop —
+/// including the error paths, where readers and writers are simply
+/// dropped mid-run.
+#[derive(Debug)]
+pub struct SpillManager {
+    dir: PathBuf,
+    next_run: u64,
+    runs_written: u64,
+    bytes_spilled: u64,
+}
+
+impl SpillManager {
+    /// A manager with a fresh private directory under the system temp
+    /// dir (`prefsql-spill-<pid>-<seq>`).
+    pub fn new() -> Result<Self> {
+        Self::new_in(&std::env::temp_dir())
+    }
+
+    /// A manager with a fresh private directory under `base` — tests use
+    /// this to assert cleanup against a directory they control.
+    pub fn new_in(base: &Path) -> Result<Self> {
+        let dir = base.join(format!(
+            "prefsql-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(SpillManager {
+            dir,
+            next_run: 0,
+            runs_written: 0,
+            bytes_spilled: 0,
+        })
+    }
+
+    /// The manager's private run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Start a new overflow run file in the manager's directory.
+    pub fn begin_run(&mut self) -> Result<RunWriter> {
+        let path = self.dir.join(format!("run-{}.bin", self.next_run));
+        self.next_run += 1;
+        Ok(RunWriter {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+            tuples: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Record a sealed run in the manager's accounting. Callers seal a
+    /// run with [`RunWriter::finish`] and report it here (the writer
+    /// can't borrow the manager while the manager may need to open the
+    /// next run).
+    pub fn record_run(&mut self, run: &SpillRun) {
+        self.runs_written += 1;
+        self.bytes_spilled += run.bytes;
+    }
+
+    /// Overflow runs recorded so far.
+    pub fn runs_written(&self) -> u64 {
+        self.runs_written
+    }
+
+    /// Serialized bytes recorded so far.
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled
+    }
+}
+
+impl Drop for SpillManager {
+    fn drop(&mut self) {
+        // Best-effort removal of the whole run directory; a failure here
+        // (e.g. the temp filesystem vanished) must not turn into a
+        // panic-in-drop.
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::tuple;
+
+    fn sample_batch() -> Vec<Tuple> {
+        vec![
+            tuple![1, "audi", 2.5, true],
+            Tuple::new(vec![Value::Null, Value::Date(Date::from_days(10_000))]),
+            tuple![-7],
+        ]
+    }
+
+    #[test]
+    fn round_trips_batches_in_order() {
+        let mut mgr = SpillManager::new().unwrap();
+        let mut w = mgr.begin_run().unwrap();
+        let batch = sample_batch();
+        w.write_batch(&batch).unwrap();
+        w.write_tuple(&tuple![42, "tail"]).unwrap();
+        assert_eq!(w.tuples(), 4);
+        let run = w.finish().unwrap();
+        mgr.record_run(&run);
+        assert_eq!(mgr.runs_written(), 1);
+        assert_eq!(mgr.bytes_spilled(), run.bytes);
+
+        let mut r = RunReader::open(&run).unwrap();
+        let mut got = Vec::new();
+        while let Some(t) = r.next_tuple().unwrap() {
+            got.push(t);
+        }
+        let mut expected = batch;
+        expected.push(tuple![42, "tail"]);
+        assert_eq!(got, expected);
+        assert!(r.next_tuple().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn batched_reads_yield_whole_frames() {
+        let mut mgr = SpillManager::new().unwrap();
+        let mut w = mgr.begin_run().unwrap();
+        w.write_batch(&[tuple![1], tuple![2]]).unwrap();
+        w.write_batch(&[]).unwrap(); // empty batches write nothing
+        w.write_batch(&[tuple![3]]).unwrap();
+        let run = w.finish().unwrap();
+        let mut r = RunReader::open(&run).unwrap();
+        let mut out = Vec::new();
+        assert!(r.next_batch(&mut out).unwrap());
+        assert_eq!(out, vec![tuple![1], tuple![2]]);
+        assert!(r.next_batch(&mut out).unwrap());
+        assert_eq!(out.len(), 3);
+        assert!(!r.next_batch(&mut out).unwrap());
+    }
+
+    #[test]
+    fn byte_accounting_matches_estimate() {
+        let mut mgr = SpillManager::new().unwrap();
+        let mut w = mgr.begin_run().unwrap();
+        let batch = sample_batch();
+        w.write_batch(&batch).unwrap();
+        let estimated: u64 = batch.iter().map(|t| tuple_spill_bytes(t) as u64).sum();
+        let run = w.finish().unwrap();
+        // One 4-byte frame header plus the per-tuple estimates.
+        assert_eq!(run.bytes, 4 + estimated);
+        assert_eq!(
+            run.bytes,
+            std::fs::metadata(run.path()).unwrap().len(),
+            "estimate must equal the true on-disk size"
+        );
+    }
+
+    #[test]
+    fn manager_drop_removes_directory() {
+        let dir;
+        {
+            let mut mgr = SpillManager::new().unwrap();
+            dir = mgr.dir().to_path_buf();
+            let mut w = mgr.begin_run().unwrap();
+            w.write_batch(&sample_batch()).unwrap();
+            let run = w.finish().unwrap();
+            mgr.record_run(&run);
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "drop must remove the spill directory");
+    }
+
+    /// The crash-safety contract: a pass that errors mid-read (here: a
+    /// poisoned run file, truncated behind the reader's back) surfaces
+    /// an `Error::Io` — and the manager's drop still removes every temp
+    /// file, asserted by the directory disappearing.
+    #[test]
+    fn poisoned_reader_errors_and_drop_still_cleans_up() {
+        let base = std::env::temp_dir().join(format!(
+            "prefsql-spill-test-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&base).unwrap();
+        let dir;
+        {
+            let mut mgr = SpillManager::new_in(&base).unwrap();
+            dir = mgr.dir().to_path_buf();
+            let mut w = mgr.begin_run().unwrap();
+            for _ in 0..50 {
+                w.write_batch(&sample_batch()).unwrap();
+            }
+            let run = w.finish().unwrap();
+            mgr.record_run(&run);
+
+            // Poison the run: truncate it to half, then read through it.
+            let full = fs::metadata(run.path()).unwrap().len();
+            let f = fs::OpenOptions::new().write(true).open(run.path()).unwrap();
+            f.set_len(full / 2).unwrap();
+            drop(f);
+
+            let mut r = RunReader::open(&run).unwrap();
+            let err = loop {
+                match r.next_tuple() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("truncated run must not end cleanly"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(matches!(err, Error::Io(_)), "got {err:?}");
+            // Reader and manager both dropped here, mid-error.
+        }
+        assert!(!dir.exists(), "error path must still remove temp files");
+        assert_eq!(
+            fs::read_dir(&base).unwrap().count(),
+            0,
+            "spill base dir must be empty after the erroring pass"
+        );
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn eager_run_delete_removes_the_file() {
+        let mut mgr = SpillManager::new().unwrap();
+        let mut w = mgr.begin_run().unwrap();
+        w.write_tuple(&tuple![1]).unwrap();
+        let run = w.finish().unwrap();
+        let path = run.path().to_path_buf();
+        assert!(path.exists());
+        run.delete().unwrap();
+        assert!(!path.exists());
+        assert!(mgr.dir().exists(), "directory outlives eager run deletes");
+    }
+
+    #[test]
+    fn strings_survive_utf8_and_empty_tuples_roundtrip() {
+        let mut mgr = SpillManager::new().unwrap();
+        let mut w = mgr.begin_run().unwrap();
+        let batch = vec![tuple!["grüß gott", ""], Tuple::new(vec![])];
+        w.write_batch(&batch).unwrap();
+        let run = w.finish().unwrap();
+        let mut r = RunReader::open(&run).unwrap();
+        assert_eq!(r.next_tuple().unwrap().unwrap(), batch[0]);
+        assert_eq!(r.next_tuple().unwrap().unwrap(), batch[1]);
+        assert!(r.next_tuple().unwrap().is_none());
+    }
+}

@@ -27,6 +27,9 @@ pub enum Error {
     /// A documented Preference SQL 1.3 restriction was violated (for example
     /// a PREFERRING clause inside a WHERE sub-query).
     Unsupported(String),
+    /// I/O failure in the external-memory layer (spill runs, temp files).
+    /// Carries the rendered `std::io::Error` so the enum stays `Clone`/`Eq`.
+    Io(String),
 }
 
 impl Error {
@@ -40,6 +43,7 @@ impl Error {
             Error::Exec(_) => "exec",
             Error::Rewrite(_) => "rewrite",
             Error::Unsupported(_) => "unsupported",
+            Error::Io(_) => "io",
         }
     }
 
@@ -52,8 +56,15 @@ impl Error {
             | Error::Plan(m)
             | Error::Exec(m)
             | Error::Rewrite(m)
-            | Error::Unsupported(m) => m,
+            | Error::Unsupported(m)
+            | Error::Io(m) => m,
         }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 
@@ -87,6 +98,7 @@ mod tests {
             Error::Exec(String::new()),
             Error::Rewrite(String::new()),
             Error::Unsupported(String::new()),
+            Error::Io(String::new()),
         ];
         let mut layers: Vec<_> = all.iter().map(|e| e.layer()).collect();
         layers.sort_unstable();

@@ -18,6 +18,13 @@
 //!    natively with `threads ∈ {1, 2, 8, 64}`, must render byte-identical
 //!    outputs — including a workload large enough that the cost model
 //!    actually engages the parallel window.
+//! 4. Window-budget invariance: every random composition tree and every
+//!    workload demo query returns identical results with the
+//!    external-memory window unbounded, generously bounded (0 spill
+//!    passes), and tightly bounded (1 and many spill passes), combined
+//!    with the thread knob — plus a 64 k-row acceptance run whose
+//!    metrics must show ≥ 2 passes and whose spill directory must be
+//!    gone afterwards.
 
 use prefsql::parser::ast::{Expr, PrefExpr, Query, SelectItem, TableRef};
 use prefsql::pref::{maximal_naive, maximal_parallel, Preference};
@@ -201,6 +208,7 @@ proptest! {
                     algo: SkylineAlgo::Auto,
                     threads,
                     batch,
+                    ..NativeOptions::default()
                 };
                 let ids = native_ids(&table, &query, opts);
                 prop_assert_eq!(
@@ -225,6 +233,47 @@ proptest! {
                 threads
             );
         }
+    }
+
+    /// Window-budget invariance: the external-memory window returns the
+    /// abstract selection at every budget — unbounded (`None`), generous
+    /// (everything fits, 0 spill passes), tight (one overflow run), and
+    /// one-tuple-at-a-time tiny (many passes) — combined with the thread
+    /// knob and the tuple-at-a-time drive loop.
+    #[test]
+    fn window_budgets_agree(rows in arb_rows(), pref in arb_pref()) {
+        let table = build_table(&rows);
+        let expected = expected_ids(&table, &pref);
+        let query = pref_query(pref);
+        // Raw budgets below the session-knob minimum are deliberate:
+        // NativeOptions takes bytes verbatim, so 64 B forces a pass per
+        // few tuples even on these 40-row tables.
+        for window in [None, Some(1 << 20), Some(512), Some(64)] {
+            for threads in [1usize, 2, 8] {
+                let opts = NativeOptions {
+                    algo: SkylineAlgo::Auto,
+                    threads,
+                    batch: Some(1024),
+                    window_bytes: window,
+                };
+                let ids = native_ids(&table, &query, opts);
+                prop_assert_eq!(
+                    &ids,
+                    &expected,
+                    "window={:?} threads={} disagrees with the abstract selection",
+                    window,
+                    threads
+                );
+            }
+        }
+        // The spool/streaming split must not depend on the drive loop.
+        let opts = NativeOptions {
+            algo: SkylineAlgo::Auto,
+            threads: 1,
+            batch: None,
+            window_bytes: Some(64),
+        };
+        prop_assert_eq!(&native_ids(&table, &query, opts), &expected);
     }
 }
 
@@ -401,6 +450,92 @@ fn golden_thread_sweep_engages_parallel_window() {
     let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
     let sql = format!("SELECT id FROM profiles PREFERRING {}", soft.join(" AND "));
     native_thread_sweep(&jobs::table(n, 80), &sql);
+}
+
+// ------------------------------------------- window-budget invariance
+
+/// Evaluate `sql` natively with the external-memory window unbounded,
+/// at 64 KiB, and at the 4 KiB minimum; every rendering must be
+/// byte-identical to the unbounded one. The demo-query fixtures cover
+/// spilling under `BUT ONLY` (the spool pass) and the GROUPING
+/// fallback, not just plain skylines.
+fn native_window_sweep(table: &Table, sql: &str) {
+    let mut outputs: Vec<(Option<usize>, String)> = Vec::new();
+    for window in [None, Some(64 << 10), Some(4 << 10)] {
+        let mut conn = PrefSqlConnection::new();
+        conn.engine_mut()
+            .catalog_mut()
+            .create_table(table.clone())
+            .expect("fresh catalog");
+        conn.set_mode(ExecutionMode::native());
+        conn.set_window_bytes(window);
+        let rs = conn
+            .query(sql)
+            .unwrap_or_else(|e| panic!("window={window:?} failed on {sql}: {e}"));
+        outputs.push((window, rs.to_string()));
+    }
+    let base = outputs[0].1.clone();
+    for (window, out) in &outputs[1..] {
+        assert_eq!(out, &base, "window={window:?} changed the result of: {sql}");
+    }
+}
+
+#[test]
+fn golden_window_sweep_demo_queries() {
+    for (table, sql) in demo_queries() {
+        native_window_sweep(&table, &sql);
+    }
+}
+
+/// The acceptance run for the external-memory subsystem: a 64 k-row
+/// workload query under a window budget orders of magnitude below the
+/// candidate-set size (64 k extended rows are several MiB; the budget
+/// is 4 KiB, far under a tenth of that). The metrics must prove the
+/// multi-pass loop ran — at least one overflow run, at least two passes
+/// — and the spill directory must be gone after the query returns.
+#[test]
+fn golden_external_window_64k_multipass_and_cleanup() {
+    use prefsql_workload::jobs;
+    let table = jobs::table(64_000, 83);
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    let sql = format!("SELECT id FROM profiles PREFERRING {}", soft.join(" AND "));
+
+    let mut unbounded = PrefSqlConnection::new();
+    unbounded
+        .engine_mut()
+        .catalog_mut()
+        .create_table(table.clone())
+        .expect("fresh catalog");
+    unbounded.set_mode(ExecutionMode::native());
+    unbounded.set_window_bytes(None);
+    let expected = unbounded.query(&sql).expect("unbounded run").to_string();
+
+    let mut bounded = PrefSqlConnection::new();
+    bounded
+        .engine_mut()
+        .catalog_mut()
+        .create_table(table)
+        .expect("fresh catalog");
+    bounded.set_mode(ExecutionMode::native());
+    bounded.set_window_bytes(Some(4096));
+    let rs = bounded.query(&sql).expect("bounded run");
+    assert_eq!(rs.to_string(), expected, "window budget changed the result");
+
+    let m = rs.spill_metrics().expect("bounded run reports metrics");
+    assert!(m.runs_written >= 1, "{m:?}");
+    assert!(m.passes >= 2, "{m:?}");
+    assert!(
+        m.bytes_spilled > 10 * 4096,
+        "the overflow must dwarf the window: {m:?}"
+    );
+    let dir = m
+        .spill_dir
+        .as_ref()
+        .expect("spilling records its directory");
+    assert!(
+        !dir.exists(),
+        "all temp files must be removed after the query: {dir:?}"
+    );
 }
 
 // -------------------------------------------------- plan/EXPLAIN parity
