@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Live-server smoke test: boot prefsql-server on an ephemeral port,
+# replay ci/smoke_session.txt through prefsql-client, and require the
+# transcript to match ci/smoke_session.expected byte for byte.
+# The client itself exits non-zero if any request answered ERROR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+server=target/release/prefsql-server
+client=target/release/prefsql-client
+if [ ! -x "$server" ] || [ ! -x "$client" ]; then
+    cargo build --release -p prefsql-server
+fi
+
+log=$(mktemp)
+"$server" 127.0.0.1:0 >"$log" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^prefsql-server listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "server never reported its listening address" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+got=$(mktemp)
+"$client" "$addr" <ci/smoke_session.txt >"$got"
+diff -u ci/smoke_session.expected "$got"
+echo "smoke session OK against $addr"

@@ -1,0 +1,97 @@
+//! **P6** — concurrent session throughput through the TCP front end.
+//!
+//! One in-process `prefsql-server` over a shared core preloaded with
+//! the car market; 1 / 8 / 64 concurrent connections each replay a
+//! fixed native-mode preference query mix and the group reports
+//! queries/second (`Throughput::Elements` = total queries issued per
+//! iteration, so the JSON's `per_second` *is* the aggregate query
+//! rate).
+//!
+//! Connection setup (TCP connect + greeting + `\mode native`) is
+//! inside the timed region — the bench measures end-to-end session
+//! cost, not just statement execution. On a single-core host the 8/64
+//! rows mostly measure fair interleaving over one shared catalog lock,
+//! not parallel speed-up; read them as "throughput does not collapse
+//! under concurrency", not as a scaling curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prefsql::Session;
+use prefsql_engine::EngineCore;
+use prefsql_server::{Client, Server};
+use prefsql_workload::{cars, hotels};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+
+/// Queries each connection issues per timed iteration.
+const PER_CONN: usize = 4;
+
+/// The per-connection query mix (all native-mode preference reads).
+const MIX: [&str; PER_CONN] = [
+    cars::OPEL_QUERY,
+    "SELECT id, price FROM car WHERE price < 30000 PREFERRING LOWEST(price)",
+    hotels::NEG_QUERY,
+    "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location",
+];
+
+fn loaded_core() -> Arc<EngineCore> {
+    let core = EngineCore::shared();
+    let mut session = Session::with_core(Arc::clone(&core));
+    session
+        .engine_mut()
+        .catalog_mut()
+        .create_table(cars::market(1_000, 7))
+        .expect("fresh catalog");
+    session
+        .engine_mut()
+        .catalog_mut()
+        .create_table(hotels::table(300, 8))
+        .expect("fresh catalog");
+    core
+}
+
+/// One connection's worth of work: connect, switch to native mode,
+/// replay the mix, quit. Panics (propagated through join) on any error
+/// response so a failing server can't masquerade as a fast one.
+fn drive_connection(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect to bench server");
+    let mode = client.request("\\mode native").expect("mode switch");
+    assert!(mode.is_ok(), "mode switch failed: {}", mode.status);
+    for sql in MIX {
+        let resp = client.request(sql).expect("request");
+        assert!(resp.is_ok(), "query failed: {sql}: {}", resp.status);
+    }
+    client.quit().expect("clean quit");
+}
+
+fn bench_concurrent_queries(c: &mut Criterion) {
+    let server = Server::bind("127.0.0.1:0", loaded_core()).expect("bind bench server");
+    let handle = server.spawn().expect("spawn bench server");
+    let addr = handle.addr();
+
+    let mut group = c.benchmark_group("p6_concurrent_queries");
+    group.sample_size(10);
+    for conns in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements((conns * PER_CONN) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("connections", conns),
+            &conns,
+            |b, &conns| {
+                b.iter(|| {
+                    let workers: Vec<_> = (0..conns)
+                        .map(|_| thread::spawn(move || drive_connection(addr)))
+                        .collect();
+                    for w in workers {
+                        w.join().expect("bench connection panicked");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    handle.stop().expect("clean server shutdown");
+}
+
+criterion_group!(benches, bench_concurrent_queries);
+criterion_main!(benches);

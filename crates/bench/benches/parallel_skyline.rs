@@ -45,12 +45,12 @@ fn bench_batched_vs_tuple(c: &mut Criterion) {
             Statement::Select(q) => *q,
             other => panic!("expected SELECT, got {other:?}"),
         };
-        engine.begin_statement();
-        let plan = engine.plan_for(&query).expect("plannable query");
+        let ctx = engine.read_ctx().expect("healthy core");
+        let plan = ctx.plan_for(&query).expect("plannable query");
 
         group.bench_with_input(BenchmarkId::new("tuple_scan_filter", n), &n, |b, _| {
             b.iter(|| {
-                let mut op = build(engine, plan.root(), &[]);
+                let mut op = build(&ctx, plan.root(), &[]);
                 drain_tuple_at_a_time(op.as_mut())
                     .expect("clean drive")
                     .len()
@@ -58,7 +58,7 @@ fn bench_batched_vs_tuple(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("batched_scan_filter", n), &n, |b, _| {
             b.iter(|| {
-                let mut op = build(engine, plan.root(), &[]);
+                let mut op = build(&ctx, plan.root(), &[]);
                 drain_batched(op.as_mut(), DEFAULT_BATCH)
                     .expect("clean drive")
                     .len()

@@ -54,7 +54,7 @@ fn prefsql_workload_hint() -> &'static str {
 
 fn load_demo(shell: &mut Shell) {
     use prefsql_workload::*;
-    let catalog = shell.connection_mut().engine_mut().catalog_mut();
+    let mut catalog = shell.session_mut().engine_mut().catalog_mut();
     catalog
         .create_table(oldtimer::table())
         .expect("fresh catalog");

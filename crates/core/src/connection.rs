@@ -2,90 +2,27 @@
 //! "Preference ODBC/JDBC driver" (§3.1): applications submit Preference
 //! SQL; preference queries are rewritten to standard SQL and forwarded to
 //! the host engine; everything else passes through untouched.
+//!
+//! Since the concurrent-runtime refactor this type is a thin
+//! single-session façade: all execution state lives in [`Session`], and
+//! a `PrefSqlConnection` is simply a session over its own private
+//! [`EngineCore`]. Embedders who want many
+//! connections against one catalog use [`Session::with_core`] directly
+//! (or the `prefsql-server` front end).
 
-use crate::native::{self, NativeOptions, SkylineAlgo};
 use crate::result::ResultSet;
-use prefsql_engine::{Engine, ExecOutcome};
-use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
-use prefsql_parser::{parse_statement, parse_statements};
-use prefsql_rewrite::{RewriteOutput, Rewriter};
-use prefsql_types::{Error, Result};
+use crate::session::Session;
+use prefsql_engine::{Engine, EngineCore};
+use prefsql_parser::ast::Statement;
+use prefsql_types::Result;
+use std::sync::Arc;
 
-/// How preference queries are evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecutionMode {
-    /// The paper's approach: rewrite to SQL92 and let the host engine
-    /// evaluate the `NOT EXISTS` dominance anti-join.
-    #[default]
-    Rewrite,
-    /// Native in-layer evaluation through the [`crate::native::PreferenceOp`]
-    /// physical operator (ablation A1: "implementing a generalized skyline
-    /// operator in the kernel ... holds much promise"). The default
-    /// algorithm is [`SkylineAlgo::Auto`], which picks naive/BNL/SFS per
-    /// input — see [`ExecutionMode::native`].
-    Native(SkylineAlgo),
-}
-
-impl ExecutionMode {
-    /// Native evaluation with the default algorithm
-    /// ([`SkylineAlgo::Auto`]).
-    pub fn native() -> Self {
-        ExecutionMode::Native(SkylineAlgo::default())
-    }
-}
-
-/// Result of executing one Preference SQL statement.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryResult {
-    /// Rows of a SELECT.
-    Rows(ResultSet),
-    /// Affected-row count of an INSERT.
-    Count(usize),
-    /// Acknowledgement of DDL or preference DDL.
-    Message(String),
-    /// EXPLAIN output (includes the rewritten SQL for preference queries).
-    Explain(String),
-}
-
-impl QueryResult {
-    /// The rows of a SELECT result, or `None` for counts/messages/EXPLAIN.
-    pub fn rows(&self) -> Option<&ResultSet> {
-        match self {
-            QueryResult::Rows(rs) => Some(rs),
-            _ => None,
-        }
-    }
-
-    /// Consume the result into its rows, or `None` for other outcomes.
-    pub fn into_rows(self) -> Option<ResultSet> {
-        match self {
-            QueryResult::Rows(rs) => Some(rs),
-            _ => None,
-        }
-    }
-
-    /// The rows of a SELECT result (panics otherwise; test/demo
-    /// convenience — production code should prefer [`QueryResult::rows`]).
-    pub fn expect_rows(self) -> ResultSet {
-        match self {
-            QueryResult::Rows(rs) => rs,
-            other => panic!("expected rows, got {other:?}"),
-        }
-    }
-}
+pub use crate::session::{ExecutionMode, QueryResult};
 
 /// An in-process Preference SQL connection: rewriter + host engine +
-/// named-preference registry.
+/// named-preference registry, wrapped in one self-contained session.
 pub struct PrefSqlConnection {
-    engine: Engine,
-    rewriter: Rewriter,
-    mode: ExecutionMode,
-    /// Parallel-window degree knob for native preference evaluation
-    /// (default: `PREFSQL_THREADS` or the host width).
-    threads: usize,
-    /// External-memory window budget in bytes for native preference
-    /// evaluation (default: `PREFSQL_WINDOW`, or `None` = unbounded).
-    window_bytes: Option<usize>,
+    session: Session,
 }
 
 impl Default for PrefSqlConnection {
@@ -98,26 +35,39 @@ impl PrefSqlConnection {
     /// A fresh connection with an empty catalog. Preference queries
     /// execute via the paper's rewrite by default; switching to native
     /// evaluation without naming an algorithm
-    /// ([`ExecutionMode::native`]) uses [`SkylineAlgo::Auto`], the
-    /// default native mode.
+    /// ([`ExecutionMode::native`]) uses [`crate::SkylineAlgo::Auto`],
+    /// the default native mode.
     pub fn new() -> Self {
         PrefSqlConnection {
-            engine: Engine::new(),
-            rewriter: Rewriter::new(),
-            mode: ExecutionMode::Rewrite,
-            threads: crate::knobs::default_threads(),
-            window_bytes: crate::knobs::default_window_bytes(),
+            session: Session::new(),
         }
+    }
+
+    /// A connection sharing an existing engine core with other sessions.
+    pub fn with_core(core: Arc<EngineCore>) -> Self {
+        PrefSqlConnection {
+            session: Session::with_core(core),
+        }
+    }
+
+    /// The underlying session (knobs, spill dir, shared-core handle).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// Switch the evaluation strategy for preference queries.
     pub fn set_mode(&mut self, mode: ExecutionMode) {
-        self.mode = mode;
+        self.session.set_mode(mode);
     }
 
     /// The current evaluation strategy.
     pub fn mode(&self) -> ExecutionMode {
-        self.mode
+        self.session.mode()
     }
 
     /// Cap the parallel-window degree for native preference evaluation
@@ -125,12 +75,12 @@ impl PrefSqlConnection {
     /// skyline only actually parallelizes above
     /// [`prefsql_pref::PARALLEL_CUTOFF`] candidates.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.session.set_threads(threads);
     }
 
     /// The parallel-window degree knob.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.session.threads()
     }
 
     /// Set the external-memory window budget for native preference
@@ -139,167 +89,49 @@ impl PrefSqlConnection {
     /// spill-to-disk overflow runs (clamped to at least
     /// [`crate::knobs::MIN_WINDOW_BYTES`]); `None` never spills.
     pub fn set_window_bytes(&mut self, window_bytes: Option<usize>) {
-        self.window_bytes = window_bytes.map(|b| b.max(crate::knobs::MIN_WINDOW_BYTES));
+        self.session.set_window_bytes(window_bytes);
     }
 
     /// The external-memory window budget knob.
     pub fn window_bytes(&self) -> Option<usize> {
-        self.window_bytes
+        self.session.window_bytes()
     }
 
     /// The underlying host engine (catalog access, stats, index toggles).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.session.engine()
     }
 
     /// Mutable host-engine access (bulk loading, index toggles).
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        self.session.engine_mut()
     }
 
     /// Execute one statement of Preference SQL.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        self.session.execute(sql)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
-        parse_statements(sql)?
-            .iter()
-            .map(|s| self.execute_statement(s))
-            .collect()
+        self.session.execute_script(sql)
     }
 
     /// Execute a query and return its rows (errors on non-SELECT).
     pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
-        match self.execute(sql)? {
-            QueryResult::Rows(rs) => Ok(rs),
-            other => Err(Error::Exec(format!(
-                "statement did not produce rows: {other:?}"
-            ))),
-        }
+        self.session.query(sql)
     }
 
     /// The SQL a preference statement is rewritten into (passthrough
     /// statements return `None`). Purely introspective — nothing is
     /// executed.
     pub fn rewritten_sql(&mut self, sql: &str) -> Result<Option<String>> {
-        let stmt = parse_statement(sql)?;
-        match self.rewriter.process(&stmt)? {
-            RewriteOutput::Rewritten { sql, .. } => Ok(Some(sql)),
-            RewriteOutput::Passthrough => Ok(None),
-            RewriteOutput::Handled(_) => Err(Error::Exec(
-                "statement is preference DDL, not a query".into(),
-            )),
-        }
+        self.session.rewritten_sql(sql)
     }
 
     /// Execute a parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        // Native mode evaluates preference SELECTs inside this layer and
-        // explains them with the native plan it would run.
-        if let ExecutionMode::Native(algo) = self.mode {
-            // Built literally: the connection's own `\threads` knob must
-            // win over `NativeOptions::default()`'s session default.
-            let opts = NativeOptions {
-                algo,
-                threads: self.threads,
-                batch: Some(prefsql_engine::physical::DEFAULT_BATCH),
-                window_bytes: self.window_bytes,
-            };
-            if let Statement::Select(q) = stmt {
-                if q.preferring.is_some() {
-                    let rs =
-                        native::run_native_opts(&self.engine, self.rewriter.registry(), q, opts)?;
-                    return Ok(QueryResult::Rows(rs));
-                }
-            }
-            if let Statement::Explain(inner) = stmt {
-                if let Statement::Select(q) = inner.as_ref() {
-                    if q.preferring.is_some() {
-                        let plan = native::explain_native_opts(
-                            &self.engine,
-                            self.rewriter.registry(),
-                            q,
-                            opts,
-                        )?;
-                        return Ok(QueryResult::Explain(format!(
-                            "Native preference plan:\n{plan}"
-                        )));
-                    }
-                }
-            }
-        }
-        match self.rewriter.process(stmt)? {
-            RewriteOutput::Handled(msg) => Ok(QueryResult::Message(msg)),
-            RewriteOutput::Passthrough => self.forward(stmt, false),
-            RewriteOutput::Rewritten { statement, sql, .. } => {
-                // EXPLAIN of a preference query shows the rewrite first.
-                if let Statement::Explain(inner) = statement.as_ref() {
-                    let plan = match self.engine.execute(&statement)? {
-                        ExecOutcome::Explain(p) => p,
-                        other => {
-                            return Err(Error::Exec(format!(
-                                "EXPLAIN produced unexpected outcome: {other:?}"
-                            )))
-                        }
-                    };
-                    return Ok(QueryResult::Explain(format!(
-                        "Preference SQL rewrite:\n  {}\n\nHost engine plan:\n{plan}",
-                        inner
-                    )));
-                }
-                let _ = sql; // the wire-format text; statement is executed directly
-
-                // INSERT ... SELECT * PREFERRING ...: a wildcard over the
-                // rewritten query exposes the generated level columns, which
-                // must not reach the target table. Materialize, strip, then
-                // insert the clean rows through the engine's validation path.
-                if let Statement::Insert {
-                    table,
-                    columns,
-                    source: InsertSource::Query(q),
-                } = statement.as_ref()
-                {
-                    self.engine.begin_statement();
-                    let rel = self.engine.run_query(q, &[])?;
-                    let rs = ResultSet::new(rel).strip_generated_columns();
-                    let values: Vec<Vec<PExpr>> = rs
-                        .rows()
-                        .iter()
-                        .map(|r| r.values().iter().cloned().map(PExpr::Literal).collect())
-                        .collect();
-                    if values.is_empty() {
-                        return Ok(QueryResult::Count(0));
-                    }
-                    let insert = Statement::Insert {
-                        table: table.clone(),
-                        columns: columns.clone(),
-                        source: InsertSource::Values(values),
-                    };
-                    return self.forward(&insert, false);
-                }
-                self.forward(&statement, true)
-            }
-        }
-    }
-
-    fn forward(&mut self, stmt: &Statement, strip_generated: bool) -> Result<QueryResult> {
-        match self.engine.execute(stmt)? {
-            ExecOutcome::Rows(rel) => {
-                let rs = ResultSet::new(rel);
-                let rs = if strip_generated {
-                    rs.strip_generated_columns()
-                } else {
-                    rs
-                };
-                Ok(QueryResult::Rows(rs))
-            }
-            ExecOutcome::Count(n) => Ok(QueryResult::Count(n)),
-            ExecOutcome::Ddl(msg) => Ok(QueryResult::Message(msg)),
-            ExecOutcome::Explain(text) => Ok(QueryResult::Explain(text)),
-        }
+        self.session.execute_statement(stmt)
     }
 }
 

@@ -12,6 +12,14 @@
 //!                                       host SQL engine ──► storage
 //! ```
 //!
+//! Concurrency: all shared engine state lives in a `Send + Sync`
+//! [`engine::EngineCore`]; each connection wraps a [`Session`] carrying
+//! its own execution knobs (mode, `\algo`, threads, window) and private
+//! spill directory. [`PrefSqlConnection::new`] makes a private core;
+//! [`PrefSqlConnection::with_core`] / [`Session::with_core`] share one
+//! across threads (that is what the `prefsql-server` TCP front end
+//! does, one session per connection).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -42,11 +50,13 @@ pub mod connection;
 pub mod knobs;
 pub mod native;
 pub mod result;
+pub mod session;
 pub mod shell;
 
 pub use connection::{ExecutionMode, PrefSqlConnection, QueryResult};
 pub use native::{NativeOptions, SkylineAlgo, SpillMetrics};
 pub use result::ResultSet;
+pub use session::Session;
 
 /// Re-export: the host SQL engine.
 pub use prefsql_engine as engine;

@@ -15,12 +15,12 @@
 
 use crate::knobs;
 use crate::result::ResultSet;
-use prefsql_engine::eval::{eval, truth, Frame, SubqueryEval};
+use prefsql_engine::eval::{eval, truth, Frame};
 use prefsql_engine::physical::{
     batch_from, build, drain_batched, drain_tuple_at_a_time, slice_from, BoxOperator, Operator,
     DEFAULT_BATCH,
 };
-use prefsql_engine::{Engine, Relation};
+use prefsql_engine::{Engine, ExecCtx, Relation};
 use prefsql_parser::ast::{Expr, Query, SelectItem};
 use prefsql_pref::external::ExternalSkyline;
 use prefsql_pref::{bmo_grouped, maximal_with_threads, should_spill, BasePref};
@@ -28,6 +28,7 @@ use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
 use prefsql_rewrite::PreferenceRegistry;
 use prefsql_storage::spill::{tuple_spill_bytes, RunReader, SpillManager};
 use prefsql_types::{Column, DataType, Error, Result, Schema, Tuple, Value};
+use std::path::Path;
 
 pub use prefsql_pref::{SkylineAlgo, SpillMetrics};
 
@@ -136,7 +137,7 @@ fn prepare(registry: &PreferenceRegistry, query: &Query) -> Result<NativeQuery> 
 /// with any engine-planned source tree.
 pub struct PreferenceOp<'a> {
     input: BoxOperator<'a>,
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     /// Schema of the extended input tuples.
     schema: &'a Schema,
     compiled: &'a CompiledPreference,
@@ -148,6 +149,9 @@ pub struct PreferenceOp<'a> {
     winners: Vec<Tuple>,
     best_scores: Vec<Option<f64>>,
     spill: Option<SpillMetrics>,
+    /// Base directory for spill runs (`None` = the system temp dir);
+    /// sessions point this at their own spill dir.
+    spill_base: Option<&'a Path>,
     pos: usize,
 }
 
@@ -156,7 +160,7 @@ impl<'a> PreferenceOp<'a> {
     /// `n_groups` grouping columns appended to the original row.
     pub fn new(
         input: BoxOperator<'a>,
-        engine: &'a Engine,
+        ctx: &'a ExecCtx<'a>,
         schema: &'a Schema,
         compiled: &'a CompiledPreference,
         but_only: Option<&'a Expr>,
@@ -166,7 +170,7 @@ impl<'a> PreferenceOp<'a> {
         let n_orig = schema.len() - compiled.preference.arity() - n_groups;
         PreferenceOp {
             input,
-            engine,
+            ctx,
             schema,
             compiled,
             but_only,
@@ -176,7 +180,23 @@ impl<'a> PreferenceOp<'a> {
             winners: Vec::new(),
             best_scores: Vec::new(),
             spill: None,
+            spill_base: None,
             pos: 0,
+        }
+    }
+
+    /// Root the operator's spill runs under `base` instead of the system
+    /// temp dir (sessions own their spill dir).
+    pub fn with_spill_base(mut self, base: Option<&'a Path>) -> Self {
+        self.spill_base = base;
+        self
+    }
+
+    /// A spill manager rooted at this operator's spill base.
+    fn spill_manager(&self) -> Result<SpillManager> {
+        match self.spill_base {
+            Some(dir) => SpillManager::new_in(dir),
+            None => SpillManager::new(),
         }
     }
 
@@ -220,10 +240,7 @@ impl<'a> PreferenceOp<'a> {
             schema: self.schema,
             tuple: row,
         }];
-        let ctx = EngineSubqueries {
-            engine: self.engine,
-        };
-        Ok(truth(&eval(&substituted, &frames, &ctx)?) == Some(true))
+        Ok(truth(&eval(&substituted, &frames, self.ctx)?) == Some(true))
     }
 
     /// Running update of the per-base minima that `LOWEST`/`HIGHEST`
@@ -355,7 +372,7 @@ impl<'a> PreferenceOp<'a> {
                     buffered.push(row);
                     if should_spill(self.opts.algo, buffered_bytes, Some(budget)) {
                         if self.but_only.is_some() {
-                            let mut manager = SpillManager::new()?;
+                            let mut manager = self.spill_manager()?;
                             let mut writer = manager.begin_run()?;
                             writer.write_batch(&buffered)?;
                             buffered = Vec::new();
@@ -365,7 +382,7 @@ impl<'a> PreferenceOp<'a> {
                                 &self.compiled.preference,
                                 n_orig,
                                 budget,
-                                SpillManager::new()?,
+                                self.spill_manager()?,
                             );
                             machine.push_batch(buffered.drain(..))?;
                             sink = Some(Sink::Skyline(machine));
@@ -497,33 +514,58 @@ pub fn run_native(
     run_native_opts(engine, registry, query, NativeOptions::with_algo(algo))
 }
 
-/// Evaluate a preference query natively: FROM/WHERE run on the host
-/// engine's planned operator pipeline (consumed through the batched
-/// drive loop); a [`PreferenceOp`] on top performs the BMO selection
-/// (parallelizing the window per `opts.threads`); ORDER BY, projection
-/// (with quality functions), DISTINCT and LIMIT post-process the
-/// winners.
+/// Evaluate a preference query natively: see [`run_native_ctx`]. Runs as
+/// one read statement on `engine`'s shared core.
 pub fn run_native_opts(
     engine: &Engine,
     registry: &PreferenceRegistry,
     query: &Query,
     opts: NativeOptions,
 ) -> Result<ResultSet> {
+    run_native_in(engine, registry, query, opts, None)
+}
+
+/// [`run_native_opts`] with the session's spill directory: spill runs of
+/// the external-memory path land under `spill_base` instead of the
+/// system temp dir.
+pub fn run_native_in(
+    engine: &Engine,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    opts: NativeOptions,
+    spill_base: Option<&Path>,
+) -> Result<ResultSet> {
+    engine.with_read_ctx(|ctx| run_native_ctx(ctx, registry, query, opts, spill_base))
+}
+
+/// Evaluate a preference query natively inside one statement context:
+/// FROM/WHERE run on the host engine's planned operator pipeline
+/// (consumed through the batched drive loop); a [`PreferenceOp`] on top
+/// performs the BMO selection (parallelizing the window per
+/// `opts.threads`); ORDER BY, projection (with quality functions),
+/// DISTINCT and LIMIT post-process the winners.
+pub fn run_native_ctx(
+    ctx: &ExecCtx<'_>,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    opts: NativeOptions,
+    spill_base: Option<&Path>,
+) -> Result<ResultSet> {
     let native = prepare(registry, query)?;
-    engine.begin_statement();
-    let plan = engine.plan_for(&native.aux)?;
+    let plan = ctx.plan_for(&native.aux)?;
     let schema = plan.root().schema().clone();
     let n_orig = schema.len() - native.compiled.preference.arity() - native.n_groups;
 
     let mut op = PreferenceOp::new(
-        build(engine, plan.root(), &[]),
-        engine,
+        build(ctx, plan.root(), &[]),
+        ctx,
         &schema,
         &native.compiled,
         query.but_only.as_ref(),
         opts,
         native.n_groups,
-    );
+    )
+    .with_spill_base(spill_base);
     op.open()?;
     let mut winners: Vec<Tuple> = op.take_winners();
     let best_scores = op.best_scores().to_vec();
@@ -534,7 +576,6 @@ pub fn run_native_opts(
     let arity = compiled.preference.arity();
     let slot_of =
         |row: &Tuple| -> Vec<Value> { (0..arity).map(|i| row[n_orig + i].clone()).collect() };
-    let ctx = EngineSubqueries { engine };
 
     // ORDER BY (quality functions allowed).
     if !query.order_by.is_empty() {
@@ -548,7 +589,7 @@ pub fn run_native_opts(
                     schema: &schema,
                     tuple: &row,
                 }];
-                key.push(eval(&substituted, &frames, &ctx)?);
+                key.push(eval(&substituted, &frames, ctx)?);
             }
             keyed.push((key, row));
         }
@@ -601,7 +642,7 @@ pub fn run_native_opts(
                         schema: &schema,
                         tuple: row,
                     }];
-                    let v = eval(&substituted, &frames, &ctx)?;
+                    let v = eval(&substituted, &frames, ctx)?;
                     if let Some(t) = v.data_type() {
                         dtype = t;
                     }
@@ -672,9 +713,18 @@ pub fn explain_native_opts(
     query: &Query,
     opts: NativeOptions,
 ) -> Result<String> {
+    engine.with_read_ctx(|ctx| explain_native_ctx(ctx, registry, query, opts))
+}
+
+/// [`explain_native_opts`] inside an existing statement context.
+pub fn explain_native_ctx(
+    ctx: &ExecCtx<'_>,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    opts: NativeOptions,
+) -> Result<String> {
     let native = prepare(registry, query)?;
-    engine.begin_statement();
-    let plan = engine.plan_for(&native.aux)?;
+    let plan = ctx.plan_for(&native.aux)?;
     let arity = native.compiled.preference.arity();
     let mut out = String::new();
     let mut steps = Vec::new();
@@ -873,16 +923,6 @@ fn float_or_int(f: f64) -> Value {
     }
 }
 
-struct EngineSubqueries<'e> {
-    engine: &'e Engine,
-}
-
-impl SubqueryEval for EngineSubqueries<'_> {
-    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
-        Ok(self.engine.run_query(query, frames)?.rows)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -916,13 +956,13 @@ mod tests {
             panic!("expected a SELECT");
         };
         let native = prepare(&registry, &query).unwrap();
-        engine.begin_statement();
-        let plan = engine.plan_for(&native.aux).unwrap();
+        let ctx = engine.read_ctx().unwrap();
+        let plan = ctx.plan_for(&native.aux).unwrap();
         let schema = plan.root().schema().clone();
         let open = || {
             let mut op = PreferenceOp::new(
-                build(&engine, plan.root(), &[]),
-                &engine,
+                build(&ctx, plan.root(), &[]),
+                &ctx,
                 &schema,
                 &native.compiled,
                 query.but_only.as_ref(),

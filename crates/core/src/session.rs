@@ -1,0 +1,624 @@
+//! The per-connection session runtime.
+//!
+//! A [`Session`] is what one client *owns*: the execution-mode and
+//! resource knobs (`\mode`, `\algo`, `\threads`, `\window`), the
+//! preference registry + rewriter, and a private spill directory for
+//! external-memory runs. What it *borrows* is the shared
+//! [`EngineCore`] — catalog and index
+//! toggles — so any number of sessions can serve concurrent connections
+//! against one database:
+//!
+//! ```text
+//!            ┌───────────┐ ┌───────────┐ ┌───────────┐
+//! clients ──►│ Session 1 │ │ Session 2 │ │ Session N │   knobs, rewriter,
+//!            └─────┬─────┘ └─────┬─────┘ └─────┬─────┘   spill dir
+//!                  └──────┬──────┴──────┬──────┘
+//!                         ▼             ▼
+//!                  ┌─────────────────────────┐
+//!                  │  EngineCore (Arc)       │   RwLock<Catalog>
+//!                  └─────────────────────────┘
+//! ```
+//!
+//! Both the interactive shell and the TCP server are thin clients of
+//! this type: all knob handling lives in [`Session::command`], so the
+//! two front ends cannot drift.
+
+use crate::native::{self, NativeOptions, SkylineAlgo};
+use crate::result::ResultSet;
+use prefsql_engine::{Engine, EngineCore, ExecOutcome};
+use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
+use prefsql_parser::{parse_statement, parse_statements};
+use prefsql_rewrite::{RewriteOutput, Rewriter};
+use prefsql_types::{Error, Result};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How preference queries are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// The paper's approach: rewrite to SQL92 and let the host engine
+    /// evaluate the `NOT EXISTS` dominance anti-join.
+    #[default]
+    Rewrite,
+    /// Native in-layer evaluation through the [`crate::native::PreferenceOp`]
+    /// physical operator (ablation A1: "implementing a generalized skyline
+    /// operator in the kernel ... holds much promise"). The default
+    /// algorithm is [`SkylineAlgo::Auto`], which picks naive/BNL/SFS per
+    /// input — see [`ExecutionMode::native`].
+    Native(SkylineAlgo),
+}
+
+impl ExecutionMode {
+    /// Native evaluation with the default algorithm
+    /// ([`SkylineAlgo::Auto`]).
+    pub fn native() -> Self {
+        ExecutionMode::Native(SkylineAlgo::default())
+    }
+
+    /// The label the shell and server display: `rewrite` or
+    /// `native (<algo>)`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::Rewrite => "rewrite",
+            ExecutionMode::Native(SkylineAlgo::Naive) => "native (naive)",
+            ExecutionMode::Native(SkylineAlgo::Bnl) => "native (bnl)",
+            ExecutionMode::Native(SkylineAlgo::Sfs) => "native (sfs)",
+            ExecutionMode::Native(SkylineAlgo::Auto) => "native (auto)",
+        }
+    }
+}
+
+/// Result of executing one Preference SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Rows of a SELECT.
+    Rows(ResultSet),
+    /// Affected-row count of an INSERT.
+    Count(usize),
+    /// Acknowledgement of DDL or preference DDL.
+    Message(String),
+    /// EXPLAIN output (includes the rewritten SQL for preference queries).
+    Explain(String),
+}
+
+impl QueryResult {
+    /// The rows of a SELECT result, or `None` for counts/messages/EXPLAIN.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// Consume the result into its rows, or `None` for other outcomes.
+    pub fn into_rows(self) -> Option<ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// The rows of a SELECT result (panics otherwise; test/demo
+    /// convenience — production code should prefer [`QueryResult::rows`]).
+    pub fn expect_rows(self) -> ResultSet {
+        match self {
+            QueryResult::Rows(rs) => rs,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}
+
+/// Distinguishes concurrently-created session spill dirs within one
+/// process (the directory name also carries the pid, so concurrent
+/// *processes* cannot collide either).
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One client's runtime state over a shared [`EngineCore`]: execution
+/// mode, native-evaluation knobs, rewriter/registry, and a lazily
+/// created private spill directory (removed on drop).
+pub struct Session {
+    engine: Engine,
+    rewriter: Rewriter,
+    mode: ExecutionMode,
+    /// The skyline algorithm `\mode native` re-arms (remembered even
+    /// while in rewrite mode).
+    algo: SkylineAlgo,
+    /// Parallel-window degree knob for native preference evaluation
+    /// (default: `PREFSQL_THREADS` or the host width).
+    threads: usize,
+    /// External-memory window budget in bytes for native preference
+    /// evaluation (default: `PREFSQL_WINDOW`, or `None` = unbounded).
+    window_bytes: Option<usize>,
+    /// This session's private spill directory, created on first use and
+    /// removed when the session drops.
+    spill_dir: Option<PathBuf>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session over its own private core (an empty catalog).
+    pub fn new() -> Self {
+        Session::with_core(EngineCore::shared())
+    }
+
+    /// A session over an existing shared core — the server spawns one of
+    /// these per accepted connection.
+    pub fn with_core(core: Arc<EngineCore>) -> Self {
+        Session {
+            engine: Engine::with_core(core),
+            rewriter: Rewriter::new(),
+            mode: ExecutionMode::Rewrite,
+            algo: SkylineAlgo::default(),
+            threads: crate::knobs::default_threads(),
+            window_bytes: crate::knobs::default_window_bytes(),
+            spill_dir: None,
+        }
+    }
+
+    /// The shared engine core this session executes against.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        self.engine.core()
+    }
+
+    /// The session's engine façade (catalog access, stats, index toggles).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (bulk loading, index toggles).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Switch the evaluation strategy for preference queries. Entering
+    /// native mode also re-arms the remembered `\algo` choice.
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        if let ExecutionMode::Native(algo) = mode {
+            self.algo = algo;
+        }
+        self.mode = mode;
+    }
+
+    /// The current evaluation strategy.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Set the native skyline algorithm. Applies immediately when in
+    /// native mode, and is remembered for the next `\mode native`.
+    pub fn set_algo(&mut self, algo: SkylineAlgo) {
+        self.algo = algo;
+        if matches!(self.mode, ExecutionMode::Native(_)) {
+            self.mode = ExecutionMode::Native(algo);
+        }
+    }
+
+    /// The native skyline algorithm `\mode native` would use.
+    pub fn algo(&self) -> SkylineAlgo {
+        self.algo
+    }
+
+    /// Cap the parallel-window degree for native preference evaluation
+    /// (clamped to at least 1; `1` forces the serial window). The
+    /// skyline only actually parallelizes above
+    /// [`prefsql_pref::PARALLEL_CUTOFF`] candidates.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The parallel-window degree knob.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Set the external-memory window budget for native preference
+    /// evaluation: `Some(bytes)` streams candidate sets larger than the
+    /// budget through the bounded-window multi-pass BNL with
+    /// spill-to-disk overflow runs (clamped to at least
+    /// [`crate::knobs::MIN_WINDOW_BYTES`]); `None` never spills.
+    pub fn set_window_bytes(&mut self, window_bytes: Option<usize>) {
+        self.window_bytes = window_bytes.map(|b| b.max(crate::knobs::MIN_WINDOW_BYTES));
+    }
+
+    /// The external-memory window budget knob.
+    pub fn window_bytes(&self) -> Option<usize> {
+        self.window_bytes
+    }
+
+    /// The session's private spill directory, creating it on first use.
+    /// External-memory runs land here instead of the bare system temp
+    /// dir, so concurrent sessions never share spill state and teardown
+    /// is one `remove_dir_all`.
+    fn spill_base(&mut self) -> Result<&Path> {
+        if self.spill_dir.is_none() {
+            let dir = std::env::temp_dir().join(format!(
+                "prefsql-session-{}-{}",
+                std::process::id(),
+                SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir)?;
+            self.spill_dir = Some(dir);
+        }
+        Ok(self.spill_dir.as_deref().expect("just created"))
+    }
+
+    /// Execute one statement of Preference SQL.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        parse_statements(sql)?
+            .iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
+    }
+
+    /// Execute a query and return its rows (errors on non-SELECT).
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)? {
+            QueryResult::Rows(rs) => Ok(rs),
+            other => Err(Error::Exec(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// The SQL a preference statement is rewritten into (passthrough
+    /// statements return `None`). Purely introspective — nothing is
+    /// executed.
+    pub fn rewritten_sql(&mut self, sql: &str) -> Result<Option<String>> {
+        let stmt = parse_statement(sql)?;
+        match self.rewriter.process(&stmt)? {
+            RewriteOutput::Rewritten { sql, .. } => Ok(Some(sql)),
+            RewriteOutput::Passthrough => Ok(None),
+            RewriteOutput::Handled(_) => Err(Error::Exec(
+                "statement is preference DDL, not a query".into(),
+            )),
+        }
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Native mode evaluates preference SELECTs inside this layer and
+        // explains them with the native plan it would run.
+        if let ExecutionMode::Native(algo) = self.mode {
+            // Built literally: the session's own `\threads` knob must
+            // win over `NativeOptions::default()`'s session default.
+            let opts = NativeOptions {
+                algo,
+                threads: self.threads,
+                batch: Some(prefsql_engine::physical::DEFAULT_BATCH),
+                window_bytes: self.window_bytes,
+            };
+            if let Statement::Select(q) = stmt {
+                if q.preferring.is_some() {
+                    // A bounded window may spill; root the runs in this
+                    // session's own directory.
+                    let spill = if self.window_bytes.is_some() {
+                        Some(self.spill_base()?.to_path_buf())
+                    } else {
+                        None
+                    };
+                    let rs = native::run_native_in(
+                        &self.engine,
+                        self.rewriter.registry(),
+                        q,
+                        opts,
+                        spill.as_deref(),
+                    )?;
+                    return Ok(QueryResult::Rows(rs));
+                }
+            }
+            if let Statement::Explain(inner) = stmt {
+                if let Statement::Select(q) = inner.as_ref() {
+                    if q.preferring.is_some() {
+                        let plan = native::explain_native_opts(
+                            &self.engine,
+                            self.rewriter.registry(),
+                            q,
+                            opts,
+                        )?;
+                        return Ok(QueryResult::Explain(format!(
+                            "Native preference plan:\n{plan}"
+                        )));
+                    }
+                }
+            }
+        }
+        match self.rewriter.process(stmt)? {
+            RewriteOutput::Handled(msg) => Ok(QueryResult::Message(msg)),
+            RewriteOutput::Passthrough => self.forward(stmt, false),
+            RewriteOutput::Rewritten { statement, sql, .. } => {
+                // EXPLAIN of a preference query shows the rewrite first.
+                if let Statement::Explain(inner) = statement.as_ref() {
+                    let plan = match self.engine.execute(&statement)? {
+                        ExecOutcome::Explain(p) => p,
+                        other => {
+                            return Err(Error::Exec(format!(
+                                "EXPLAIN produced unexpected outcome: {other:?}"
+                            )))
+                        }
+                    };
+                    return Ok(QueryResult::Explain(format!(
+                        "Preference SQL rewrite:\n  {}\n\nHost engine plan:\n{plan}",
+                        inner
+                    )));
+                }
+                let _ = sql; // the wire-format text; statement is executed directly
+
+                // INSERT ... SELECT * PREFERRING ...: a wildcard over the
+                // rewritten query exposes the generated level columns, which
+                // must not reach the target table. Materialize, strip, then
+                // insert the clean rows through the engine's validation path.
+                if let Statement::Insert {
+                    table,
+                    columns,
+                    source: InsertSource::Query(q),
+                } = statement.as_ref()
+                {
+                    let rel = self.engine.run_query(q, &[])?;
+                    let rs = ResultSet::new(rel).strip_generated_columns();
+                    let values: Vec<Vec<PExpr>> = rs
+                        .rows()
+                        .iter()
+                        .map(|r| r.values().iter().cloned().map(PExpr::Literal).collect())
+                        .collect();
+                    if values.is_empty() {
+                        return Ok(QueryResult::Count(0));
+                    }
+                    let insert = Statement::Insert {
+                        table: table.clone(),
+                        columns: columns.clone(),
+                        source: InsertSource::Values(values),
+                    };
+                    return self.forward(&insert, false);
+                }
+                self.forward(&statement, true)
+            }
+        }
+    }
+
+    fn forward(&mut self, stmt: &Statement, strip_generated: bool) -> Result<QueryResult> {
+        match self.engine.execute(stmt)? {
+            ExecOutcome::Rows(rel) => {
+                let rs = ResultSet::new(rel);
+                let rs = if strip_generated {
+                    rs.strip_generated_columns()
+                } else {
+                    rs
+                };
+                Ok(QueryResult::Rows(rs))
+            }
+            ExecOutcome::Count(n) => Ok(QueryResult::Count(n)),
+            ExecOutcome::Ddl(msg) => Ok(QueryResult::Message(msg)),
+            ExecOutcome::Explain(text) => Ok(QueryResult::Explain(text)),
+        }
+    }
+
+    /// Handle a session-level `\`-meta-command shared by every front end
+    /// (shell, server): `\mode`, `\algo`, `\threads`, `\window`,
+    /// `\rewrite`, `\d`. Returns `None` for commands the session does
+    /// not own (`\q`, `\timing`, `\help`, ...) so the caller can layer
+    /// its own on top.
+    pub fn command(&mut self, head: &str, arg: &str) -> Option<String> {
+        let out = match head {
+            "\\mode" => match arg {
+                "" => format!("mode: {}\n", self.mode.label()),
+                "rewrite" => {
+                    self.set_mode(ExecutionMode::Rewrite);
+                    "mode: rewrite\n".into()
+                }
+                // `\mode native` uses the session's `\algo` choice
+                // (auto unless changed).
+                "native" => {
+                    self.set_mode(ExecutionMode::Native(self.algo));
+                    format!("mode: {}\n", self.mode.label())
+                }
+                algo_arg if SkylineAlgo::parse(algo_arg).is_some() => {
+                    let algo = SkylineAlgo::parse(algo_arg).expect("guard checked");
+                    self.set_mode(ExecutionMode::Native(algo));
+                    format!("mode: {}\n", self.mode.label())
+                }
+                other => {
+                    format!("unknown mode '{other}' (rewrite|native|naive|bnl|sfs|auto)\n")
+                }
+            },
+            "\\algo" => match arg {
+                "" => format!("algo: {}\n", self.algo.label()),
+                a => match SkylineAlgo::parse(a) {
+                    Some(algo) => {
+                        self.set_algo(algo);
+                        format!("algo: {}\n", algo.label())
+                    }
+                    None => format!("unknown algorithm '{a}' (auto|naive|bnl|sfs)\n"),
+                },
+            },
+            "\\threads" => match arg {
+                "" => format!("threads: {}\n", self.threads),
+                n => match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.set_threads(n);
+                        format!("threads: {}\n", self.threads)
+                    }
+                    _ => format!("invalid thread count '{n}' (positive integer)\n"),
+                },
+            },
+            "\\window" => match arg {
+                "" => format!("window: {}\n", self.window_label()),
+                "off" | "unlimited" => {
+                    self.set_window_bytes(None);
+                    "window: off\n".into()
+                }
+                w => match crate::knobs::parse_size(w) {
+                    // `set_window_bytes` clamps sub-minimum budgets up to
+                    // MIN_WINDOW_BYTES; echo what actually took effect.
+                    Some(n) if n >= 1 => {
+                        self.set_window_bytes(Some(n));
+                        format!("window: {}\n", self.window_label())
+                    }
+                    _ => format!(
+                        "invalid window budget '{w}' (bytes with optional k/m suffix, or 'off')\n"
+                    ),
+                },
+            },
+            "\\rewrite" => match self.rewritten_sql(arg) {
+                Ok(Some(sql)) => format!("{sql}\n"),
+                Ok(None) => "query contains no preference constructs\n".into(),
+                Err(e) => format!("ERROR: {e}\n"),
+            },
+            "\\d" => {
+                if arg.is_empty() {
+                    self.list_relations()
+                } else {
+                    self.describe_table(arg)
+                }
+            }
+            _ => return None,
+        };
+        Some(out)
+    }
+
+    /// The `\window` display label: `64 KiB` or `off`.
+    pub fn window_label(&self) -> String {
+        match self.window_bytes {
+            Some(b) => crate::knobs::fmt_bytes(b as u64),
+            None => "off".into(),
+        }
+    }
+
+    fn list_relations(&self) -> String {
+        let catalog = self.engine.catalog();
+        let mut out = String::new();
+        let tables = catalog.table_names();
+        let views = catalog.view_names();
+        let _ = writeln!(out, "tables ({}):", tables.len());
+        for t in tables {
+            let n = catalog.table(&t).map(|t| t.len()).unwrap_or(0);
+            let _ = writeln!(out, "  {t} ({n} rows)");
+        }
+        if !views.is_empty() {
+            let _ = writeln!(out, "views ({}):", views.len());
+            for v in views {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        out
+    }
+
+    fn describe_table(&self, name: &str) -> String {
+        match self.engine.catalog().table(name) {
+            Ok(t) => {
+                let mut out = format!("table {} {}\n", t.name(), t.schema());
+                let idx = t.index_names();
+                if !idx.is_empty() {
+                    let _ = writeln!(out, "indexes: {}", idx.join(", "));
+                }
+                out
+            }
+            Err(e) => format!("ERROR: {e}\n"),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Best-effort teardown of the private spill dir; leaking temp
+        // files on failure beats panicking in a destructor.
+        if let Some(dir) = self.spill_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_share_one_core() {
+        let core = EngineCore::shared();
+        let mut a = Session::with_core(Arc::clone(&core));
+        let mut b = Session::with_core(core);
+        a.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        a.execute("INSERT INTO t VALUES (3), (1)").unwrap();
+        // Session B sees A's table through the shared catalog...
+        let rs = b.query("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![1]);
+        // ...but keeps its own knobs and preference registry.
+        b.set_mode(ExecutionMode::native());
+        assert_eq!(a.mode(), ExecutionMode::Rewrite);
+        b.execute("CREATE PREFERENCE cheap AS LOWEST(x)").unwrap();
+        assert!(a
+            .query("SELECT x FROM t PREFERRING PREFERENCE cheap")
+            .is_err());
+        let rs = b
+            .query("SELECT x FROM t PREFERRING PREFERENCE cheap")
+            .unwrap();
+        assert_eq!(rs.column_as_ints(0), vec![1]);
+    }
+
+    #[test]
+    fn knob_commands_round_trip() {
+        let mut s = Session::new();
+        assert_eq!(s.command("\\mode", "").unwrap(), "mode: rewrite\n");
+        assert_eq!(s.command("\\mode", "bnl").unwrap(), "mode: native (bnl)\n");
+        assert_eq!(s.command("\\algo", "").unwrap(), "algo: bnl\n");
+        assert_eq!(s.command("\\algo", "sfs").unwrap(), "algo: sfs\n");
+        assert_eq!(s.mode(), ExecutionMode::Native(SkylineAlgo::Sfs));
+        assert_eq!(s.command("\\threads", "4").unwrap(), "threads: 4\n");
+        assert_eq!(s.threads(), 4);
+        assert_eq!(s.command("\\window", "64k").unwrap(), "window: 64 KiB\n");
+        assert_eq!(s.window_bytes(), Some(64 << 10));
+        assert_eq!(s.command("\\window", "off").unwrap(), "window: off\n");
+        // Commands the session doesn't own bounce back to the front end.
+        assert!(s.command("\\q", "").is_none());
+        assert!(s.command("\\timing", "").is_none());
+    }
+
+    #[test]
+    fn algo_is_remembered_across_mode_switches() {
+        let mut s = Session::new();
+        s.set_algo(SkylineAlgo::Sfs);
+        assert_eq!(
+            s.mode(),
+            ExecutionMode::Rewrite,
+            "algo alone doesn't switch"
+        );
+        s.set_mode(ExecutionMode::Native(s.algo()));
+        assert_eq!(s.mode(), ExecutionMode::Native(SkylineAlgo::Sfs));
+        // Changing the algorithm while native applies immediately.
+        s.set_algo(SkylineAlgo::Bnl);
+        assert_eq!(s.mode(), ExecutionMode::Native(SkylineAlgo::Bnl));
+    }
+
+    #[test]
+    fn spill_dir_is_private_and_removed_on_drop() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INTEGER, y INTEGER)").unwrap();
+        let values: Vec<String> = (0..400).map(|i| format!("({i}, {})", 400 - i)).collect();
+        s.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+        s.set_mode(ExecutionMode::native());
+        s.set_window_bytes(Some(4096));
+        let rs = s
+            .query("SELECT x FROM t PREFERRING LOWEST(x) AND LOWEST(y)")
+            .unwrap();
+        assert_eq!(rs.rows().len(), 400);
+        let m = rs.spill_metrics().expect("bounded window reports metrics");
+        assert!(m.runs_written >= 1, "anti-correlated 400 rows must spill");
+        let dir = s.spill_dir.clone().expect("spill dir was created");
+        assert!(dir.exists());
+        drop(s);
+        assert!(!dir.exists(), "session teardown removes its spill dir");
+    }
+}

@@ -16,20 +16,22 @@
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
 //! | `\q` | quit |
+//!
+//! The shell is a *thin* front end: everything except line buffering,
+//! `\timing` and `\q` is delegated to [`Session`] (knob handling lives
+//! in [`Session::command`], shared with the `prefsql-server` front
+//! end).
 
-use crate::connection::{ExecutionMode, PrefSqlConnection, QueryResult};
-use crate::native::SkylineAlgo;
+use crate::session::{QueryResult, Session};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// A line-oriented shell session over a [`PrefSqlConnection`].
+/// A line-oriented shell over a [`Session`].
 pub struct Shell {
-    conn: PrefSqlConnection,
+    session: Session,
     buffer: String,
     timing: bool,
     quit: bool,
-    /// The skyline algorithm native mode uses (default: auto).
-    algo: SkylineAlgo,
 }
 
 impl Default for Shell {
@@ -41,18 +43,23 @@ impl Default for Shell {
 impl Shell {
     /// A fresh session with an empty catalog.
     pub fn new() -> Self {
+        Shell::over(Session::new())
+    }
+
+    /// A shell over an existing session (e.g. one sharing a server's
+    /// engine core).
+    pub fn over(session: Session) -> Self {
         Shell {
-            conn: PrefSqlConnection::new(),
+            session,
             buffer: String::new(),
             timing: false,
             quit: false,
-            algo: SkylineAlgo::default(),
         }
     }
 
-    /// Access the underlying connection (for pre-loading data).
-    pub fn connection_mut(&mut self) -> &mut PrefSqlConnection {
-        &mut self.conn
+    /// Access the underlying session (for pre-loading data).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// True after `\q`.
@@ -92,7 +99,7 @@ impl Shell {
 
     fn run_statement(&mut self, sql: &str) -> String {
         let t0 = Instant::now();
-        let result = self.conn.execute(sql);
+        let result = self.session.execute(sql);
         let elapsed = t0.elapsed();
         let mut out = match result {
             Ok(QueryResult::Rows(rs)) => {
@@ -100,14 +107,10 @@ impl Shell {
                 // External-memory observability: queries evaluated under
                 // a window budget report their spill behaviour.
                 if let Some(m) = rs.spill_metrics() {
-                    let window = self
-                        .conn
-                        .window_bytes()
-                        .map(|b| crate::knobs::fmt_bytes(b as u64))
-                        .unwrap_or_else(|| "off".into());
                     let _ = writeln!(
                         text,
-                        "Spill: window={window}, spilled_runs={}, spilled_bytes={}, passes={}",
+                        "Spill: window={}, spilled_runs={}, spilled_bytes={}, passes={}",
+                        self.session.window_label(),
                         m.runs_written,
                         crate::knobs::fmt_bytes(m.bytes_spilled),
                         m.passes
@@ -130,6 +133,11 @@ impl Shell {
         let mut parts = cmd.splitn(2, char::is_whitespace);
         let head = parts.next().unwrap_or("");
         let arg = parts.next().map(str::trim).unwrap_or("");
+        // Session-level knobs and introspection are shared with the
+        // server front end; the shell only adds its own REPL commands.
+        if let Some(out) = self.session.command(head, arg) {
+            return out;
+        }
         match head {
             "\\q" | "\\quit" => {
                 self.quit = true;
@@ -149,133 +157,8 @@ impl Shell {
                 self.timing = !self.timing;
                 format!("timing {}\n", if self.timing { "on" } else { "off" })
             }
-            "\\mode" => match arg {
-                "" => format!("mode: {}\n", mode_label(self.conn.mode())),
-                "rewrite" => {
-                    self.conn.set_mode(ExecutionMode::Rewrite);
-                    "mode: rewrite\n".into()
-                }
-                // `\mode native` uses the session's `\algo` choice
-                // (auto unless changed).
-                "native" => {
-                    self.conn.set_mode(ExecutionMode::Native(self.algo));
-                    format!("mode: {}\n", mode_label(self.conn.mode()))
-                }
-                algo_arg if SkylineAlgo::parse(algo_arg).is_some() => {
-                    self.algo = SkylineAlgo::parse(algo_arg).expect("guard checked");
-                    self.conn.set_mode(ExecutionMode::Native(self.algo));
-                    format!("mode: {}\n", mode_label(self.conn.mode()))
-                }
-                other => {
-                    format!("unknown mode '{other}' (rewrite|native|naive|bnl|sfs|auto)\n")
-                }
-            },
-            "\\algo" => match arg {
-                "" => format!("algo: {}\n", self.algo.label()),
-                a => match SkylineAlgo::parse(a) {
-                    Some(algo) => {
-                        self.algo = algo;
-                        // Apply immediately when already in native mode.
-                        if matches!(self.conn.mode(), ExecutionMode::Native(_)) {
-                            self.conn.set_mode(ExecutionMode::Native(algo));
-                        }
-                        format!("algo: {}\n", algo.label())
-                    }
-                    None => format!("unknown algorithm '{a}' (auto|naive|bnl|sfs)\n"),
-                },
-            },
-            "\\threads" => match arg {
-                "" => format!("threads: {}\n", self.conn.threads()),
-                n => match n.parse::<usize>() {
-                    Ok(n) if n >= 1 => {
-                        self.conn.set_threads(n);
-                        format!("threads: {}\n", self.conn.threads())
-                    }
-                    _ => format!("invalid thread count '{n}' (positive integer)\n"),
-                },
-            },
-            "\\window" => match arg {
-                "" => format!("window: {}\n", self.window_label()),
-                "off" | "unlimited" => {
-                    self.conn.set_window_bytes(None);
-                    "window: off\n".into()
-                }
-                w => match crate::knobs::parse_size(w) {
-                    // The connection clamps sub-minimum budgets up to
-                    // MIN_WINDOW_BYTES; echo what actually took effect.
-                    Some(n) if n >= 1 => {
-                        self.conn.set_window_bytes(Some(n));
-                        format!("window: {}\n", self.window_label())
-                    }
-                    _ => format!(
-                        "invalid window budget '{w}' (bytes with optional k/m suffix, or 'off')\n"
-                    ),
-                },
-            },
-            "\\rewrite" => match self.conn.rewritten_sql(arg) {
-                Ok(Some(sql)) => format!("{sql}\n"),
-                Ok(None) => "query contains no preference constructs\n".into(),
-                Err(e) => format!("ERROR: {e}\n"),
-            },
-            "\\d" => {
-                if arg.is_empty() {
-                    self.list_relations()
-                } else {
-                    self.describe_table(arg)
-                }
-            }
             other => format!("unknown command '{other}' (try \\help)\n"),
         }
-    }
-
-    fn window_label(&self) -> String {
-        match self.conn.window_bytes() {
-            Some(b) => crate::knobs::fmt_bytes(b as u64),
-            None => "off".into(),
-        }
-    }
-
-    fn list_relations(&mut self) -> String {
-        let catalog = self.conn.engine().catalog();
-        let mut out = String::new();
-        let tables = catalog.table_names();
-        let views = catalog.view_names();
-        let _ = writeln!(out, "tables ({}):", tables.len());
-        for t in tables {
-            let n = catalog.table(&t).map(|t| t.len()).unwrap_or(0);
-            let _ = writeln!(out, "  {t} ({n} rows)");
-        }
-        if !views.is_empty() {
-            let _ = writeln!(out, "views ({}):", views.len());
-            for v in views {
-                let _ = writeln!(out, "  {v}");
-            }
-        }
-        out
-    }
-
-    fn describe_table(&mut self, name: &str) -> String {
-        match self.conn.engine().catalog().table(name) {
-            Ok(t) => {
-                let mut out = format!("table {} {}\n", t.name(), t.schema());
-                let idx = t.index_names();
-                if !idx.is_empty() {
-                    let _ = writeln!(out, "indexes: {}", idx.join(", "));
-                }
-                out
-            }
-            Err(e) => format!("ERROR: {e}\n"),
-        }
-    }
-}
-
-fn mode_label(mode: ExecutionMode) -> &'static str {
-    match mode {
-        ExecutionMode::Rewrite => "rewrite",
-        ExecutionMode::Native(SkylineAlgo::Naive) => "native (naive)",
-        ExecutionMode::Native(SkylineAlgo::Bnl) => "native (bnl)",
-        ExecutionMode::Native(SkylineAlgo::Sfs) => "native (sfs)",
-        ExecutionMode::Native(SkylineAlgo::Auto) => "native (auto)",
     }
 }
 

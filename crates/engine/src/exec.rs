@@ -1,14 +1,28 @@
 //! The executor: statements in, relations out.
 //!
-//! This module is statement dispatch plus DML. Queries are compiled into
-//! a logical plan ([`crate::plan`]) exactly once per statement (a
-//! pointer-keyed, content-verified plan cache makes the per-outer-row
-//! re-planning of correlated sub-queries free) and run by the streaming
-//! physical operators of [`crate::physical`]. `EXPLAIN` renders the same
-//! plan object the executor runs.
+//! This module is statement dispatch plus DML, split into three pieces so
+//! many sessions can share one catalog:
+//!
+//! * [`EngineCore`] — the shared, thread-safe heart: the catalog behind a
+//!   readers-writer lock plus global toggles. Sessions share it through an
+//!   `Arc`; queries take read locks, DML/DDL the write lock, so statements
+//!   are isolated at statement granularity.
+//! * [`ExecCtx`] — per-statement execution state: the FROM/plan caches,
+//!   execution counters and the view-recursion guard, pinned to a catalog
+//!   borrow (a read guard for queries, a plain borrow under the write lock
+//!   for DML expression evaluation). A fresh context per statement replaces
+//!   the old `begin_statement` cache reset.
+//! * [`Engine`] — the single-session façade the rest of the stack talks
+//!   to. It keeps the pre-refactor API (`execute_sql`, `catalog()`,
+//!   `take_stats`, ...) while delegating to a shared or private core.
+//!
+//! Queries are compiled into a logical plan ([`crate::plan`]) exactly once
+//! per statement (a pointer-keyed, content-verified plan cache makes the
+//! per-outer-row re-planning of correlated sub-queries free) and run by the
+//! streaming physical operators of [`crate::physical`]. `EXPLAIN` renders
+//! the same plan object the executor runs.
 
-use crate::eval::{eval, truth, Frame};
-use crate::physical::QueryCtx;
+use crate::eval::{eval, truth, Frame, SubqueryEval};
 use crate::plan::{plan_query, QueryPlan};
 use prefsql_parser::ast::{Expr, InsertSource, Query, Statement};
 use prefsql_parser::parse_statement;
@@ -16,7 +30,8 @@ use prefsql_storage::{Catalog, IndexKind, Table};
 use prefsql_types::{Column, Error, Result, Schema, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A materialized relation: schema + rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +104,88 @@ pub struct ExecStats {
     pub subquery_evals: u64,
 }
 
+impl ExecStats {
+    /// Fold another counter set into this one (per-statement contexts
+    /// report into the session accumulator).
+    pub fn absorb(&mut self, other: ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.subquery_evals += other.subquery_evals;
+    }
+}
+
+/// Map a poisoned-lock error onto the stack's error type: one panicking
+/// session must surface as a reportable error in its peers, not take the
+/// whole server down.
+fn poisoned<T>(_: PoisonError<T>) -> Error {
+    Error::Concurrency("engine catalog lock poisoned by a panicked session".into())
+}
+
+/// The shared, thread-safe core of the engine: the catalog behind a
+/// [`RwLock`] plus global toggles. Many [`Engine`] façades (one per
+/// session) hold the same core through an `Arc`; concurrent queries take
+/// the read lock for the duration of one statement, DML and DDL take the
+/// write lock, which gives statement-level isolation.
+pub struct EngineCore {
+    catalog: RwLock<Catalog>,
+    use_indexes: AtomicBool,
+}
+
+impl Default for EngineCore {
+    fn default() -> Self {
+        EngineCore::new()
+    }
+}
+
+impl EngineCore {
+    /// A fresh core with an empty catalog.
+    pub fn new() -> Self {
+        EngineCore {
+            catalog: RwLock::new(Catalog::new()),
+            use_indexes: AtomicBool::new(true),
+        }
+    }
+
+    /// A fresh shared core, ready to be handed to many sessions.
+    pub fn shared() -> Arc<EngineCore> {
+        Arc::new(EngineCore::new())
+    }
+
+    /// Enable or disable index access paths (ablation A2). Global: the
+    /// toggle is part of the core, not of any one session.
+    pub fn set_use_indexes(&self, on: bool) {
+        self.use_indexes.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether index access paths are enabled.
+    pub fn use_indexes(&self) -> bool {
+        self.use_indexes.load(Ordering::Relaxed)
+    }
+
+    /// Begin a read statement: a fresh [`ExecCtx`] holding the catalog
+    /// read lock for the statement's duration. Fails with
+    /// [`Error::Concurrency`] if the lock was poisoned.
+    pub fn read_ctx(&self) -> Result<ExecCtx<'_>> {
+        let guard = self.catalog.read().map_err(poisoned)?;
+        Ok(ExecCtx::with_source(
+            CatalogSource::Guard(guard),
+            self.use_indexes(),
+        ))
+    }
+
+    /// Take the catalog read lock directly (catalog inspection without
+    /// statement machinery).
+    pub fn catalog_read(&self) -> Result<RwLockReadGuard<'_, Catalog>> {
+        self.catalog.read().map_err(poisoned)
+    }
+
+    /// Take the catalog write lock (DML, DDL, bulk loading). Held for a
+    /// whole statement, so readers never observe a half-applied write.
+    pub fn catalog_write(&self) -> Result<RwLockWriteGuard<'_, Catalog>> {
+        self.catalog.write().map_err(poisoned)
+    }
+}
+
 /// Upper bound on distinct cached plans per statement (a safety valve for
 /// pathological workloads that evaluate transient query clones).
 const PLAN_CACHE_CAP: usize = 128;
@@ -98,27 +195,27 @@ const PLAN_CACHE_CAP: usize = 128;
 /// hit must verify the source still matches before reusing the plan.
 struct CachedPlan {
     source: Query,
-    plan: Rc<QueryPlan>,
+    plan: Arc<QueryPlan>,
 }
 
-/// The SQL engine: a catalog plus execution machinery.
-///
-/// ```
-/// use prefsql_engine::Engine;
-///
-/// let mut e = Engine::new();
-/// e.execute_sql("CREATE TABLE t (x INTEGER, name VARCHAR)").unwrap();
-/// e.execute_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
-/// let out = e.execute_sql("SELECT name FROM t WHERE x = 2").unwrap();
-/// let rel = out.rows().expect("SELECT produces rows");
-/// assert_eq!(rel.rows[0][0].to_string(), "b");
-/// ```
-pub struct Engine {
-    pub(crate) catalog: Catalog,
+/// How a statement context sees the catalog: queries hold the core's read
+/// guard, DML evaluation borrows the catalog the statement's write guard
+/// already protects.
+enum CatalogSource<'c> {
+    Guard(RwLockReadGuard<'c, Catalog>),
+    Borrowed(&'c Catalog),
+}
+
+/// Per-statement execution state: a catalog borrow plus the caches and
+/// counters that must not leak across statements. One context is created
+/// per statement and dropped when it completes, which is what makes the
+/// engine's read path shareable — nothing mutable outlives the statement.
+pub struct ExecCtx<'c> {
+    catalog: CatalogSource<'c>,
     use_indexes: bool,
     /// Per-statement cache of materialized FROM sources (tables, views and
     /// derived tables are uncorrelated in SQL92, so caching is sound).
-    pub(crate) from_cache: RefCell<HashMap<String, Rc<Relation>>>,
+    pub(crate) from_cache: RefCell<HashMap<String, Arc<Relation>>>,
     /// Per-statement plan cache keyed by AST node address; entries are
     /// verified against the source query on every hit.
     plan_cache: RefCell<HashMap<usize, CachedPlan>>,
@@ -127,18 +224,11 @@ pub struct Engine {
     pub(crate) view_depth: RefCell<u32>,
 }
 
-impl Default for Engine {
-    fn default() -> Self {
-        Engine::new()
-    }
-}
-
-impl Engine {
-    /// A fresh engine with an empty catalog.
-    pub fn new() -> Self {
-        Engine {
-            catalog: Catalog::new(),
-            use_indexes: true,
+impl<'c> ExecCtx<'c> {
+    fn with_source(catalog: CatalogSource<'c>, use_indexes: bool) -> Self {
+        ExecCtx {
+            catalog,
+            use_indexes,
             from_cache: RefCell::new(HashMap::new()),
             plan_cache: RefCell::new(HashMap::new()),
             stats: RefCell::new(ExecStats::default()),
@@ -146,156 +236,49 @@ impl Engine {
         }
     }
 
-    /// Access the catalog.
+    /// A statement context over a plain catalog borrow — the DML path
+    /// (expression evaluation under the statement's write lock) and tests
+    /// that drive the operators against a hand-built catalog.
+    pub fn over(catalog: &'c Catalog, use_indexes: bool) -> Self {
+        ExecCtx::with_source(CatalogSource::Borrowed(catalog), use_indexes)
+    }
+
+    /// The catalog this statement runs against.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        match &self.catalog {
+            CatalogSource::Guard(g) => g,
+            CatalogSource::Borrowed(c) => c,
+        }
     }
 
-    /// Mutable catalog access (bulk loading by tests/workloads).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
-    }
-
-    /// Enable or disable index access paths (ablation A2).
-    pub fn set_use_indexes(&mut self, on: bool) {
-        self.use_indexes = on;
-    }
-
-    /// Whether index access paths are enabled.
+    /// Whether index access paths are enabled for this statement.
     pub fn use_indexes(&self) -> bool {
         self.use_indexes
     }
 
-    /// Read and reset the execution counters.
+    /// Read and reset this statement's execution counters.
     pub fn take_stats(&self) -> ExecStats {
         std::mem::take(&mut self.stats.borrow_mut())
     }
 
-    /// Reset the per-statement caches. Called automatically by
-    /// [`Engine::execute`]; callers that drive [`Engine::run_query`]
-    /// directly (e.g. the native preference path) should call this once
-    /// per logical statement so plans and materializations from earlier
-    /// statements cannot leak in.
-    pub fn begin_statement(&self) {
-        self.from_cache.borrow_mut().clear();
-        self.plan_cache.borrow_mut().clear();
-    }
-
-    /// Parse and execute one SQL statement.
-    pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
-        let stmt = parse_statement(sql)?;
-        self.execute(&stmt)
-    }
-
-    /// Execute a parsed statement.
-    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
-        self.begin_statement();
-        self.execute_inner(stmt)
-    }
-
-    fn execute_inner(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
-        match stmt {
-            Statement::Select(q) => {
-                let rel = self.run_query(q, &[])?;
-                Ok(ExecOutcome::Rows(rel))
-            }
-            Statement::Insert {
-                table,
-                columns,
-                source,
-            } => self.run_insert(table, columns.as_deref(), source),
-            Statement::Delete {
-                table,
-                where_clause,
-            } => {
-                let doomed = self.matching_row_ids(table, where_clause.as_ref())?;
-                let n = self.catalog.table_mut(table)?.delete_rows(&doomed);
-                Ok(ExecOutcome::Count(n))
-            }
-            Statement::Update {
-                table,
-                assignments,
-                where_clause,
-            } => self.run_update(table, assignments, where_clause.as_ref()),
-            Statement::CreateTable { name, columns } => {
-                let cols = columns
-                    .iter()
-                    .map(|c| {
-                        let col = Column::new(c.name.clone(), c.data_type);
-                        Ok(if c.not_null { col.not_null() } else { col })
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                let schema = Schema::new(cols)?;
-                self.catalog
-                    .create_table(Table::new(name.clone(), schema))?;
-                Ok(ExecOutcome::Ddl(format!("created table {name}")))
-            }
-            Statement::CreateView { name, query } => {
-                // Validate the view body against the current catalog by
-                // planning and running it once on an empty environment.
-                self.run_query(query, &[])?;
-                self.catalog.create_view(name.clone(), query.to_string())?;
-                Ok(ExecOutcome::Ddl(format!("created view {name}")))
-            }
-            Statement::CreateIndex {
-                name,
-                table,
-                columns,
-                hash,
-            } => {
-                let kind = if *hash {
-                    IndexKind::Hash
-                } else {
-                    IndexKind::BTree
-                };
-                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-                self.catalog
-                    .table_mut(table)?
-                    .create_index(name.clone(), &cols, kind)?;
-                Ok(ExecOutcome::Ddl(format!("created index {name} on {table}")))
-            }
-            Statement::DropTable(name) => {
-                self.catalog.drop_table(name)?;
-                Ok(ExecOutcome::Ddl(format!("dropped table {name}")))
-            }
-            Statement::DropView(name) => {
-                self.catalog.drop_view(name)?;
-                Ok(ExecOutcome::Ddl(format!("dropped view {name}")))
-            }
-            Statement::CreatePreference { .. } | Statement::DropPreference(_) => {
-                Err(Error::Unsupported(
-                    "preference definitions are handled by the Preference SQL \
-                     layer, not the host engine"
-                        .into(),
-                ))
-            }
-            Statement::Explain(inner) => {
-                let text = crate::explain::explain(self, inner)?;
-                Ok(ExecOutcome::Explain(text))
-            }
-        }
-    }
-
-    // ------------------------------------------------------------- queries
-
     /// Plan `query`, reusing the per-statement plan cache. The cache key
     /// is the AST node's address; a hit is verified against the stored
     /// source query, so recycled addresses can never alias a stale plan.
-    pub fn plan_for(&self, query: &Query) -> Result<Rc<QueryPlan>> {
+    pub fn plan_for(&self, query: &Query) -> Result<Arc<QueryPlan>> {
         let key = query as *const Query as usize;
         if let Some(hit) = self.plan_cache.borrow().get(&key) {
             if hit.source == *query {
-                return Ok(Rc::clone(&hit.plan));
+                return Ok(Arc::clone(&hit.plan));
             }
         }
-        let plan = Rc::new(plan_query(self, query)?);
+        let plan = Arc::new(plan_query(self, query)?);
         let mut cache = self.plan_cache.borrow_mut();
         if cache.len() < PLAN_CACHE_CAP || cache.contains_key(&key) {
             cache.insert(
                 key,
                 CachedPlan {
                     source: query.clone(),
-                    plan: Rc::clone(&plan),
+                    plan: Arc::clone(&plan),
                 },
             );
         }
@@ -327,32 +310,318 @@ impl Engine {
                 .is_empty()),
         }
     }
+}
+
+/// Sub-query evaluation bridge handed to the expression evaluator.
+impl SubqueryEval for ExecCtx<'_> {
+    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
+        self.stats.borrow_mut().subquery_evals += 1;
+        Ok(self.run_query(query, frames)?.rows)
+    }
+
+    fn eval_subquery_exists(&self, query: &Query, frames: &[Frame<'_>]) -> Result<bool> {
+        self.stats.borrow_mut().subquery_evals += 1;
+        self.run_query_exists(query, frames)
+    }
+}
+
+/// Read access to the shared catalog, `Deref`-transparent to [`Catalog`]
+/// so pre-refactor `engine.catalog().table(..)` call sites keep working.
+/// Held for the duration of the borrow — drop it before issuing DML.
+pub struct CatalogRead<'e>(RwLockReadGuard<'e, Catalog>);
+
+impl std::ops::Deref for CatalogRead<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+/// Write access to the shared catalog (bulk loading by tests/workloads),
+/// `Deref`/`DerefMut`-transparent to [`Catalog`].
+pub struct CatalogWrite<'e>(RwLockWriteGuard<'e, Catalog>);
+
+impl std::ops::Deref for CatalogWrite<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for CatalogWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        &mut self.0
+    }
+}
+
+/// The SQL engine: a single-session façade over an [`EngineCore`].
+///
+/// `Engine::new()` creates a private core — the embedded, single-session
+/// shape every test and example uses. [`Engine::with_core`] attaches a
+/// session to a shared core instead; any number of such façades may run
+/// statements concurrently from their own threads.
+///
+/// ```
+/// use prefsql_engine::Engine;
+///
+/// let mut e = Engine::new();
+/// e.execute_sql("CREATE TABLE t (x INTEGER, name VARCHAR)").unwrap();
+/// e.execute_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+/// let out = e.execute_sql("SELECT name FROM t WHERE x = 2").unwrap();
+/// let rel = out.rows().expect("SELECT produces rows");
+/// assert_eq!(rel.rows[0][0].to_string(), "b");
+/// ```
+pub struct Engine {
+    core: Arc<EngineCore>,
+    /// Session-accumulated execution counters (per-statement contexts
+    /// report into this; [`Engine::take_stats`] reads and resets it).
+    stats: RefCell<ExecStats>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with a private, empty core.
+    pub fn new() -> Self {
+        Engine::with_core(EngineCore::shared())
+    }
+
+    /// A session façade over a shared core.
+    pub fn with_core(core: Arc<EngineCore>) -> Self {
+        Engine {
+            core,
+            stats: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    /// The shared core behind this façade (clone the `Arc` to attach
+    /// further sessions).
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// Read access to the catalog. The returned guard derefs to
+    /// [`Catalog`]; a poisoned lock is recovered here (read-only
+    /// inspection stays available even after a peer session panicked —
+    /// statement execution surfaces [`Error::Concurrency`] instead).
+    pub fn catalog(&self) -> CatalogRead<'_> {
+        CatalogRead(
+            self.core
+                .catalog
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Mutable catalog access (bulk loading by tests/workloads). Takes
+    /// the core's write lock; recovery on poison mirrors
+    /// [`Engine::catalog`].
+    pub fn catalog_mut(&mut self) -> CatalogWrite<'_> {
+        CatalogWrite(
+            self.core
+                .catalog
+                .write()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Enable or disable index access paths (ablation A2).
+    pub fn set_use_indexes(&mut self, on: bool) {
+        self.core.set_use_indexes(on);
+    }
+
+    /// Whether index access paths are enabled.
+    pub fn use_indexes(&self) -> bool {
+        self.core.use_indexes()
+    }
+
+    /// Read and reset the session's execution counters.
+    pub fn take_stats(&self) -> ExecStats {
+        std::mem::take(&mut self.stats.borrow_mut())
+    }
+
+    /// Fold a finished statement's counters into the session accumulator
+    /// (callers that drive [`Engine::read_ctx`] directly report here).
+    pub fn note_stats(&self, stats: ExecStats) {
+        self.stats.borrow_mut().absorb(stats);
+    }
+
+    /// Begin a read statement against the shared core. The context holds
+    /// the catalog read lock until dropped; its counters are *not*
+    /// automatically folded into [`Engine::take_stats`] — use
+    /// [`Engine::with_read_ctx`] (or [`Engine::note_stats`]) for that.
+    pub fn read_ctx(&self) -> Result<ExecCtx<'_>> {
+        self.core.read_ctx()
+    }
+
+    /// Run `f` inside a fresh read-statement context and fold the
+    /// context's counters into the session accumulator.
+    pub fn with_read_ctx<R>(&self, f: impl FnOnce(&ExecCtx<'_>) -> Result<R>) -> Result<R> {
+        let ctx = self.core.read_ctx()?;
+        let out = f(&ctx);
+        self.note_stats(ctx.take_stats());
+        out
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Execute a parsed statement. Queries and EXPLAIN take the core's
+    /// read lock, everything else the write lock, each for exactly one
+    /// statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::Select(q) => {
+                let rel = self.run_query(q, &[])?;
+                Ok(ExecOutcome::Rows(rel))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                let mut cat = self.core.catalog_write()?;
+                self.run_insert(&mut cat, table, columns.as_deref(), source)
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let mut cat = self.core.catalog_write()?;
+                let doomed = self.matching_row_ids(&cat, table, where_clause.as_ref())?;
+                let n = cat.table_mut(table)?.delete_rows(&doomed);
+                Ok(ExecOutcome::Count(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                let mut cat = self.core.catalog_write()?;
+                self.run_update(&mut cat, table, assignments, where_clause.as_ref())
+            }
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .iter()
+                    .map(|c| {
+                        let col = Column::new(c.name.clone(), c.data_type);
+                        Ok(if c.not_null { col.not_null() } else { col })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let schema = Schema::new(cols)?;
+                self.core
+                    .catalog_write()?
+                    .create_table(Table::new(name.clone(), schema))?;
+                Ok(ExecOutcome::Ddl(format!("created table {name}")))
+            }
+            Statement::CreateView { name, query } => {
+                let mut cat = self.core.catalog_write()?;
+                // Validate the view body against the current catalog by
+                // planning and running it once on an empty environment.
+                {
+                    let ctx = ExecCtx::over(&cat, self.core.use_indexes());
+                    ctx.run_query(query, &[])?;
+                    self.note_stats(ctx.take_stats());
+                }
+                cat.create_view(name.clone(), query.to_string())?;
+                Ok(ExecOutcome::Ddl(format!("created view {name}")))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                hash,
+            } => {
+                let kind = if *hash {
+                    IndexKind::Hash
+                } else {
+                    IndexKind::BTree
+                };
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.core.catalog_write()?.table_mut(table)?.create_index(
+                    name.clone(),
+                    &cols,
+                    kind,
+                )?;
+                Ok(ExecOutcome::Ddl(format!("created index {name} on {table}")))
+            }
+            Statement::DropTable(name) => {
+                self.core.catalog_write()?.drop_table(name)?;
+                Ok(ExecOutcome::Ddl(format!("dropped table {name}")))
+            }
+            Statement::DropView(name) => {
+                self.core.catalog_write()?.drop_view(name)?;
+                Ok(ExecOutcome::Ddl(format!("dropped view {name}")))
+            }
+            Statement::CreatePreference { .. } | Statement::DropPreference(_) => {
+                Err(Error::Unsupported(
+                    "preference definitions are handled by the Preference SQL \
+                     layer, not the host engine"
+                        .into(),
+                ))
+            }
+            Statement::Explain(inner) => {
+                let text = self.with_read_ctx(|ctx| crate::explain::explain(ctx, inner))?;
+                Ok(ExecOutcome::Explain(text))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Plan `query` inside a fresh read-statement context. The plan is
+    /// plain data and remains valid after the context's lock is released.
+    pub fn plan_for(&self, query: &Query) -> Result<Arc<QueryPlan>> {
+        self.with_read_ctx(|ctx| ctx.plan_for(query))
+    }
+
+    /// Execute a query block as one read statement in the environment
+    /// `outer` (empty for top-level queries).
+    pub fn run_query(&self, query: &Query, outer: &[Frame<'_>]) -> Result<Relation> {
+        self.with_read_ctx(|ctx| ctx.run_query(query, outer))
+    }
 
     // ----------------------------------------------------------------- DML
 
     fn run_insert(
-        &mut self,
+        &self,
+        cat: &mut Catalog,
         table: &str,
         columns: Option<&[String]>,
         source: &InsertSource,
     ) -> Result<ExecOutcome> {
         // Materialize the rows before touching the target table (also makes
-        // `INSERT INTO t SELECT ... FROM t` well-defined).
-        let incoming: Vec<Tuple> = match source {
-            InsertSource::Values(rows) => {
-                let mut out = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let values = row
-                        .iter()
-                        .map(|e| eval(e, &[], &QueryCtx { engine: self }))
-                        .collect::<Result<Vec<_>>>()?;
-                    out.push(Tuple::new(values));
+        // `INSERT INTO t SELECT ... FROM t` well-defined). Evaluation runs
+        // in a statement context borrowing the write-locked catalog.
+        let incoming: Vec<Tuple> = {
+            let ctx = ExecCtx::over(cat, self.core.use_indexes());
+            let rows = match source {
+                InsertSource::Values(rows) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let values = row
+                            .iter()
+                            .map(|e| eval(e, &[], &ctx))
+                            .collect::<Result<Vec<_>>>()?;
+                        out.push(Tuple::new(values));
+                    }
+                    out
                 }
-                out
-            }
-            InsertSource::Query(q) => self.run_query(q, &[])?.rows,
+                InsertSource::Query(q) => ctx.run_query(q, &[])?.rows,
+            };
+            self.note_stats(ctx.take_stats());
+            rows
         };
-        let target = self.catalog.table(table)?;
+        let target = cat.table(table)?;
         let schema = target.schema().clone();
         // Map the incoming positions onto the target columns.
         let positions: Vec<usize> = match columns {
@@ -384,16 +653,21 @@ impl Engine {
             }
             staged.push(Tuple::new(values));
         }
-        let target = self.catalog.table_mut(table)?;
+        let target = cat.table_mut(table)?;
         let n = target.insert_all(staged)?;
         Ok(ExecOutcome::Count(n))
     }
 
     /// Row ids of `table` satisfying `predicate` (all rows when `None`).
-    fn matching_row_ids(&self, table: &str, predicate: Option<&Expr>) -> Result<Vec<usize>> {
-        let t = self.catalog.table(table)?;
+    fn matching_row_ids(
+        &self,
+        cat: &Catalog,
+        table: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<usize>> {
+        let t = cat.table(table)?;
         let schema = t.schema().without_qualifiers().with_qualifier(t.name());
-        let ctx = QueryCtx { engine: self };
+        let ctx = ExecCtx::over(cat, self.core.use_indexes());
         let mut ids = Vec::new();
         for (rid, row) in t.rows().iter().enumerate() {
             let keep = match predicate {
@@ -410,27 +684,29 @@ impl Engine {
                 ids.push(rid);
             }
         }
+        self.note_stats(ctx.take_stats());
         Ok(ids)
     }
 
     fn run_update(
-        &mut self,
+        &self,
+        cat: &mut Catalog,
         table: &str,
         assignments: &[(String, Expr)],
         predicate: Option<&Expr>,
     ) -> Result<ExecOutcome> {
-        let ids = self.matching_row_ids(table, predicate)?;
+        let ids = self.matching_row_ids(cat, table, predicate)?;
         // Pre-resolve target columns and compute the new tuples before
         // mutating, so a failing assignment leaves the table untouched.
         let new_rows = {
-            let t = self.catalog.table(table)?;
+            let t = cat.table(table)?;
             let schema = t.schema().clone();
             let positions: Vec<usize> = assignments
                 .iter()
                 .map(|(c, _)| schema.resolve(None, c))
                 .collect::<Result<_>>()?;
             let eval_schema = schema.without_qualifiers().with_qualifier(t.name());
-            let ctx = QueryCtx { engine: self };
+            let ctx = ExecCtx::over(cat, self.core.use_indexes());
             let mut new_rows = Vec::with_capacity(ids.len());
             for &rid in &ids {
                 let row = t.row(rid);
@@ -448,9 +724,10 @@ impl Engine {
                 tuple.check_against(&schema)?;
                 new_rows.push(tuple);
             }
+            self.note_stats(ctx.take_stats());
             new_rows
         };
-        let t = self.catalog.table_mut(table)?;
+        let t = cat.table_mut(table)?;
         for (&rid, row) in ids.iter().zip(new_rows) {
             t.replace_row(rid, row)?;
         }
@@ -488,4 +765,43 @@ fn exists_probe_root(root: &crate::plan::PlanNode) -> Option<&crate::plan::PlanN
         }
     }
     streaming(node).then_some(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_core_visible_across_facades() {
+        let core = EngineCore::shared();
+        let mut writer = Engine::with_core(Arc::clone(&core));
+        writer.execute_sql("CREATE TABLE t (x INTEGER)").unwrap();
+        writer.execute_sql("INSERT INTO t VALUES (1), (2)").unwrap();
+        let mut reader = Engine::with_core(core);
+        let out = reader.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(out.expect_rows().rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn poisoned_lock_is_a_concurrency_error() {
+        let core = EngineCore::shared();
+        let poisoner = Arc::clone(&core);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.catalog_write().unwrap();
+            panic!("poison the catalog lock");
+        });
+        assert!(handle.join().is_err());
+        let mut session = Engine::with_core(core);
+        let err = session.execute_sql("SELECT 1").unwrap_err();
+        assert!(matches!(err, Error::Concurrency(_)), "got {err:?}");
+        assert_eq!(err.layer(), "concurrency");
+    }
+
+    #[test]
+    fn facade_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<EngineCore>();
+    }
 }

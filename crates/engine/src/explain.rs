@@ -7,17 +7,17 @@
 //! rewritten SQL, so `EXPLAIN SELECT ... PREFERRING ...` shows both the
 //! rewrite and the host plan.
 
+use crate::exec::ExecCtx;
 use crate::plan::{PlanNode, Projection};
-use crate::Engine;
 use prefsql_parser::ast::Statement;
 use prefsql_types::Result;
 use std::fmt::Write as _;
 
-/// Render an execution plan for `stmt`.
-pub fn explain(engine: &Engine, stmt: &Statement) -> Result<String> {
+/// Render an execution plan for `stmt` inside one statement context.
+pub fn explain(ctx: &ExecCtx<'_>, stmt: &Statement) -> Result<String> {
     match stmt {
         Statement::Select(q) => {
-            let plan = engine.plan_for(q)?;
+            let plan = ctx.plan_for(q)?;
             let mut out = String::new();
             render(plan.root(), 0, &mut out);
             Ok(out)
@@ -25,14 +25,14 @@ pub fn explain(engine: &Engine, stmt: &Statement) -> Result<String> {
         Statement::Insert { table, source, .. } => {
             let mut out = format!("Insert into {table}\n");
             if let prefsql_parser::ast::InsertSource::Query(q) = source {
-                let plan = engine.plan_for(q)?;
+                let plan = ctx.plan_for(q)?;
                 render(plan.root(), 1, &mut out);
             } else {
                 out.push_str("  Values\n");
             }
             Ok(out)
         }
-        Statement::Explain(inner) => explain(engine, inner),
+        Statement::Explain(inner) => explain(ctx, inner),
         other => Ok(format!("Utility statement: {other}\n")),
     }
 }

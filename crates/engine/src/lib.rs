@@ -27,6 +27,6 @@ pub mod explain;
 pub mod physical;
 pub mod plan;
 
-pub use exec::{Engine, ExecOutcome, Relation};
+pub use exec::{Engine, EngineCore, ExecCtx, ExecOutcome, ExecStats, Relation};
 pub use physical::{BoxOperator, Operator};
 pub use plan::{PlanNode, QueryPlan};

@@ -13,13 +13,13 @@
 //! their own nodes on top of [`build`]-produced sources — the Preference
 //! SQL facade does exactly that for its native BMO operator.
 
-use crate::eval::{eval, truth, Frame, SubqueryEval};
-use crate::exec::{Engine, Relation};
+use crate::eval::{eval, truth, Frame};
+use crate::exec::{ExecCtx, Relation};
 use crate::plan::{AggSpec, PlanNode, Projection, SortKey};
-use prefsql_parser::ast::{Expr, Query};
+use prefsql_parser::ast::Expr;
 use prefsql_types::{DataType, Error, Result, Schema, Tuple, Value};
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A Volcano-style physical operator: a pull-based tuple cursor.
 pub trait Operator {
@@ -86,27 +86,27 @@ pub trait Operator {
     fn close(&mut self);
 }
 
-/// A boxed operator tied to the lifetime of its plan/engine/environment.
+/// A boxed operator tied to the lifetime of its plan/context/environment.
 pub type BoxOperator<'a> = Box<dyn Operator + 'a>;
 
 /// Build the physical operator tree for a plan node. `outer` is the
 /// enclosing environment for correlated sub-queries (empty for top-level
 /// queries).
 pub fn build<'a>(
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     node: &'a PlanNode,
     outer: &'a [Frame<'a>],
 ) -> BoxOperator<'a> {
     match node {
         PlanNode::Nothing { .. } => Box::new(NothingOp { done: false }),
         PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp {
-            engine,
+            ctx,
             table,
             rows: &[],
             pos: 0,
         }),
         PlanNode::IndexScan { table, row_ids, .. } => Box::new(IndexScanOp {
-            engine,
+            ctx,
             table,
             row_ids,
             rows: Vec::new(),
@@ -118,7 +118,7 @@ pub fn build<'a>(
             schema,
             ..
         } => Box::new(MaterializeOp {
-            engine,
+            ctx,
             input,
             cache_key,
             schema,
@@ -131,9 +131,9 @@ pub fn build<'a>(
             on,
             schema,
         } => Box::new(NestedLoopJoinOp {
-            engine,
-            left: build(engine, left, outer),
-            right: build(engine, right, outer),
+            ctx,
+            left: build(ctx, left, outer),
+            right: build(ctx, right, outer),
             on: on.as_ref(),
             schema,
             outer,
@@ -142,9 +142,9 @@ pub fn build<'a>(
             ridx: 0,
         }),
         PlanNode::Filter { input, pred } => Box::new(FilterOp {
-            engine,
+            ctx,
             child_schema: input.schema(),
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             pred,
             outer,
             batch: Vec::new(),
@@ -152,29 +152,29 @@ pub fn build<'a>(
         PlanNode::Project {
             input, projections, ..
         } => Box::new(ProjectOp {
-            engine,
+            ctx,
             child_schema: input.schema(),
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             projections,
             outer,
             batch: Vec::new(),
             sel: Vec::new(),
         }),
         PlanNode::Sort { input, keys } => Box::new(SortOp {
-            engine,
+            ctx,
             child_schema: input.schema(),
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             keys,
             outer,
             sorted: Vec::new(),
             pos: 0,
         }),
         PlanNode::Distinct { input } => Box::new(DistinctOp {
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             seen: Vec::new(),
         }),
         PlanNode::Limit { input, n, .. } => Box::new(LimitOp {
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             remaining: *n,
         }),
         PlanNode::Aggregate {
@@ -182,9 +182,9 @@ pub fn build<'a>(
             spec,
             schema,
         } => Box::new(AggregateOp {
-            engine,
+            ctx,
             child_schema: input.schema(),
-            input: build(engine, input, outer),
+            input: build(ctx, input, outer),
             spec,
             schema,
             outer,
@@ -196,9 +196,9 @@ pub fn build<'a>(
 
 /// Build, open and fully drain the operator tree for `node` into a
 /// materialized [`Relation`].
-pub fn execute(engine: &Engine, node: &PlanNode, outer: &[Frame<'_>]) -> Result<Relation> {
+pub fn execute(ctx: &ExecCtx<'_>, node: &PlanNode, outer: &[Frame<'_>]) -> Result<Relation> {
     let schema = node.schema().clone();
-    let mut op = build(engine, node, outer);
+    let mut op = build(ctx, node, outer);
     let rows = drain(op.as_mut())?;
     Ok(Relation { schema, rows })
 }
@@ -270,38 +270,20 @@ pub fn drain_tuple_at_a_time(op: &mut (dyn Operator + '_)) -> Result<Vec<Tuple>>
     Ok(rows)
 }
 
-/// Sub-query evaluation bridge handed to the expression evaluator.
-pub(crate) struct QueryCtx<'e> {
-    pub(crate) engine: &'e Engine,
-}
-
-impl SubqueryEval for QueryCtx<'_> {
-    fn eval_subquery(&self, query: &Query, frames: &[Frame<'_>]) -> Result<Vec<Tuple>> {
-        self.engine.stats.borrow_mut().subquery_evals += 1;
-        let rel = self.engine.run_query(query, frames)?;
-        Ok(rel.rows)
-    }
-
-    fn eval_subquery_exists(&self, query: &Query, frames: &[Frame<'_>]) -> Result<bool> {
-        self.engine.stats.borrow_mut().subquery_evals += 1;
-        self.engine.run_query_exists(query, frames)
-    }
-}
-
 /// Evaluate `expr` for `tuple` under `schema`, with the enclosing
-/// environment appended.
+/// environment appended. The statement context doubles as the
+/// sub-query evaluation bridge.
 fn eval_row(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     schema: &Schema,
     tuple: &Tuple,
     outer: &[Frame<'_>],
 ) -> Result<Value> {
-    let ctx = QueryCtx { engine };
     let mut frames = Vec::with_capacity(outer.len() + 1);
     frames.push(Frame { schema, tuple });
     frames.extend_from_slice(outer);
-    eval(expr, &frames, &ctx)
+    eval(expr, &frames, ctx)
 }
 
 fn compare_key_rows(a: &[Value], b: &[Value], asc: &[bool]) -> Ordering {
@@ -346,7 +328,7 @@ impl Operator for NothingOp {
 /// upfront copy — a `LIMIT` above stops the scan after a handful of
 /// clones no matter how large the table is.
 struct SeqScanOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     table: &'a str,
     rows: &'a [Tuple],
     pos: usize,
@@ -355,8 +337,8 @@ struct SeqScanOp<'a> {
 impl Operator for SeqScanOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.pos = 0;
-        let table = self.engine.catalog().table(self.table)?;
-        self.engine.stats.borrow_mut().rows_scanned += table.len() as u64;
+        let table = self.ctx.catalog().table(self.table)?;
+        self.ctx.stats.borrow_mut().rows_scanned += table.len() as u64;
         self.rows = table.rows();
         Ok(())
     }
@@ -388,7 +370,7 @@ impl Operator for SeqScanOp<'_> {
 /// filter re-checks the full predicate, so the probe is purely an
 /// optimization.
 struct IndexScanOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     table: &'a str,
     row_ids: &'a [usize],
     rows: Vec<Tuple>,
@@ -398,8 +380,8 @@ struct IndexScanOp<'a> {
 impl Operator for IndexScanOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.pos = 0;
-        let table = self.engine.catalog().table(self.table)?;
-        let mut stats = self.engine.stats.borrow_mut();
+        let table = self.ctx.catalog().table(self.table)?;
+        let mut stats = self.ctx.stats.borrow_mut();
         stats.index_probes += 1;
         stats.rows_scanned += self.row_ids.len() as u64;
         drop(stats);
@@ -437,32 +419,32 @@ impl Operator for IndexScanOp<'_> {
 /// Execute a sub-plan once per statement (views, derived tables) and
 /// stream from the cached result thereafter.
 struct MaterializeOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     input: &'a PlanNode,
     cache_key: &'a str,
     schema: &'a Schema,
-    rel: Option<Rc<Relation>>,
+    rel: Option<Arc<Relation>>,
     pos: usize,
 }
 
 impl Operator for MaterializeOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.pos = 0;
-        if let Some(hit) = self.engine.from_cache.borrow().get(self.cache_key) {
-            self.rel = Some(Rc::clone(hit));
+        if let Some(hit) = self.ctx.from_cache.borrow().get(self.cache_key) {
+            self.rel = Some(Arc::clone(hit));
             return Ok(());
         }
         // Views and derived tables are uncorrelated in SQL92: execute with
         // an empty environment, then re-qualify the schema.
-        let rel = execute(self.engine, self.input, &[])?;
-        let rel = Rc::new(Relation {
+        let rel = execute(self.ctx, self.input, &[])?;
+        let rel = Arc::new(Relation {
             schema: self.schema.clone(),
             rows: rel.rows,
         });
-        self.engine
+        self.ctx
             .from_cache
             .borrow_mut()
-            .insert(self.cache_key.to_string(), Rc::clone(&rel));
+            .insert(self.cache_key.to_string(), Arc::clone(&rel));
         self.rel = Some(rel);
         Ok(())
     }
@@ -497,7 +479,7 @@ impl Operator for MaterializeOp<'_> {
 
 /// Keep tuples whose predicate evaluates to exactly TRUE.
 struct FilterOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     child_schema: &'a Schema,
     input: BoxOperator<'a>,
     pred: &'a Expr,
@@ -513,7 +495,7 @@ impl Operator for FilterOp<'_> {
 
     fn next(&mut self) -> Result<Option<Tuple>> {
         while let Some(t) = self.input.next()? {
-            let v = eval_row(self.engine, self.pred, self.child_schema, &t, self.outer)?;
+            let v = eval_row(self.ctx, self.pred, self.child_schema, &t, self.outer)?;
             if truth(&v) == Some(true) {
                 return Ok(Some(t));
             }
@@ -528,7 +510,7 @@ impl Operator for FilterOp<'_> {
         // Fast path: a buffered child lends borrowed slices — evaluate
         // the predicate on borrowed tuples and clone only the survivors,
         // so dropped rows are never copied at all.
-        let (engine, schema, pred, outer) = (self.engine, self.child_schema, self.pred, self.outer);
+        let (ctx, schema, pred, outer) = (self.ctx, self.child_schema, self.pred, self.outer);
         while appended < max {
             let Some(slice) = self.input.next_slice(max - appended)? else {
                 break;
@@ -537,7 +519,7 @@ impl Operator for FilterOp<'_> {
                 return Ok(false);
             }
             for t in slice {
-                let v = eval_row(engine, pred, schema, t, outer)?;
+                let v = eval_row(ctx, pred, schema, t, outer)?;
                 if truth(&v) == Some(true) {
                     out.push(t.clone());
                     appended += 1;
@@ -550,7 +532,7 @@ impl Operator for FilterOp<'_> {
             self.batch.clear();
             let more = self.input.next_batch(&mut self.batch, max - appended)?;
             for t in self.batch.drain(..) {
-                let v = eval_row(self.engine, self.pred, self.child_schema, &t, self.outer)?;
+                let v = eval_row(self.ctx, self.pred, self.child_schema, &t, self.outer)?;
                 if truth(&v) == Some(true) {
                     out.push(t);
                     appended += 1;
@@ -567,12 +549,12 @@ impl Operator for FilterOp<'_> {
         // Lend the child's borrowed slice untouched and select the
         // surviving indices — no tuple is cloned at all; the parent
         // copies only what it keeps.
-        let (engine, schema, pred, outer) = (self.engine, self.child_schema, self.pred, self.outer);
+        let (ctx, schema, pred, outer) = (self.ctx, self.child_schema, self.pred, self.outer);
         match self.input.next_slice(max)? {
             None => Ok(None),
             Some(slice) => {
                 for (i, t) in slice.iter().enumerate() {
-                    let v = eval_row(engine, pred, schema, t, outer)?;
+                    let v = eval_row(ctx, pred, schema, t, outer)?;
                     if truth(&v) == Some(true) {
                         sel.push(i);
                     }
@@ -591,7 +573,7 @@ impl Operator for FilterOp<'_> {
 /// Nested-loop join: the right input is materialized once at `open`, the
 /// left input streams.
 struct NestedLoopJoinOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     left: BoxOperator<'a>,
     right: BoxOperator<'a>,
     on: Option<&'a Expr>,
@@ -627,7 +609,7 @@ impl Operator for NestedLoopJoinOp<'_> {
                 let keep = match self.on {
                     None => true,
                     Some(cond) => {
-                        let v = eval_row(self.engine, cond, self.schema, &joined, self.outer)?;
+                        let v = eval_row(self.ctx, cond, self.schema, &joined, self.outer)?;
                         truth(&v) == Some(true)
                     }
                 };
@@ -648,7 +630,7 @@ impl Operator for NestedLoopJoinOp<'_> {
 
 /// Evaluate the SELECT list per tuple.
 struct ProjectOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     child_schema: &'a Schema,
     input: BoxOperator<'a>,
     projections: &'a [Projection],
@@ -661,7 +643,7 @@ struct ProjectOp<'a> {
 
 /// Evaluate one SELECT list against one (borrowed) child tuple.
 fn project_one(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     child_schema: &Schema,
     projections: &[Projection],
     outer: &[Frame<'_>],
@@ -671,7 +653,7 @@ fn project_one(
     for p in projections {
         values.push(match p {
             Projection::Passthrough(idx) => t[*idx].clone(),
-            Projection::Computed(e) => eval_row(engine, e, child_schema, t, outer)?,
+            Projection::Computed(e) => eval_row(ctx, e, child_schema, t, outer)?,
         });
     }
     Ok(Tuple::new(values))
@@ -687,7 +669,7 @@ impl Operator for ProjectOp<'_> {
             return Ok(None);
         };
         Ok(Some(project_one(
-            self.engine,
+            self.ctx,
             self.child_schema,
             self.projections,
             self.outer,
@@ -700,8 +682,8 @@ impl Operator for ProjectOp<'_> {
         // Fast path: project straight off a borrowed slice-with-selection
         // (a buffered child, or a filter lending its own buffered
         // child's slice) — the wide source tuples are never cloned.
-        let (engine, schema, projections, outer) =
-            (self.engine, self.child_schema, self.projections, self.outer);
+        let (ctx, schema, projections, outer) =
+            (self.ctx, self.child_schema, self.projections, self.outer);
         let mut sel = std::mem::take(&mut self.sel);
         while appended < max {
             sel.clear();
@@ -713,7 +695,7 @@ impl Operator for ProjectOp<'_> {
                 return Ok(false);
             }
             for &i in &sel {
-                out.push(project_one(engine, schema, projections, outer, &slice[i])?);
+                out.push(project_one(ctx, schema, projections, outer, &slice[i])?);
                 appended += 1;
             }
         }
@@ -725,7 +707,7 @@ impl Operator for ProjectOp<'_> {
             let more = self.input.next_batch(&mut self.batch, max - appended)?;
             for t in &self.batch {
                 out.push(project_one(
-                    self.engine,
+                    self.ctx,
                     self.child_schema,
                     self.projections,
                     self.outer,
@@ -748,7 +730,7 @@ impl Operator for ProjectOp<'_> {
 
 /// Stable sort — a pipeline breaker: drains its input at `open`.
 struct SortOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     child_schema: &'a Schema,
     input: BoxOperator<'a>,
     keys: &'a [SortKey],
@@ -766,7 +748,7 @@ impl Operator for SortOp<'_> {
             let key = self
                 .keys
                 .iter()
-                .map(|k| eval_row(self.engine, &k.expr, self.child_schema, row, self.outer))
+                .map(|k| eval_row(self.ctx, &k.expr, self.child_schema, row, self.outer))
                 .collect::<Result<Vec<_>>>()?;
             keyed.push(key);
         }
@@ -901,7 +883,7 @@ impl Operator for LimitOp<'_> {
 /// Grouped aggregation — a pipeline breaker: drains its input, groups,
 /// applies HAVING, projects each group and sorts the aggregate output.
 struct AggregateOp<'a> {
-    engine: &'a Engine,
+    ctx: &'a ExecCtx<'a>,
     child_schema: &'a Schema,
     input: BoxOperator<'a>,
     spec: &'a AggSpec,
@@ -916,7 +898,7 @@ impl Operator for AggregateOp<'_> {
         self.pos = 0;
         let rows = drain(self.input.as_mut())?;
         self.out = run_aggregate(
-            self.engine,
+            self.ctx,
             self.spec,
             self.child_schema,
             self.schema,
@@ -951,7 +933,7 @@ impl Operator for AggregateOp<'_> {
 }
 
 fn run_aggregate(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     spec: &AggSpec,
     input_schema: &Schema,
     out_schema: &Schema,
@@ -965,7 +947,7 @@ fn run_aggregate(
         let key: Vec<Value> = spec
             .group_by
             .iter()
-            .map(|e| eval_row(engine, e, input_schema, &row, outer))
+            .map(|e| eval_row(ctx, e, input_schema, &row, outer))
             .collect::<Result<_>>()?;
         let norm = key
             .iter()
@@ -991,7 +973,7 @@ fn run_aggregate(
         let keep = match &spec.having {
             None => true,
             Some(h) => {
-                let v = eval_agg(engine, h, input_schema, &members, outer)?;
+                let v = eval_agg(ctx, h, input_schema, &members, outer)?;
                 truth(&v) == Some(true)
             }
         };
@@ -1005,7 +987,7 @@ fn run_aggregate(
     for (_, members) in &kept_groups {
         let mut values = Vec::with_capacity(spec.select.len());
         for expr in &spec.select {
-            values.push(eval_agg(engine, expr, input_schema, members, outer)?);
+            values.push(eval_agg(ctx, expr, input_schema, members, outer)?);
         }
         out_rows.push(Tuple::new(values));
     }
@@ -1019,11 +1001,9 @@ fn run_aggregate(
             for o in &spec.order_by {
                 // Try against the output schema first, then re-compute
                 // from the group.
-                let v = match eval_row(engine, &o.output, out_schema, row, &[]) {
+                let v = match eval_row(ctx, &o.output, out_schema, row, &[]) {
                     Ok(v) => v,
-                    Err(_) => {
-                        eval_agg(engine, &o.original, input_schema, &kept_groups[i].1, outer)?
-                    }
+                    Err(_) => eval_agg(ctx, &o.original, input_schema, &kept_groups[i].1, outer)?,
                 };
                 key.push(v);
             }
@@ -1041,20 +1021,20 @@ fn run_aggregate(
 /// of one group: aggregates are folded to literals first, then the
 /// residue is evaluated against the group's first row.
 fn eval_agg(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     input_schema: &Schema,
     members: &[Tuple],
     outer: &[Frame<'_>],
 ) -> Result<Value> {
-    let folded = fold_aggregates(engine, expr, input_schema, members, outer)?;
+    let folded = fold_aggregates(ctx, expr, input_schema, members, outer)?;
     let empty_row = Tuple::new(vec![Value::Null; input_schema.len()]);
     let first = members.first().unwrap_or(&empty_row);
-    eval_row(engine, &folded, input_schema, first, outer)
+    eval_row(ctx, &folded, input_schema, first, outer)
 }
 
 fn fold_aggregates(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     input_schema: &Schema,
     members: &[Tuple],
@@ -1062,7 +1042,7 @@ fn fold_aggregates(
 ) -> Result<Expr> {
     if let Expr::Function { name, args } = expr {
         if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
-            let v = compute_aggregate(engine, name, args, input_schema, members, outer)?;
+            let v = compute_aggregate(ctx, name, args, input_schema, members, outer)?;
             return Ok(Expr::Literal(v));
         }
     }
@@ -1070,21 +1050,15 @@ fn fold_aggregates(
     let rebuilt = match expr {
         Expr::Unary { op, expr: e } => Expr::Unary {
             op: *op,
-            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            expr: Box::new(fold_aggregates(ctx, e, input_schema, members, outer)?),
         },
         Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(fold_aggregates(engine, left, input_schema, members, outer)?),
+            left: Box::new(fold_aggregates(ctx, left, input_schema, members, outer)?),
             op: *op,
-            right: Box::new(fold_aggregates(
-                engine,
-                right,
-                input_schema,
-                members,
-                outer,
-            )?),
+            right: Box::new(fold_aggregates(ctx, right, input_schema, members, outer)?),
         },
         Expr::IsNull { expr: e, negated } => Expr::IsNull {
-            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            expr: Box::new(fold_aggregates(ctx, e, input_schema, members, outer)?),
             negated: *negated,
         },
         Expr::Between {
@@ -1093,9 +1067,9 @@ fn fold_aggregates(
             high,
             negated,
         } => Expr::Between {
-            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
-            low: Box::new(fold_aggregates(engine, low, input_schema, members, outer)?),
-            high: Box::new(fold_aggregates(engine, high, input_schema, members, outer)?),
+            expr: Box::new(fold_aggregates(ctx, e, input_schema, members, outer)?),
+            low: Box::new(fold_aggregates(ctx, low, input_schema, members, outer)?),
+            high: Box::new(fold_aggregates(ctx, high, input_schema, members, outer)?),
             negated: *negated,
         },
         Expr::InList {
@@ -1103,10 +1077,10 @@ fn fold_aggregates(
             list,
             negated,
         } => Expr::InList {
-            expr: Box::new(fold_aggregates(engine, e, input_schema, members, outer)?),
+            expr: Box::new(fold_aggregates(ctx, e, input_schema, members, outer)?),
             list: list
                 .iter()
-                .map(|i| fold_aggregates(engine, i, input_schema, members, outer))
+                .map(|i| fold_aggregates(ctx, i, input_schema, members, outer))
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
@@ -1117,27 +1091,27 @@ fn fold_aggregates(
         } => Expr::Case {
             operand: operand
                 .as_ref()
-                .map(|o| fold_aggregates(engine, o, input_schema, members, outer).map(Box::new))
+                .map(|o| fold_aggregates(ctx, o, input_schema, members, outer).map(Box::new))
                 .transpose()?,
             branches: branches
                 .iter()
                 .map(|(w, t)| {
                     Ok((
-                        fold_aggregates(engine, w, input_schema, members, outer)?,
-                        fold_aggregates(engine, t, input_schema, members, outer)?,
+                        fold_aggregates(ctx, w, input_schema, members, outer)?,
+                        fold_aggregates(ctx, t, input_schema, members, outer)?,
                     ))
                 })
                 .collect::<Result<_>>()?,
             else_result: else_result
                 .as_ref()
-                .map(|e| fold_aggregates(engine, e, input_schema, members, outer).map(Box::new))
+                .map(|e| fold_aggregates(ctx, e, input_schema, members, outer).map(Box::new))
                 .transpose()?,
         },
         Expr::Function { name, args } => Expr::Function {
             name: name.clone(),
             args: args
                 .iter()
-                .map(|a| fold_aggregates(engine, a, input_schema, members, outer))
+                .map(|a| fold_aggregates(ctx, a, input_schema, members, outer))
                 .collect::<Result<_>>()?,
         },
         other => other.clone(),
@@ -1146,7 +1120,7 @@ fn fold_aggregates(
 }
 
 fn compute_aggregate(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     name: &str,
     args: &[Expr],
     input_schema: &Schema,
@@ -1163,7 +1137,7 @@ fn compute_aggregate(
     }
     let mut values = Vec::with_capacity(members.len());
     for row in members {
-        let v = eval_row(engine, &args[0], input_schema, row, outer)?;
+        let v = eval_row(ctx, &args[0], input_schema, row, outer)?;
         if !v.is_null() {
             values.push(v);
         }

@@ -9,7 +9,7 @@
 //! drift apart.
 
 use crate::access::{choose_access_path, AccessPath};
-use crate::Engine;
+use crate::exec::ExecCtx;
 use prefsql_parser::ast::{Expr, Query, SelectItem, Statement, TableRef};
 use prefsql_parser::parse_statement;
 use prefsql_types::{Column, DataType, Error, Result, Schema};
@@ -228,17 +228,17 @@ pub(crate) fn reject_preference_constructs(query: &Query) -> Result<()> {
 }
 
 /// Compile one query block into a plan tree.
-pub fn plan_query(engine: &Engine, query: &Query) -> Result<QueryPlan> {
+pub fn plan_query(ctx: &ExecCtx<'_>, query: &Query) -> Result<QueryPlan> {
     reject_preference_constructs(query)?;
-    let source = plan_source(engine, query)?;
+    let source = plan_source(ctx, query)?;
     let root = plan_block(query, source)?;
     Ok(QueryPlan { root })
 }
 
 /// Compile only the FROM/WHERE part of a query block (the shape shared by
 /// `EXISTS` probes and the native preference path's candidate fetch).
-pub(crate) fn plan_source(engine: &Engine, query: &Query) -> Result<PlanNode> {
-    let input = plan_from(engine, query)?;
+pub(crate) fn plan_source(ctx: &ExecCtx<'_>, query: &Query) -> Result<PlanNode> {
+    let input = plan_from(ctx, query)?;
     Ok(match &query.where_clause {
         None => input,
         Some(pred) => PlanNode::Filter {
@@ -341,7 +341,7 @@ fn plan_aggregate(query: &Query, source: PlanNode) -> Result<PlanNode> {
 
 /// Resolve the FROM clause into a source node. Multiple FROM items
 /// cross-join left to right.
-fn plan_from(engine: &Engine, query: &Query) -> Result<PlanNode> {
+fn plan_from(ctx: &ExecCtx<'_>, query: &Query) -> Result<PlanNode> {
     if query.from.is_empty() {
         return Ok(PlanNode::Nothing {
             schema: Schema::empty(),
@@ -353,7 +353,7 @@ fn plan_from(engine: &Engine, query: &Query) -> Result<PlanNode> {
     let allow_index = query.from.len() == 1 && matches!(&query.from[0], TableRef::Named { .. });
     let mut acc: Option<PlanNode> = None;
     for item in &query.from {
-        let next = plan_table_ref(engine, item, query, allow_index)?;
+        let next = plan_table_ref(ctx, item, query, allow_index)?;
         acc = Some(match acc {
             None => next,
             Some(left) => {
@@ -371,18 +371,18 @@ fn plan_from(engine: &Engine, query: &Query) -> Result<PlanNode> {
 }
 
 fn plan_table_ref(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     item: &TableRef,
     query: &Query,
     allow_index: bool,
 ) -> Result<PlanNode> {
     match item {
         TableRef::Named { name, alias } => {
-            plan_named(engine, name, alias.as_deref(), query, allow_index)
+            plan_named(ctx, name, alias.as_deref(), query, allow_index)
         }
         TableRef::Derived { query: sub, alias } => {
             reject_preference_constructs(sub)?;
-            let body = plan_query(engine, sub)?;
+            let body = plan_query(ctx, sub)?;
             let schema = body
                 .root
                 .schema()
@@ -396,8 +396,8 @@ fn plan_table_ref(
             })
         }
         TableRef::Join { left, right, on } => {
-            let l = plan_table_ref(engine, left, query, false)?;
-            let r = plan_table_ref(engine, right, query, false)?;
+            let l = plan_table_ref(ctx, left, query, false)?;
+            let r = plan_table_ref(ctx, right, query, false)?;
             let schema = l.schema().join(r.schema());
             Ok(PlanNode::NestedLoopJoin {
                 left: Box::new(l),
@@ -410,7 +410,7 @@ fn plan_table_ref(
 }
 
 fn plan_named(
-    engine: &Engine,
+    ctx: &ExecCtx<'_>,
     name: &str,
     alias: Option<&str>,
     query: &Query,
@@ -418,8 +418,8 @@ fn plan_named(
 ) -> Result<PlanNode> {
     let qual = alias.unwrap_or(name).to_ascii_lowercase();
     // Views expand recursively at plan time.
-    if let Some(view) = engine.catalog().view(name) {
-        let depth = *engine.view_depth.borrow();
+    if let Some(view) = ctx.catalog().view(name) {
+        let depth = *ctx.view_depth.borrow();
         if depth > 32 {
             return Err(Error::Plan(format!("view expansion too deep at '{name}'")));
         }
@@ -432,9 +432,9 @@ fn plan_named(
                 )))
             }
         };
-        *engine.view_depth.borrow_mut() += 1;
-        let planned = plan_query(engine, &body);
-        *engine.view_depth.borrow_mut() -= 1;
+        *ctx.view_depth.borrow_mut() += 1;
+        let planned = plan_query(ctx, &body);
+        *ctx.view_depth.borrow_mut() -= 1;
         let plan = planned?;
         let schema = plan
             .root
@@ -452,9 +452,9 @@ fn plan_named(
             schema,
         });
     }
-    let table = engine.catalog().table(name)?;
+    let table = ctx.catalog().table(name)?;
     let schema = table.schema().without_qualifiers().with_qualifier(&qual);
-    let path = if engine.use_indexes() && allow_index {
+    let path = if ctx.use_indexes() && allow_index {
         choose_access_path(table, query.where_clause.as_ref())
     } else {
         AccessPath::SeqScan

@@ -43,15 +43,15 @@ fn select_query(sql: &str) -> prefsql_parser::ast::Query {
 /// produce identical row vectors (same tuples, same order).
 fn assert_batched_matches_streaming(engine: &Engine, sql: &str) {
     let query = select_query(sql);
-    engine.begin_statement();
-    let plan = engine.plan_for(&query).unwrap();
+    let ctx = engine.read_ctx().unwrap();
+    let plan = ctx.plan_for(&query).unwrap();
 
     let streamed: Vec<Tuple> = {
-        let mut op = build(engine, plan.root(), &[]);
+        let mut op = build(&ctx, plan.root(), &[]);
         drain_tuple_at_a_time(op.as_mut()).unwrap()
     };
     for batch in BATCH_SIZES {
-        let mut op = build(engine, plan.root(), &[]);
+        let mut op = build(&ctx, plan.root(), &[]);
         let batched = drain_batched(op.as_mut(), batch).unwrap();
         assert_eq!(batched, streamed, "batch={batch} diverged on: {sql}");
     }
@@ -108,11 +108,15 @@ fn index_scan_agrees_across_batch_sizes() {
     let e = setup();
     // grp has a hash index; the planner picks the index probe for
     // equality — verify by the stats, then diff the drive loops.
-    e.begin_statement();
     let query = select_query("SELECT id FROM t WHERE grp = 3");
-    let plan = e.plan_for(&query).unwrap();
-    let mut op = build(&e, plan.root(), &[]);
-    let rows = drain_batched(op.as_mut(), 3).unwrap();
+    let rows = {
+        let ctx = e.read_ctx().unwrap();
+        let plan = ctx.plan_for(&query).unwrap();
+        let mut op = build(&ctx, plan.root(), &[]);
+        let rows = drain_batched(op.as_mut(), 3).unwrap();
+        e.note_stats(ctx.take_stats());
+        rows
+    };
     assert_eq!(rows.len(), 10);
     assert!(e.take_stats().index_probes > 0, "expected an index probe");
     assert_batched_matches_streaming(&e, "SELECT id FROM t WHERE grp = 3");

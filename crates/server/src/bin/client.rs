@@ -1,0 +1,71 @@
+//! `prefsql-client` — a scriptable line client for `prefsql-server`.
+//!
+//! ```sh
+//! prefsql-client [ADDR] < session.sql    # default 127.0.0.1:5433
+//! ```
+//!
+//! Reads request lines from stdin (statements or `\`-commands), prints
+//! each response's payload and terminator to stdout. Exits non-zero if
+//! any request failed, so CI smoke scripts can assert success.
+
+use prefsql_server::Client;
+use std::io::BufRead;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5433";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(a) if a == "--help" || a == "-h" => {
+            eprintln!("usage: prefsql-client [ADDR]   (default {DEFAULT_ADDR})");
+            return;
+        }
+        Some(a) => a,
+        None => DEFAULT_ADDR.to_string(),
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("prefsql-client: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut failures = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("prefsql-client: stdin: {e}");
+                std::process::exit(1);
+            }
+        };
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if request == "\\q" || request == "\\quit" {
+            break;
+        }
+        match client.request(request) {
+            Ok(r) => {
+                print!("{}", r.transcript());
+                if r.is_err() {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("prefsql-client: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = client.quit() {
+        eprintln!("prefsql-client: quit: {e}");
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        eprintln!("prefsql-client: {failures} request(s) failed");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,43 @@
+//! `prefsql-server` — serve one shared Preference SQL catalog over TCP.
+//!
+//! ```sh
+//! prefsql-server [ADDR]        # default 127.0.0.1:5433
+//! ```
+//!
+//! Thread-per-connection; every connection gets its own session (mode,
+//! `\algo`, `\threads`, `\window`, spill dir) over the shared catalog.
+//! See `prefsql_server::protocol` for the wire format; `prefsql-client`
+//! is the matching line client.
+
+use prefsql_engine::EngineCore;
+use prefsql_server::Server;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5433";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(a) if a == "--help" || a == "-h" => {
+            eprintln!("usage: prefsql-server [ADDR]   (default {DEFAULT_ADDR})");
+            return;
+        }
+        Some(a) => a,
+        None => DEFAULT_ADDR.to_string(),
+    };
+    let server = match Server::bind(&addr, EngineCore::shared()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("prefsql-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        // Scripts wait for this exact line before connecting.
+        Ok(bound) => println!("prefsql-server listening on {bound}"),
+        Err(e) => eprintln!("prefsql-server: local_addr: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("prefsql-server: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

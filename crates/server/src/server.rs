@@ -1,0 +1,231 @@
+//! The thread-per-connection TCP server.
+//!
+//! Every accepted connection gets its own [`Session`] borrowing the
+//! shared [`EngineCore`], so queries run under concurrent read locks
+//! and DML serializes on the write lock — the same statement-level
+//! isolation the embedded API provides, now across sockets.
+
+use crate::protocol;
+use prefsql::Session;
+use prefsql_engine::EngineCore;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// A bound-but-not-yet-running server: the listener plus the shared
+/// engine core every connection's session will borrow.
+pub struct Server {
+    listener: TcpListener,
+    core: Arc<EngineCore>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`Server::spawn`]): exposes the bound address and a [`stop`]
+/// switch.
+///
+/// [`stop`]: ServerHandle::stop
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts connections on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown, wake the accept loop, and join the server
+    /// thread. Connections still open finish their current request
+    /// loop; callers should disconnect clients first.
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+impl Server {
+    /// Bind a listener on `addr` (use port 0 to let the OS pick) over
+    /// the given shared core.
+    pub fn bind(addr: impl ToSocketAddrs, core: Arc<EngineCore>) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            core,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on the current thread: one spawned thread
+    /// per accepted connection, until [`ServerHandle::stop`] (or a
+    /// fatal listener error). Finished connection threads are reaped
+    /// each iteration.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
+                Err(e) => return Err(e),
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let core = Arc::clone(&self.core);
+            workers.push(thread::spawn(move || {
+                // Connection I/O errors just end that connection.
+                let _ = serve_connection(stream, core);
+            }));
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread, returning a handle
+    /// for the bound address and shutdown.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        })
+    }
+}
+
+/// Serve one connection: greet, then answer request lines until `\q`
+/// or EOF. Each connection owns a private [`Session`] over the shared
+/// core.
+fn serve_connection(stream: TcpStream, core: Arc<EngineCore>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{}", protocol::GREETING)?;
+    writer.flush()?;
+
+    let mut session = Session::with_core(core);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF: client went away.
+        }
+        let request = line.trim();
+        let mut out: Vec<String> = Vec::new();
+        if let Some(meta) = request.strip_prefix('\\') {
+            let mut parts = meta.splitn(2, char::is_whitespace);
+            let head = format!("\\{}", parts.next().unwrap_or(""));
+            let arg = parts.next().map(str::trim).unwrap_or("");
+            if head == "\\q" || head == "\\quit" {
+                writeln!(writer, "{}", protocol::BYE)?;
+                writer.flush()?;
+                return Ok(());
+            }
+            match session.command(&head, arg) {
+                Some(text) => protocol::render_text(&text, &mut out),
+                None => out.push(format!(
+                    "ERROR: unknown command '{}' (\\mode \\algo \\threads \\window \\rewrite \\d \\q)",
+                    protocol::escape(&head)
+                )),
+            }
+        } else {
+            let sql = request.trim_end_matches(';').trim();
+            if sql.is_empty() {
+                out.push("OK".into());
+            } else {
+                // A panicking statement must cost at most this statement
+                // (and, if it held the write lock, poison the catalog into
+                // Error::Concurrency for everyone) — never the whole
+                // server or even this connection.
+                let result = catch_unwind(AssertUnwindSafe(|| session.execute(sql)));
+                match result {
+                    Ok(result) => protocol::render_result(&result, &mut out),
+                    Err(_) => out.push("ERROR: exec error: statement panicked".into()),
+                }
+            }
+        }
+        for l in &out {
+            writeln!(writer, "{l}")?;
+        }
+        writer.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn serves_a_basic_session() {
+        let server = Server::bind("127.0.0.1:0", EngineCore::shared()).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let r = c.request("CREATE TABLE t (x INTEGER)").unwrap();
+        assert!(r.is_ok(), "{r:?}");
+        let r = c.request("INSERT INTO t VALUES (3), (1), (2);").unwrap();
+        assert_eq!(r.status, "OK INSERT 3");
+        let r = c.request("SELECT x FROM t PREFERRING LOWEST(x)").unwrap();
+        assert_eq!(r.header.as_deref(), Some(&["x".to_string()][..]));
+        assert_eq!(r.rows(), vec![vec!["1".to_string()]]);
+        assert_eq!(r.status, "OK 1 rows");
+
+        // Errors keep the session usable.
+        let r = c.request("SELECT nope FROM nothing").unwrap();
+        assert!(r.is_err(), "{r:?}");
+        let r = c.request("SELECT x FROM t ORDER BY x").unwrap();
+        assert_eq!(r.rows().len(), 3);
+
+        // Knobs speak the shared session command set.
+        let r = c.request("\\threads 2").unwrap();
+        assert_eq!(r.payload, vec!["threads: 2"]);
+        let r = c.request("\\mode native").unwrap();
+        assert_eq!(r.payload, vec!["mode: native (auto)"]);
+        let r = c.request("\\nosuch").unwrap();
+        assert!(r.is_err(), "{r:?}");
+
+        c.quit().unwrap();
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn sessions_are_isolated_but_share_the_catalog() {
+        let server = Server::bind("127.0.0.1:0", EngineCore::shared()).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut a = Client::connect(handle.addr()).unwrap();
+        let mut b = Client::connect(handle.addr()).unwrap();
+
+        a.request("CREATE TABLE t (x INTEGER)").unwrap();
+        a.request("INSERT INTO t VALUES (2), (1)").unwrap();
+        // B sees A's data through the shared core...
+        let r = b.request("SELECT x FROM t ORDER BY x").unwrap();
+        assert_eq!(r.rows().len(), 2);
+        // ...but knob state is per connection.
+        a.request("\\threads 7").unwrap();
+        let r = b.request("\\threads").unwrap();
+        assert_ne!(r.payload, vec!["threads: 7"]);
+
+        a.quit().unwrap();
+        b.quit().unwrap();
+        handle.stop().unwrap();
+    }
+}

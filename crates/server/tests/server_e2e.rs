@@ -1,0 +1,91 @@
+//! End-to-end acceptance for the TCP front end: one `prefsql-server`
+//! instance serving 64 concurrent connections, every response
+//! byte-identical to the single-session baseline captured before the
+//! flood.
+
+use prefsql::Session;
+use prefsql_engine::EngineCore;
+use prefsql_server::{Client, Server};
+use std::sync::Arc;
+use std::thread;
+
+/// A shared core preloaded with the workload tables the query mix
+/// touches.
+fn loaded_core() -> Arc<EngineCore> {
+    let core = EngineCore::shared();
+    let mut session = Session::with_core(Arc::clone(&core));
+    session
+        .engine_mut()
+        .catalog_mut()
+        .create_table(prefsql_workload::cars::market(400, 7))
+        .expect("fresh catalog");
+    session
+        .engine_mut()
+        .catalog_mut()
+        .create_table(prefsql_workload::hotels::table(150, 8))
+        .expect("fresh catalog");
+    core
+}
+
+/// The per-connection script: knob setup plus a mixed read workload
+/// (rewrite + native, plain SQL + preference queries + EXPLAIN).
+const SCRIPT: &[&str] = &[
+    "\\threads 2",
+    "SELECT COUNT(*) FROM car",
+    "SELECT id, price, make FROM car WHERE price < 20000 ORDER BY price LIMIT 5",
+    prefsql_workload::cars::OPEL_QUERY,
+    "\\mode native",
+    prefsql_workload::cars::OPEL_QUERY,
+    prefsql_workload::hotels::NEG_QUERY,
+    "EXPLAIN SELECT id FROM hotels PREFERRING LOWEST(price)",
+    "\\mode rewrite",
+    prefsql_workload::hotels::NEG_QUERY,
+];
+
+#[test]
+fn sixty_four_connections_match_single_session_baseline() {
+    let server = Server::bind("127.0.0.1:0", loaded_core()).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    // Single-session baseline: the transcript of one quiet connection.
+    let baseline: Vec<String> = {
+        let mut c = Client::connect(addr).unwrap();
+        let out = SCRIPT
+            .iter()
+            .map(|q| c.request(q).unwrap().transcript())
+            .collect();
+        c.quit().unwrap();
+        out
+    };
+    for (q, t) in SCRIPT.iter().zip(&baseline) {
+        assert!(
+            !t.starts_with("ERROR") && !t.contains("\nERROR"),
+            "baseline failed on {q}: {t}"
+        );
+    }
+
+    // 64 concurrent connections replay the script; every transcript
+    // must be byte-identical to the baseline.
+    let workers: Vec<_> = (0..64)
+        .map(|conn| {
+            let baseline = baseline.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for (i, q) in SCRIPT.iter().enumerate() {
+                    let got = c.request(q).unwrap().transcript();
+                    assert_eq!(
+                        got, baseline[i],
+                        "connection {conn} diverged from the baseline on: {q}"
+                    );
+                }
+                c.quit().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("connection thread panicked");
+    }
+
+    handle.stop().unwrap();
+}

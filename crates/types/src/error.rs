@@ -30,6 +30,10 @@ pub enum Error {
     /// I/O failure in the external-memory layer (spill runs, temp files).
     /// Carries the rendered `std::io::Error` so the enum stays `Clone`/`Eq`.
     Io(String),
+    /// Concurrency failure in the shared engine core (a catalog lock was
+    /// poisoned by a panicking session). Surfaced as an error so one wedged
+    /// session cannot take the whole server down.
+    Concurrency(String),
 }
 
 impl Error {
@@ -44,6 +48,7 @@ impl Error {
             Error::Rewrite(_) => "rewrite",
             Error::Unsupported(_) => "unsupported",
             Error::Io(_) => "io",
+            Error::Concurrency(_) => "concurrency",
         }
     }
 
@@ -57,7 +62,8 @@ impl Error {
             | Error::Exec(m)
             | Error::Rewrite(m)
             | Error::Unsupported(m)
-            | Error::Io(m) => m,
+            | Error::Io(m)
+            | Error::Concurrency(m) => m,
         }
     }
 }
@@ -99,6 +105,7 @@ mod tests {
             Error::Rewrite(String::new()),
             Error::Unsupported(String::new()),
             Error::Io(String::new()),
+            Error::Concurrency(String::new()),
         ];
         let mut layers: Vec<_> = all.iter().map(|e| e.layer()).collect();
         layers.sort_unstable();

@@ -1,0 +1,57 @@
+//! Fixtures shared across the repo-level integration suites.
+
+use prefsql::storage::Table;
+
+/// Every workload's demo queries as `(table, sql)` pairs — the single
+/// fixture list the golden sweeps (`pipeline_equivalence`) and the
+/// concurrent stress suite (`concurrent_sessions`) iterate, so a demo
+/// query added here is automatically covered everywhere.
+pub fn demo_queries() -> Vec<(Table, String)> {
+    use prefsql_workload::{
+        bks01, cars, computers, cosima, hotels, jobs, oldtimer, products, trips,
+    };
+    let mut queries: Vec<(Table, String)> = vec![
+        (oldtimer::table(), oldtimer::QUERY.to_string()),
+        (
+            cars::paper_fixture(),
+            "SELECT identifier, make FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'"
+                .to_string(),
+        ),
+        (cars::market(250, 71), cars::OPEL_QUERY.to_string()),
+        (
+            computers::table(200, 72),
+            computers::PARETO_QUERY.to_string(),
+        ),
+        (
+            computers::table(200, 72),
+            computers::CASCADE_QUERY.to_string(),
+        ),
+        (trips::table(200, 73), trips::BUT_ONLY_QUERY.to_string()),
+        (hotels::table(150, 74), hotels::NEG_QUERY.to_string()),
+        (
+            hotels::table(150, 75),
+            "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location"
+                .to_string(),
+        ),
+        (
+            products::table(200, 76),
+            products::SEARCH_MASK_QUERY.to_string(),
+        ),
+        (
+            cosima::snapshot(200, 77).offers,
+            cosima::COMPARISON_QUERY.to_string(),
+        ),
+    ];
+    for dist in bks01::Distribution::ALL {
+        queries.push((bks01::table(150, 3, dist, 78), bks01::skyline_query(3)));
+    }
+    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
+    queries.push((
+        jobs::table(1_500, 79),
+        format!(
+            "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
+            soft.join(" AND ")
+        ),
+    ));
+    queries
+}

@@ -35,6 +35,9 @@ use prefsql::{ExecutionMode, NativeOptions, PrefSqlConnection, SkylineAlgo};
 use prefsql_rewrite::PreferenceRegistry;
 use proptest::prelude::*;
 
+mod common;
+use common::demo_queries;
+
 // ------------------------------------------------------------ proptest
 
 /// A random table over (id, a, b, c) with NULLs mixed into c.
@@ -308,60 +311,6 @@ fn golden_rewrite_vs_pipeline_demo_queries() {
     for (table, sql) in demo_queries() {
         diff_rewrite_vs_pipeline(table, &sql);
     }
-}
-
-/// Every workload's demo queries as `(table, sql)` pairs — the single
-/// fixture list both golden sweeps (rewrite-vs-pipeline above,
-/// thread-count invariance below) iterate, so a demo query added here
-/// is automatically covered by both.
-fn demo_queries() -> Vec<(Table, String)> {
-    use prefsql_workload::{
-        bks01, cars, computers, cosima, hotels, jobs, oldtimer, products, trips,
-    };
-    let mut queries: Vec<(Table, String)> = vec![
-        (oldtimer::table(), oldtimer::QUERY.to_string()),
-        (
-            cars::paper_fixture(),
-            "SELECT identifier, make FROM cars PREFERRING make = 'Audi' AND diesel = 'yes'"
-                .to_string(),
-        ),
-        (cars::market(250, 71), cars::OPEL_QUERY.to_string()),
-        (
-            computers::table(200, 72),
-            computers::PARETO_QUERY.to_string(),
-        ),
-        (
-            computers::table(200, 72),
-            computers::CASCADE_QUERY.to_string(),
-        ),
-        (trips::table(200, 73), trips::BUT_ONLY_QUERY.to_string()),
-        (hotels::table(150, 74), hotels::NEG_QUERY.to_string()),
-        (
-            hotels::table(150, 75),
-            "SELECT id, location, price FROM hotels PREFERRING LOWEST(price) GROUPING location"
-                .to_string(),
-        ),
-        (
-            products::table(200, 76),
-            products::SEARCH_MASK_QUERY.to_string(),
-        ),
-        (
-            cosima::snapshot(200, 77).offers,
-            cosima::COMPARISON_QUERY.to_string(),
-        ),
-    ];
-    for dist in bks01::Distribution::ALL {
-        queries.push((bks01::table(150, 3, dist, 78), bks01::skyline_query(3)));
-    }
-    let soft: Vec<&str> = jobs::second_selection(0).iter().map(|&(_, s)| s).collect();
-    queries.push((
-        jobs::table(1_500, 79),
-        format!(
-            "SELECT id FROM profiles WHERE region = 3 PREFERRING {}",
-            soft.join(" AND ")
-        ),
-    ));
-    queries
 }
 
 // ------------------------------------------- thread-count invariance
