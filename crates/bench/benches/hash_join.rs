@@ -1,0 +1,142 @@
+//! **Join micro-bench** — the Grace hash join against the nested-loop
+//! join it replaces, end to end through the SQL layer.
+//!
+//! Two groups:
+//!
+//! * `hash_join` — fact ⋈ dim with a 256-row build side, 8 k and 64 k
+//!   probe rows, matched (uniform) vs skewed (every build key
+//!   identical) key distributions. The nested-loop baseline at 64 k is
+//!   the acceptance yardstick: the hash path must beat it by ≥ 5×.
+//! * `hash_join_grace` — a 4096-row build side (~130 KiB serialized)
+//!   that overflows a 64 KiB window, measuring the partitioned spill
+//!   path against the same join run unbounded.
+//!
+//! Each iteration runs a `SELECT COUNT(*)` over the join so the
+//! measured cost is the join itself, not result rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prefsql::storage::Table;
+use prefsql::types::{Column, DataType, Schema, Tuple, Value};
+use prefsql::PrefSqlConnection;
+
+const SQL: &str = "SELECT COUNT(*) FROM fact JOIN dim ON fact.k = dim.k";
+const KEY_DOMAIN: i64 = 256;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// `fact(id, k, v)` — `rows` probe tuples with uniform keys.
+fn fact_table(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("k", DataType::Int),
+        Column::new("v", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("fact", schema);
+    let mut s = seed;
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((lcg(&mut s) % KEY_DOMAIN as u64) as i64),
+            Value::Int((lcg(&mut s) % 1000) as i64),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+/// `dim(k, name)` — the build side. Matched: keys cycle over the whole
+/// domain. Skewed: every key identical, so one hash partition carries
+/// the entire build side (the Grace group's worst case: repartitioning
+/// cannot split it, forcing the block nested-loop fallback).
+fn dim_table(rows: usize, skewed: bool) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("name", DataType::Str),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("dim", schema);
+    for i in 0..rows {
+        let k = if skewed { 7 } else { i as i64 % KEY_DOMAIN };
+        t.insert(Tuple::new(vec![
+            Value::Int(k),
+            Value::Str(format!("dim-{i:06}")),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+fn connect(fact_rows: usize, dim_rows: usize, skewed: bool) -> PrefSqlConnection {
+    let mut conn = PrefSqlConnection::new();
+    conn.engine_mut()
+        .catalog_mut()
+        .create_table(fact_table(fact_rows, 42))
+        .expect("fresh catalog");
+    conn.engine_mut()
+        .catalog_mut()
+        .create_table(dim_table(dim_rows, skewed))
+        .expect("fresh catalog");
+    conn
+}
+
+fn count(conn: &mut PrefSqlConnection) -> String {
+    conn.query(SQL).expect("join query").to_string()
+}
+
+fn bench_hash_vs_nested_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join");
+    group.sample_size(10);
+    for n in [8_000usize, 64_000] {
+        let label = |keys: &str| format!("{keys}/{}k", n / 1000);
+        for skewed in [false, true] {
+            let keys = if skewed { "skewed" } else { "matched" };
+            group.throughput(Throughput::Elements(n as u64));
+
+            let mut nlj = connect(n, 256, skewed);
+            nlj.engine_mut().set_use_hash_join(false);
+            nlj.set_window_bytes(None);
+            group.bench_function(BenchmarkId::new("nlj", label(keys)), |b| {
+                b.iter(|| count(&mut nlj))
+            });
+
+            let mut hash = connect(n, 256, skewed);
+            hash.set_window_bytes(None);
+            group.bench_function(BenchmarkId::new("hash", label(keys)), |b| {
+                b.iter(|| count(&mut hash))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grace_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join_grace");
+    group.sample_size(10);
+    let n = 64_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for skewed in [false, true] {
+        let keys = if skewed { "skewed" } else { "matched" };
+
+        let mut unbounded = connect(n, 4096, skewed);
+        unbounded.set_window_bytes(None);
+        group.bench_function(BenchmarkId::new("unbounded", keys), |b| {
+            b.iter(|| count(&mut unbounded))
+        });
+
+        let mut bounded = connect(n, 4096, skewed);
+        bounded.set_window_bytes(Some(64 * 1024));
+        group.bench_function(BenchmarkId::new("window-64k", keys), |b| {
+            b.iter(|| count(&mut bounded))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_vs_nested_loop, bench_grace_window);
+criterion_main!(benches);

@@ -569,8 +569,16 @@ pub fn run_native_ctx(
     op.open()?;
     let mut winners: Vec<Tuple> = op.take_winners();
     let best_scores = op.best_scores().to_vec();
-    let spill = op.spill_metrics().cloned();
+    let mut spill = op.spill_metrics().cloned();
     op.close();
+    // A hash join feeding the preference input may itself have spilled
+    // under the window budget; fold its runs into this query's account.
+    if let Some(join) = ctx.take_spill() {
+        match &mut spill {
+            Some(s) => s.absorb(&join),
+            None => spill = Some(join),
+        }
+    }
 
     let compiled = &native.compiled;
     let arity = compiled.preference.arity();

@@ -151,7 +151,7 @@ impl Session {
     /// A session over an existing shared core — the server spawns one of
     /// these per accepted connection.
     pub fn with_core(core: Arc<EngineCore>) -> Self {
-        Session {
+        let mut session = Session {
             engine: Engine::with_core(core),
             rewriter: Rewriter::new(),
             mode: ExecutionMode::Rewrite,
@@ -159,7 +159,9 @@ impl Session {
             threads: crate::knobs::default_threads(),
             window_bytes: crate::knobs::default_window_bytes(),
             spill_dir: None,
-        }
+        };
+        session.sync_engine_window();
+        session
     }
 
     /// The shared engine core this session executes against.
@@ -225,6 +227,7 @@ impl Session {
     /// [`crate::knobs::MIN_WINDOW_BYTES`]); `None` never spills.
     pub fn set_window_bytes(&mut self, window_bytes: Option<usize>) {
         self.window_bytes = window_bytes.map(|b| b.max(crate::knobs::MIN_WINDOW_BYTES));
+        self.sync_engine_window();
     }
 
     /// The external-memory window budget knob.
@@ -232,21 +235,37 @@ impl Session {
         self.window_bytes
     }
 
-    /// The session's private spill directory, creating it on first use.
+    /// The session's private spill directory, named on first use.
     /// External-memory runs land here instead of the bare system temp
     /// dir, so concurrent sessions never share spill state and teardown
-    /// is one `remove_dir_all`.
-    fn spill_base(&mut self) -> Result<&Path> {
+    /// is one `remove_dir_all`. The directory itself only appears the
+    /// first time an operator actually spills (`SpillManager::new_in`
+    /// creates the whole path), so sessions that never overflow never
+    /// touch the filesystem.
+    fn spill_base(&mut self) -> &Path {
         if self.spill_dir.is_none() {
             let dir = std::env::temp_dir().join(format!(
                 "prefsql-session-{}-{}",
                 std::process::id(),
                 SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
             ));
-            std::fs::create_dir_all(&dir)?;
             self.spill_dir = Some(dir);
         }
-        Ok(self.spill_dir.as_deref().expect("just created"))
+        self.spill_dir.as_deref().expect("just named")
+    }
+
+    /// Push the session's window budget down to the host engine so plain
+    /// SQL joins obey the same external-memory discipline as native
+    /// preference evaluation: when `\window` is set, an oversized hash
+    /// join build side partitions to this session's spill directory.
+    fn sync_engine_window(&mut self) {
+        self.engine.set_window_bytes(self.window_bytes);
+        let base = if self.window_bytes.is_some() {
+            Some(self.spill_base().to_path_buf())
+        } else {
+            None
+        };
+        self.engine.set_spill_base(base);
     }
 
     /// Execute one statement of Preference SQL.
@@ -305,7 +324,7 @@ impl Session {
                     // A bounded window may spill; root the runs in this
                     // session's own directory.
                     let spill = if self.window_bytes.is_some() {
-                        Some(self.spill_base()?.to_path_buf())
+                        Some(self.spill_base().to_path_buf())
                     } else {
                         None
                     };
@@ -389,6 +408,10 @@ impl Session {
     }
 
     fn forward(&mut self, stmt: &Statement, strip_generated: bool) -> Result<QueryResult> {
+        // Discard spill accounting a prior rowless statement (e.g. an
+        // INSERT ... SELECT whose join spilled) may have left behind, so
+        // every result set reports only its own runs.
+        let _ = self.engine.take_spill_metrics();
         match self.engine.execute(stmt)? {
             ExecOutcome::Rows(rel) => {
                 let rs = ResultSet::new(rel);
@@ -397,6 +420,9 @@ impl Session {
                 } else {
                     rs
                 };
+                // A hash join that overflowed `\window` reports its run
+                // accounting the same way native skylines do.
+                let rs = rs.with_spill(self.engine.take_spill_metrics());
                 Ok(QueryResult::Rows(rs))
             }
             ExecOutcome::Count(n) => Ok(QueryResult::Count(n)),

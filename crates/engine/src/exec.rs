@@ -26,10 +26,12 @@ use crate::eval::{eval, truth, Frame, SubqueryEval};
 use crate::plan::{plan_query, QueryPlan};
 use prefsql_parser::ast::{Expr, InsertSource, Query, Statement};
 use prefsql_parser::parse_statement;
+use prefsql_storage::spill::SpillMetrics;
 use prefsql_storage::{Catalog, IndexKind, Table};
 use prefsql_types::{Column, Error, Result, Schema, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -129,6 +131,7 @@ fn poisoned<T>(_: PoisonError<T>) -> Error {
 pub struct EngineCore {
     catalog: RwLock<Catalog>,
     use_indexes: AtomicBool,
+    use_hash_join: AtomicBool,
 }
 
 impl Default for EngineCore {
@@ -143,6 +146,7 @@ impl EngineCore {
         EngineCore {
             catalog: RwLock::new(Catalog::new()),
             use_indexes: AtomicBool::new(true),
+            use_hash_join: AtomicBool::new(true),
         }
     }
 
@@ -162,15 +166,27 @@ impl EngineCore {
         self.use_indexes.load(Ordering::Relaxed)
     }
 
+    /// Enable or disable the hash-join fast path for equi-join ON
+    /// conditions (ablation/differential baseline: off plans every join
+    /// as a nested loop). Global, like the index toggle.
+    pub fn set_use_hash_join(&self, on: bool) {
+        self.use_hash_join.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the hash-join fast path is enabled.
+    pub fn use_hash_join(&self) -> bool {
+        self.use_hash_join.load(Ordering::Relaxed)
+    }
+
     /// Begin a read statement: a fresh [`ExecCtx`] holding the catalog
     /// read lock for the statement's duration. Fails with
     /// [`Error::Concurrency`] if the lock was poisoned.
     pub fn read_ctx(&self) -> Result<ExecCtx<'_>> {
         let guard = self.catalog.read().map_err(poisoned)?;
-        Ok(ExecCtx::with_source(
-            CatalogSource::Guard(guard),
-            self.use_indexes(),
-        ))
+        Ok(
+            ExecCtx::with_source(CatalogSource::Guard(guard), self.use_indexes())
+                .with_hash_join(self.use_hash_join()),
+        )
     }
 
     /// Take the catalog read lock directly (catalog inspection without
@@ -213,6 +229,15 @@ enum CatalogSource<'c> {
 pub struct ExecCtx<'c> {
     catalog: CatalogSource<'c>,
     use_indexes: bool,
+    use_hash_join: bool,
+    /// External-memory window budget for spill-capable operators (the
+    /// Grace hash join); `None` never spills.
+    window_bytes: Option<usize>,
+    /// Directory spill managers root their run dirs in (`None` = the
+    /// system temp dir).
+    spill_base: Option<PathBuf>,
+    /// Spill metrics reported by operators during this statement.
+    spill: RefCell<Option<SpillMetrics>>,
     /// Per-statement cache of materialized FROM sources (tables, views and
     /// derived tables are uncorrelated in SQL92, so caching is sound).
     pub(crate) from_cache: RefCell<HashMap<String, Arc<Relation>>>,
@@ -229,6 +254,10 @@ impl<'c> ExecCtx<'c> {
         ExecCtx {
             catalog,
             use_indexes,
+            use_hash_join: true,
+            window_bytes: None,
+            spill_base: None,
+            spill: RefCell::new(None),
             from_cache: RefCell::new(HashMap::new()),
             plan_cache: RefCell::new(HashMap::new()),
             stats: RefCell::new(ExecStats::default()),
@@ -254,6 +283,56 @@ impl<'c> ExecCtx<'c> {
     /// Whether index access paths are enabled for this statement.
     pub fn use_indexes(&self) -> bool {
         self.use_indexes
+    }
+
+    /// Set the hash-join toggle (builder style; defaults to on).
+    pub fn with_hash_join(mut self, on: bool) -> Self {
+        self.use_hash_join = on;
+        self
+    }
+
+    /// Whether equi-join ON conditions plan as hash joins.
+    pub fn use_hash_join(&self) -> bool {
+        self.use_hash_join
+    }
+
+    /// Set the external-memory window budget for spill-capable operators
+    /// (builder style; defaults to `None` = never spill).
+    pub fn with_window(mut self, window_bytes: Option<usize>) -> Self {
+        self.window_bytes = window_bytes;
+        self
+    }
+
+    /// The external-memory window budget for this statement.
+    pub fn window_bytes(&self) -> Option<usize> {
+        self.window_bytes
+    }
+
+    /// Root spill-run directories under `base` (builder style; defaults
+    /// to the system temp dir).
+    pub fn with_spill_base(mut self, base: Option<PathBuf>) -> Self {
+        self.spill_base = base;
+        self
+    }
+
+    /// The directory spill managers root their run dirs in, if pinned.
+    pub fn spill_base(&self) -> Option<&std::path::Path> {
+        self.spill_base.as_deref()
+    }
+
+    /// Report one operator's spill metrics into the statement's
+    /// accumulator (folded when several operators spill).
+    pub fn note_spill(&self, m: SpillMetrics) {
+        let mut slot = self.spill.borrow_mut();
+        match &mut *slot {
+            Some(acc) => acc.absorb(&m),
+            None => *slot = Some(m),
+        }
+    }
+
+    /// Read and reset the statement's accumulated spill metrics.
+    pub fn take_spill(&self) -> Option<SpillMetrics> {
+        self.spill.borrow_mut().take()
     }
 
     /// Read and reset this statement's execution counters.
@@ -378,6 +457,14 @@ pub struct Engine {
     /// Session-accumulated execution counters (per-statement contexts
     /// report into this; [`Engine::take_stats`] reads and resets it).
     stats: RefCell<ExecStats>,
+    /// Per-session external-memory window budget applied to every read
+    /// statement context ([`Engine::set_window_bytes`]).
+    window_bytes: Option<usize>,
+    /// Per-session spill-run base directory ([`Engine::set_spill_base`]).
+    spill_base: Option<PathBuf>,
+    /// Spill metrics harvested from finished statements
+    /// ([`Engine::take_spill_metrics`] reads and resets).
+    spill: RefCell<Option<SpillMetrics>>,
 }
 
 impl Default for Engine {
@@ -397,6 +484,9 @@ impl Engine {
         Engine {
             core,
             stats: RefCell::new(ExecStats::default()),
+            window_bytes: None,
+            spill_base: None,
+            spill: RefCell::new(None),
         }
     }
 
@@ -441,6 +531,42 @@ impl Engine {
         self.core.use_indexes()
     }
 
+    /// Enable or disable the hash-join fast path (global toggle on the
+    /// shared core, like [`Engine::set_use_indexes`]).
+    pub fn set_use_hash_join(&mut self, on: bool) {
+        self.core.set_use_hash_join(on);
+    }
+
+    /// Whether the hash-join fast path is enabled.
+    pub fn use_hash_join(&self) -> bool {
+        self.core.use_hash_join()
+    }
+
+    /// Set this session's external-memory window budget: spill-capable
+    /// operators (the Grace hash join) overflow to disk runs once their
+    /// build memory exceeds it. `None` never spills.
+    pub fn set_window_bytes(&mut self, window_bytes: Option<usize>) {
+        self.window_bytes = window_bytes;
+    }
+
+    /// This session's external-memory window budget.
+    pub fn window_bytes(&self) -> Option<usize> {
+        self.window_bytes
+    }
+
+    /// Root this session's spill-run directories under `base` (`None` =
+    /// the system temp dir). The directory need not exist yet; spill
+    /// managers create it on first use.
+    pub fn set_spill_base(&mut self, base: Option<PathBuf>) {
+        self.spill_base = base;
+    }
+
+    /// Read and reset the spill metrics accumulated by statements run
+    /// since the last call (`None` = nothing spilled).
+    pub fn take_spill_metrics(&self) -> Option<SpillMetrics> {
+        self.spill.borrow_mut().take()
+    }
+
     /// Read and reset the session's execution counters.
     pub fn take_stats(&self) -> ExecStats {
         std::mem::take(&mut self.stats.borrow_mut())
@@ -457,15 +583,27 @@ impl Engine {
     /// automatically folded into [`Engine::take_stats`] — use
     /// [`Engine::with_read_ctx`] (or [`Engine::note_stats`]) for that.
     pub fn read_ctx(&self) -> Result<ExecCtx<'_>> {
-        self.core.read_ctx()
+        Ok(self
+            .core
+            .read_ctx()?
+            .with_window(self.window_bytes)
+            .with_spill_base(self.spill_base.clone()))
     }
 
     /// Run `f` inside a fresh read-statement context and fold the
-    /// context's counters into the session accumulator.
+    /// context's counters (and any spill metrics) into the session
+    /// accumulators.
     pub fn with_read_ctx<R>(&self, f: impl FnOnce(&ExecCtx<'_>) -> Result<R>) -> Result<R> {
-        let ctx = self.core.read_ctx()?;
+        let ctx = self.read_ctx()?;
         let out = f(&ctx);
         self.note_stats(ctx.take_stats());
+        if let Some(m) = ctx.take_spill() {
+            let mut slot = self.spill.borrow_mut();
+            match &mut *slot {
+                Some(acc) => acc.absorb(&m),
+                None => *slot = Some(m),
+            }
+        }
         out
     }
 
@@ -760,7 +898,8 @@ fn exists_probe_root(root: &crate::plan::PlanNode) -> Option<&crate::plan::PlanN
             | PlanNode::IndexScan { .. }
             | PlanNode::Materialize { .. } => true,
             PlanNode::Filter { input, .. } => streaming(input),
-            PlanNode::NestedLoopJoin { left, right, .. } => streaming(left) && streaming(right),
+            PlanNode::NestedLoopJoin { left, right, .. }
+            | PlanNode::HashJoin { left, right, .. } => streaming(left) && streaming(right),
             _ => false,
         }
     }

@@ -86,6 +86,30 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             render(left, depth + 1, out);
             render(right, depth + 1, out);
         }
+        PlanNode::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+            window,
+            ..
+        } => {
+            let shown: Vec<String> = keys.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+            let _ = write!(
+                out,
+                "join=hash keys=[{}] build={} window={}",
+                shown.join(", "),
+                if *build_left { "left" } else { "right" },
+                fmt_window(*window)
+            );
+            if let Some(r) = residual {
+                let _ = write!(out, " residual={r}");
+            }
+            out.push('\n');
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
         PlanNode::Filter { input, pred } => {
             let _ = writeln!(out, "Filter: {pred}");
             render(input, depth + 1, out);
@@ -131,6 +155,18 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{steps}");
             render(input, depth + 1, out);
         }
+    }
+}
+
+/// The hash join's window knob as EXPLAIN shows it: `off` when the
+/// session has no budget, otherwise in the largest exact binary unit
+/// (mirrors the session layer's byte formatting).
+fn fmt_window(w: Option<usize>) -> String {
+    match w {
+        None => "off".to_string(),
+        Some(b) if b > 0 && b % (1024 * 1024) == 0 => format!("{} MiB", b / (1024 * 1024)),
+        Some(b) if b > 0 && b % 1024 == 0 => format!("{} KiB", b / 1024),
+        Some(b) => format!("{b} B"),
     }
 }
 

@@ -1,0 +1,1201 @@
+//! The hash equi-join: plan-time equi-key extraction and the spill-aware
+//! Grace-hash physical operator.
+//!
+//! [`split_equi_join`] inspects a join's ON condition and pulls out the
+//! `left-col = right-col` conjuncts a hash join can key on, leaving every
+//! other conjunct as a *residual* predicate re-checked after the probe.
+//! Anything it cannot fully classify — non-equi-only conditions,
+//! sub-queries (possibly correlated), columns that do not resolve against
+//! the join inputs — keeps the nested-loop join, so evaluation semantics
+//! never change behind the optimizer's back.
+//!
+//! [`HashJoinOp`] executes the plan node. Its output contract is strict:
+//! **rows and order are byte-identical to the nested-loop join it
+//! replaces** (left-major, right-minor — every left row meets the right
+//! rows in their materialization order). The in-memory build=right path
+//! gets this for free by streaming the left side; the build=left path
+//! buckets matches per left row and emits the buckets in left order; the
+//! Grace overflow path tags every spilled tuple with its per-side arrival
+//! sequence, keeps partition-pair output sorted by `(left seq, right
+//! seq)` by construction, and k-way-merges the sorted output runs. The
+//! one permitted divergence is *error timing*: an ON expression that
+//! errors at evaluation may surface the error after a different number
+//! of emitted rows than the nested loop would.
+//!
+//! Key equality is SQL equality restricted to the cases where it can
+//! hold: rows whose key contains NULL or NaN can never satisfy `=` and
+//! are dropped from both sides up front; `-0.0` is normalized to `0.0`
+//! (SQL-equal, but distinct under the total order backing
+//! [`Value::key_eq`]). After that, [`Value::key_eq`] coincides exactly
+//! with `sql_eq == TRUE` — including INT 1 matching FLOAT 1.0, whose
+//! shared hash the `prefsql-types` proptests pin.
+//!
+//! When the build side outgrows the session window budget, both inputs
+//! are hash-partitioned into [`SpillManager`] runs with a depth-salted
+//! hash (`FANOUT` partitions). A partition pair whose build half still
+//! exceeds the window is re-partitioned once with a fresh salt; a pair
+//! that is still too big after that (pathological skew — e.g. one hot
+//! key) is processed by block nested-loop in window-sized build chunks.
+//! Spill totals are reported through [`ExecCtx::note_spill`] and ride
+//! the same `SpillMetrics` surface as the external skyline.
+
+use crate::eval::{truth, Frame};
+use crate::exec::ExecCtx;
+use crate::physical::{eval_row, BoxOperator, Operator, DEFAULT_BATCH};
+use prefsql_parser::ast::{BinaryOp, Expr};
+use prefsql_storage::spill::{
+    tuple_spill_bytes, RunReader, RunWriter, SpillManager, SpillMetrics, SpillRun,
+};
+use prefsql_types::{Result, Schema, Tuple, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Partitions per Grace spill pass. Small enough that a pass keeps one
+/// open run writer per partition; two salted passes separate 64 buckets.
+const FANOUT: usize = 8;
+
+/// Partitioning depth at which a still-oversized pair stops recursing
+/// and falls back to block nested-loop (initial pass = depth 0, the one
+/// permitted re-partition = depth 1).
+const MAX_DEPTH: u32 = 2;
+
+// ----------------------------------------------------- plan-time split
+
+/// The equi-join structure extracted from an ON condition.
+#[derive(Debug)]
+pub struct EquiJoin {
+    /// `(left expr, right expr)` per equi-key conjunct, each resolved
+    /// purely against its own input.
+    pub keys: Vec<(Expr, Expr)>,
+    /// The remaining conjuncts, ANDed in original order; evaluated
+    /// against the combined row after the probe.
+    pub residual: Option<Expr>,
+}
+
+/// Split `on` into hash keys and a residual predicate. Returns `None`
+/// when a hash join must not be planned: no cross-side equi conjunct at
+/// all, a sub-query anywhere in the condition (its correlation could
+/// observe evaluation order), or a column reference that is unknown or
+/// ambiguous against the combined input schema (the nested loop must
+/// surface that error exactly as it always did).
+pub fn split_equi_join(on: &Expr, left: &Schema, right: &Schema) -> Option<EquiJoin> {
+    let combined = left.join(right);
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(on, &mut conjuncts);
+    let mut keys = Vec::new();
+    let mut residual: Option<Expr> = None;
+    for c in conjuncts {
+        // Every conjunct — keyed or residual — must classify cleanly
+        // (a residual with a sub-query or a dangling column keeps the
+        // nested loop's evaluation semantics, so bail).
+        sides_of(c, left, &combined)?;
+        let mut keyed = false;
+        if let Expr::Binary {
+            left: a,
+            op: BinaryOp::Eq,
+            right: b,
+        } = c
+        {
+            let sa = sides_of(a, left, &combined)?;
+            let sb = sides_of(b, left, &combined)?;
+            match (sa, sb) {
+                (SideMask::LEFT, SideMask::RIGHT) => {
+                    keys.push(((**a).clone(), (**b).clone()));
+                    keyed = true;
+                }
+                (SideMask::RIGHT, SideMask::LEFT) => {
+                    keys.push(((**b).clone(), (**a).clone()));
+                    keyed = true;
+                }
+                _ => {}
+            }
+        }
+        if !keyed {
+            residual = Some(match residual {
+                None => c.clone(),
+                Some(r) => Expr::Binary {
+                    left: Box::new(r),
+                    op: BinaryOp::And,
+                    right: Box::new(c.clone()),
+                },
+            });
+        }
+    }
+    if keys.is_empty() {
+        return None;
+    }
+    Some(EquiJoin { keys, residual })
+}
+
+/// Flatten an AND chain into its conjuncts (left-to-right order).
+fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Which join inputs an expression's columns touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SideMask(u8);
+
+impl SideMask {
+    const NONE: SideMask = SideMask(0);
+    const LEFT: SideMask = SideMask(1);
+    const RIGHT: SideMask = SideMask(2);
+
+    fn union(self, other: SideMask) -> SideMask {
+        SideMask(self.0 | other.0)
+    }
+}
+
+/// Classify every column of `expr` against the join inputs. `None` bails
+/// the whole hash-join attempt: a sub-query, or a column the combined
+/// schema cannot resolve unambiguously (resolving uniquely in the
+/// combined schema guarantees the reference also resolves against the
+/// single side that holds it, so side-local key evaluation is sound).
+fn sides_of(expr: &Expr, left: &Schema, combined: &Schema) -> Option<SideMask> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            let idx = combined.resolve(qualifier.as_deref(), name).ok()?;
+            Some(if idx < left.len() {
+                SideMask::LEFT
+            } else {
+                SideMask::RIGHT
+            })
+        }
+        Expr::Literal(_) => Some(SideMask::NONE),
+        Expr::Unary { expr, .. } => sides_of(expr, left, combined),
+        Expr::Binary {
+            left: a, right: b, ..
+        } => Some(sides_of(a, left, combined)?.union(sides_of(b, left, combined)?)),
+        Expr::IsNull { expr, .. } => sides_of(expr, left, combined),
+        Expr::Between {
+            expr, low, high, ..
+        } => Some(
+            sides_of(expr, left, combined)?
+                .union(sides_of(low, left, combined)?)
+                .union(sides_of(high, left, combined)?),
+        ),
+        Expr::InList { expr, list, .. } => {
+            let mut m = sides_of(expr, left, combined)?;
+            for e in list {
+                m = m.union(sides_of(e, left, combined)?);
+            }
+            Some(m)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            Some(sides_of(expr, left, combined)?.union(sides_of(pattern, left, combined)?))
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
+            let mut m = SideMask::NONE;
+            if let Some(o) = operand {
+                m = m.union(sides_of(o, left, combined)?);
+            }
+            for (w, t) in branches {
+                m = m
+                    .union(sides_of(w, left, combined)?)
+                    .union(sides_of(t, left, combined)?);
+            }
+            if let Some(e) = else_result {
+                m = m.union(sides_of(e, left, combined)?);
+            }
+            Some(m)
+        }
+        Expr::Function { args, .. } => {
+            let mut m = SideMask::NONE;
+            for a in args {
+                m = m.union(sides_of(a, left, combined)?);
+            }
+            Some(m)
+        }
+        // Sub-queries may be correlated; wildcards cannot be evaluated
+        // as values. Either way: keep the nested loop.
+        Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::ScalarSubquery(_)
+        | Expr::Wildcard => None,
+    }
+}
+
+// ----------------------------------------------------------- join keys
+
+/// A hash-table key over the evaluated key expressions of one row.
+/// Equality is [`Value::key_eq`] per field, which — after the
+/// normalization in [`JoinKey::new`] — matches SQL `=` exactly; hashing
+/// uses [`Value`]'s `Hash`, consistent with `key_eq` by the type
+/// crate's proptest contract.
+#[derive(Debug, Clone)]
+struct JoinKey(Vec<Value>);
+
+impl JoinKey {
+    /// Build a key, or `None` when the row can never match: a NULL key
+    /// field makes `=` UNKNOWN, a NaN field makes it FALSE (while both
+    /// would compare equal to themselves under the total order).
+    /// `-0.0` is folded to `0.0` so SQL-equal floats share a bucket.
+    fn new(values: Vec<Value>) -> Option<JoinKey> {
+        let mut out = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                Value::Null => return None,
+                Value::Float(f) if f.is_nan() => return None,
+                Value::Float(f) => out.push(Value::Float(if f == 0.0 { 0.0 } else { f })),
+                other => out.push(other),
+            }
+        }
+        Some(JoinKey(out))
+    }
+}
+
+impl PartialEq for JoinKey {
+    fn eq(&self, other: &JoinKey) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.key_eq(b))
+    }
+}
+
+impl Eq for JoinKey {}
+
+impl Hash for JoinKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            v.hash(state);
+        }
+    }
+}
+
+/// The Grace partition a key routes to at `depth`: a fresh salt per
+/// depth, so a re-partitioned pair actually redistributes instead of
+/// collapsing back into one bucket.
+fn partition_of(key: &JoinKey, depth: u32) -> usize {
+    let mut h = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64
+        .wrapping_mul(u64::from(depth) + 1)
+        .hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() as usize) % FANOUT
+}
+
+// ------------------------------------------------------- the operator
+
+/// Everything the Grace helpers need, bundled so the recursive pair
+/// processing does not thread eight parameters.
+struct JoinCfg<'a> {
+    ctx: &'a ExecCtx<'a>,
+    keys: &'a [(Expr, Expr)],
+    residual: Option<&'a Expr>,
+    left_schema: &'a Schema,
+    right_schema: &'a Schema,
+    /// Combined schema, for the residual predicate.
+    schema: &'a Schema,
+    outer: &'a [Frame<'a>],
+    window: usize,
+}
+
+impl JoinCfg<'_> {
+    /// Evaluate one side's key expressions for one row.
+    fn key_of(&self, row: &Tuple, left_side: bool) -> Result<Option<JoinKey>> {
+        let mut vals = Vec::with_capacity(self.keys.len());
+        for (lk, rk) in self.keys {
+            let (e, schema) = if left_side {
+                (lk, self.left_schema)
+            } else {
+                (rk, self.right_schema)
+            };
+            vals.push(eval_row(self.ctx, e, schema, row, self.outer)?);
+        }
+        Ok(JoinKey::new(vals))
+    }
+
+    /// Does the residual predicate accept this combined row?
+    fn residual_ok(&self, joined: &Tuple) -> Result<bool> {
+        match self.residual {
+            None => Ok(true),
+            Some(p) => {
+                let v = eval_row(self.ctx, p, self.schema, joined, self.outer)?;
+                Ok(truth(&v) == Some(true))
+            }
+        }
+    }
+}
+
+/// The hash-join physical operator. All heavy lifting happens in
+/// [`Operator::open`]; `next`/`next_batch` then stream from whichever
+/// state the build phase settled into.
+pub struct HashJoinOp<'a> {
+    ctx: &'a ExecCtx<'a>,
+    left: BoxOperator<'a>,
+    right: BoxOperator<'a>,
+    keys: &'a [(Expr, Expr)],
+    residual: Option<&'a Expr>,
+    build_left: bool,
+    window: Option<usize>,
+    left_schema: &'a Schema,
+    right_schema: &'a Schema,
+    schema: &'a Schema,
+    outer: &'a [Frame<'a>],
+    state: State,
+}
+
+enum State {
+    Closed,
+    /// In-memory, build=right: the left side streams through the probe
+    /// in batched pulls; output order is the nested loop's by
+    /// construction.
+    Probe {
+        right_rows: Vec<Tuple>,
+        table: HashMap<JoinKey, Vec<u32>>,
+        lbuf: Vec<Tuple>,
+        lpos: usize,
+        left_done: bool,
+        cur: Option<Tuple>,
+        matches: Vec<u32>,
+        midx: usize,
+    },
+    /// In-memory, build=left: matches were bucketed per left row and
+    /// concatenated in left order.
+    Buffered {
+        out: Vec<Tuple>,
+        pos: usize,
+    },
+    /// Grace overflow: k-way merge of sorted output runs.
+    Grace(GraceOutput),
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Wire up the operator over already-built child operators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ctx: &'a ExecCtx<'a>,
+        left: BoxOperator<'a>,
+        right: BoxOperator<'a>,
+        keys: &'a [(Expr, Expr)],
+        residual: Option<&'a Expr>,
+        build_left: bool,
+        window: Option<usize>,
+        left_schema: &'a Schema,
+        right_schema: &'a Schema,
+        schema: &'a Schema,
+        outer: &'a [Frame<'a>],
+    ) -> Self {
+        HashJoinOp {
+            ctx,
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+            window,
+            left_schema,
+            right_schema,
+            schema,
+            outer,
+            state: State::Closed,
+        }
+    }
+
+    fn cfg(&self) -> JoinCfg<'a> {
+        JoinCfg {
+            ctx: self.ctx,
+            keys: self.keys,
+            residual: self.residual,
+            left_schema: self.left_schema,
+            right_schema: self.right_schema,
+            schema: self.schema,
+            outer: self.outer,
+            window: self.window.unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Drain the build side until it either ends (in-memory join) or
+    /// overflows the window (Grace), then set up the streaming state.
+    fn build_phase(&mut self) -> Result<State> {
+        let cfg = self.cfg();
+        let build_op: &mut BoxOperator<'a> = if self.build_left {
+            &mut self.left
+        } else {
+            &mut self.right
+        };
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut bytes = 0usize;
+        let mut batch: Vec<Tuple> = Vec::new();
+        let mut overflowed = false;
+        loop {
+            batch.clear();
+            let more = build_op.next_batch(&mut batch, DEFAULT_BATCH)?;
+            for t in batch.drain(..) {
+                bytes += tuple_spill_bytes(&t);
+                rows.push(t);
+            }
+            if let Some(w) = self.window {
+                if bytes > w {
+                    overflowed = true;
+                    break;
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        if overflowed {
+            return self.grace_phase(&cfg, rows);
+        }
+        if self.build_left {
+            self.buffered_phase(&cfg, rows)
+        } else {
+            let table = build_table(&cfg, &rows, false)?;
+            Ok(State::Probe {
+                right_rows: rows,
+                table,
+                lbuf: Vec::new(),
+                lpos: 0,
+                left_done: false,
+                cur: None,
+                matches: Vec::new(),
+                midx: 0,
+            })
+        }
+    }
+
+    /// Build=left in memory: hash the left rows, stream the right side
+    /// into per-left-row buckets, emit the buckets in left order.
+    fn buffered_phase(&mut self, cfg: &JoinCfg<'a>, left_rows: Vec<Tuple>) -> Result<State> {
+        let table = build_table(cfg, &left_rows, true)?;
+        let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); left_rows.len()];
+        let mut batch: Vec<Tuple> = Vec::new();
+        loop {
+            batch.clear();
+            let more = self.right.next_batch(&mut batch, DEFAULT_BATCH)?;
+            for r in batch.drain(..) {
+                let Some(key) = cfg.key_of(&r, false)? else {
+                    continue;
+                };
+                if let Some(idxs) = table.get(&key) {
+                    for &i in idxs {
+                        let joined = left_rows[i as usize].join(&r);
+                        if cfg.residual_ok(&joined)? {
+                            buckets[i as usize].push(joined);
+                        }
+                    }
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        let mut out = Vec::with_capacity(buckets.iter().map(Vec::len).sum());
+        for b in &mut buckets {
+            out.append(b);
+        }
+        Ok(State::Buffered { out, pos: 0 })
+    }
+
+    /// The Grace overflow path: partition both inputs to spill runs,
+    /// process partition pairs (recursing once, then block-NLJ), and
+    /// leave a k-way merge over the sorted output runs.
+    fn grace_phase(&mut self, cfg: &JoinCfg<'a>, collected: Vec<Tuple>) -> Result<State> {
+        let mut mgr = match self.ctx.spill_base() {
+            Some(base) => SpillManager::new_in(base)?,
+            None => SpillManager::new()?,
+        };
+        let mut passes = 1u32;
+
+        // Partition the build side: the rows drained so far, then the
+        // rest of its operator. Sequence numbers count arrival order.
+        let build_left = self.build_left;
+        let (build_op, probe_op): (&mut BoxOperator<'a>, &mut BoxOperator<'a>) = if build_left {
+            (&mut self.left, &mut self.right)
+        } else {
+            (&mut self.right, &mut self.left)
+        };
+        let build_runs = {
+            let mut src = operator_source(collected, build_op.as_mut());
+            partition_pass(cfg, &mut mgr, &mut src, build_left, 0)?
+        };
+        let probe_runs = {
+            let mut src = operator_source(Vec::new(), probe_op.as_mut());
+            partition_pass(cfg, &mut mgr, &mut src, !build_left, 0)?
+        };
+        let (left_runs, right_runs) = if build_left {
+            (build_runs, probe_runs)
+        } else {
+            (probe_runs, build_runs)
+        };
+
+        let mut out_runs: Vec<SpillRun> = Vec::new();
+        for (l, r) in left_runs.into_iter().zip(right_runs) {
+            process_pair(cfg, &mut mgr, l, r, 1, &mut out_runs, &mut passes)?;
+        }
+
+        self.ctx.note_spill(SpillMetrics {
+            runs_written: mgr.runs_written(),
+            bytes_spilled: mgr.bytes_spilled(),
+            passes,
+            spill_dir: Some(mgr.dir().to_path_buf()),
+        });
+        GraceOutput::new(mgr, out_runs).map(State::Grace)
+    }
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        self.state = State::Closed;
+        self.state = self.build_phase()?;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match &mut self.state {
+            State::Closed => Ok(None),
+            State::Buffered { out, pos } => match out.get(*pos) {
+                Some(t) => {
+                    *pos += 1;
+                    Ok(Some(t.clone()))
+                }
+                None => Ok(None),
+            },
+            State::Grace(g) => g.next(),
+            State::Probe {
+                right_rows,
+                table,
+                lbuf,
+                lpos,
+                left_done,
+                cur,
+                matches,
+                midx,
+            } => {
+                loop {
+                    if let Some(l) = cur.as_ref() {
+                        while *midx < matches.len() {
+                            let r = &right_rows[matches[*midx] as usize];
+                            *midx += 1;
+                            let joined = l.join(r);
+                            let keep = match self.residual {
+                                None => true,
+                                Some(p) => {
+                                    let v =
+                                        eval_row(self.ctx, p, self.schema, &joined, self.outer)?;
+                                    truth(&v) == Some(true)
+                                }
+                            };
+                            if keep {
+                                return Ok(Some(joined));
+                            }
+                        }
+                        *cur = None;
+                    }
+                    // Pull the next probe row, refilling the batch
+                    // buffer from the left child as needed.
+                    if *lpos >= lbuf.len() {
+                        if *left_done {
+                            return Ok(None);
+                        }
+                        lbuf.clear();
+                        *lpos = 0;
+                        *left_done = !self.left.next_batch(lbuf, DEFAULT_BATCH)?;
+                        if lbuf.is_empty() {
+                            return Ok(None);
+                        }
+                    }
+                    let l = std::mem::take(&mut lbuf[*lpos]);
+                    *lpos += 1;
+                    matches.clear();
+                    *midx = 0;
+                    let mut vals = Vec::with_capacity(self.keys.len());
+                    let mut key_ok = true;
+                    for (lk, _) in self.keys {
+                        let v = eval_row(self.ctx, lk, self.left_schema, &l, self.outer)?;
+                        vals.push(v);
+                    }
+                    let key = match JoinKey::new(vals) {
+                        Some(k) => k,
+                        None => {
+                            key_ok = false;
+                            JoinKey(Vec::new())
+                        }
+                    };
+                    if key_ok {
+                        if let Some(idxs) = table.get(&key) {
+                            matches.extend_from_slice(idxs);
+                        }
+                    }
+                    *cur = Some(l);
+                }
+            }
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        if let State::Buffered { out: rows, pos } = &mut self.state {
+            return Ok(crate::physical::batch_from(rows, pos, out, max));
+        }
+        for _ in 0..max {
+            match self.next()? {
+                Some(t) => out.push(t),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        if let State::Buffered { out, pos } = &mut self.state {
+            return Ok(Some(crate::physical::slice_from(out, pos, max)));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.state = State::Closed;
+    }
+}
+
+/// Hash one side's rows into `key -> row indices` (insertion order per
+/// key, i.e. that side's arrival order).
+fn build_table(
+    cfg: &JoinCfg<'_>,
+    rows: &[Tuple],
+    left_side: bool,
+) -> Result<HashMap<JoinKey, Vec<u32>>> {
+    let mut table: HashMap<JoinKey, Vec<u32>> = HashMap::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        if let Some(key) = cfg.key_of(row, left_side)? {
+            table.entry(key).or_default().push(i as u32);
+        }
+    }
+    Ok(table)
+}
+
+// --------------------------------------------------- spill plumbing
+
+/// Prefix a tuple with its per-side sequence number.
+fn tag1(seq: i64, row: &Tuple) -> Tuple {
+    let mut vals = Vec::with_capacity(row.len() + 1);
+    vals.push(Value::Int(seq));
+    vals.extend_from_slice(row.values());
+    Tuple::new(vals)
+}
+
+/// Split a spilled input tuple back into `(seq, row)`.
+fn untag1(t: Tuple) -> (i64, Tuple) {
+    let mut vals = t.into_values();
+    let rest = vals.split_off(1);
+    let seq = match vals[0] {
+        Value::Int(s) => s,
+        _ => unreachable!("spilled join tuples are seq-tagged"),
+    };
+    (seq, Tuple::new(rest))
+}
+
+/// Prefix a combined output row with both sequence numbers — the merge
+/// key that restores global nested-loop order.
+fn tag2(lseq: i64, rseq: i64, joined: &Tuple) -> Tuple {
+    let mut vals = Vec::with_capacity(joined.len() + 2);
+    vals.push(Value::Int(lseq));
+    vals.push(Value::Int(rseq));
+    vals.extend_from_slice(joined.values());
+    Tuple::new(vals)
+}
+
+/// Split an output-run tuple into its merge key and payload.
+fn untag2(t: Tuple) -> ((i64, i64), Tuple) {
+    let mut vals = t.into_values();
+    let rest = vals.split_off(2);
+    let (l, r) = match (&vals[0], &vals[1]) {
+        (Value::Int(l), Value::Int(r)) => (*l, *r),
+        _ => unreachable!("output-run tuples are (lseq, rseq)-tagged"),
+    };
+    ((l, r), Tuple::new(rest))
+}
+
+/// A `(seq, row)` source over already-collected rows followed by the
+/// remainder of a child operator, pulled in batches.
+fn operator_source<'s>(
+    collected: Vec<Tuple>,
+    op: &'s mut (dyn Operator + 's),
+) -> impl FnMut() -> Result<Option<(i64, Tuple)>> + 's {
+    let mut buf = collected;
+    let mut pos = 0usize;
+    let mut done = false;
+    let mut seq = -1i64;
+    move || loop {
+        if pos < buf.len() {
+            let t = std::mem::take(&mut buf[pos]);
+            pos += 1;
+            seq += 1;
+            return Ok(Some((seq, t)));
+        }
+        if done {
+            return Ok(None);
+        }
+        buf.clear();
+        pos = 0;
+        done = !op.next_batch(&mut buf, DEFAULT_BATCH)?;
+    }
+}
+
+/// One Grace partitioning pass over one side: route every row (tagged
+/// with its sequence number) to its key's partition run. Rows whose key
+/// contains NULL/NaN can never join and are dropped here. Partitions
+/// that receive no rows get no run (`None`).
+fn partition_pass(
+    cfg: &JoinCfg<'_>,
+    mgr: &mut SpillManager,
+    src: &mut dyn FnMut() -> Result<Option<(i64, Tuple)>>,
+    left_side: bool,
+    depth: u32,
+) -> Result<Vec<Option<SpillRun>>> {
+    let mut writers: Vec<Option<RunWriter>> = (0..FANOUT).map(|_| None).collect();
+    while let Some((seq, row)) = src()? {
+        let Some(key) = cfg.key_of(&row, left_side)? else {
+            continue;
+        };
+        let p = partition_of(&key, depth);
+        if writers[p].is_none() {
+            writers[p] = Some(mgr.begin_run()?);
+        }
+        writers[p]
+            .as_mut()
+            .expect("writer created above")
+            .write_tuple(&tag1(seq, &row))?;
+    }
+    let mut runs = Vec::with_capacity(FANOUT);
+    for w in writers {
+        runs.push(match w {
+            None => None,
+            Some(w) => {
+                let run = w.finish()?;
+                mgr.record_run(&run);
+                Some(run)
+            }
+        });
+    }
+    Ok(runs)
+}
+
+/// Read one side's partition run fully back into `(seq, row)` pairs.
+fn read_run(run: &SpillRun) -> Result<Vec<(i64, Tuple)>> {
+    let mut reader = RunReader::open(run)?;
+    let mut rows = Vec::with_capacity(usize::try_from(run.tuples).unwrap_or(0));
+    while let Some(t) = reader.next_tuple()? {
+        rows.push(untag1(t));
+    }
+    Ok(rows)
+}
+
+/// Join one partition pair. Fits-in-window pairs hash-join in memory;
+/// oversized pairs re-partition once with a fresh salt; still-oversized
+/// pairs (skew) fall back to block nested-loop. Every path appends
+/// output runs sorted by `(left seq, right seq)` and deletes its input
+/// runs when done.
+fn process_pair(
+    cfg: &JoinCfg<'_>,
+    mgr: &mut SpillManager,
+    left: Option<SpillRun>,
+    right: Option<SpillRun>,
+    depth: u32,
+    out_runs: &mut Vec<SpillRun>,
+    passes: &mut u32,
+) -> Result<()> {
+    let (left, right) = match (left, right) {
+        (Some(l), Some(r)) => (l, r),
+        // A one-sided partition produces no inner-join output.
+        (Some(run), None) | (None, Some(run)) => {
+            let _ = run.delete();
+            return Ok(());
+        }
+        (None, None) => return Ok(()),
+    };
+    let right_bytes = usize::try_from(right.bytes).unwrap_or(usize::MAX);
+    if right_bytes <= cfg.window {
+        return pair_in_memory(cfg, mgr, &left, &right, out_runs).map(|()| {
+            let _ = left.delete();
+            let _ = right.delete();
+        });
+    }
+    if depth < MAX_DEPTH {
+        *passes += 1;
+        let left_subs = {
+            let mut reader = RunReader::open(&left)?;
+            let mut src =
+                move || -> Result<Option<(i64, Tuple)>> { Ok(reader.next_tuple()?.map(untag1)) };
+            partition_pass(cfg, mgr, &mut src, true, depth)?
+        };
+        let right_subs = {
+            let mut reader = RunReader::open(&right)?;
+            let mut src =
+                move || -> Result<Option<(i64, Tuple)>> { Ok(reader.next_tuple()?.map(untag1)) };
+            partition_pass(cfg, mgr, &mut src, false, depth)?
+        };
+        let _ = left.delete();
+        let _ = right.delete();
+        for (l, r) in left_subs.into_iter().zip(right_subs) {
+            process_pair(cfg, mgr, l, r, depth + 1, out_runs, passes)?;
+        }
+        return Ok(());
+    }
+    pair_block_nlj(cfg, mgr, &left, &right, out_runs).map(|()| {
+        let _ = left.delete();
+        let _ = right.delete();
+    })
+}
+
+/// Join a fits-in-window pair: hash the right half, stream the left
+/// half in its spilled (= sequence) order. Probing in ascending left
+/// sequence against match lists in ascending right sequence makes the
+/// pair's output run sorted by `(left seq, right seq)` with no sort.
+fn pair_in_memory(
+    cfg: &JoinCfg<'_>,
+    mgr: &mut SpillManager,
+    left: &SpillRun,
+    right: &SpillRun,
+    out_runs: &mut Vec<SpillRun>,
+) -> Result<()> {
+    let right_rows = read_run(right)?;
+    let mut table: HashMap<JoinKey, Vec<u32>> = HashMap::with_capacity(right_rows.len());
+    for (i, (_, row)) in right_rows.iter().enumerate() {
+        if let Some(key) = cfg.key_of(row, false)? {
+            table.entry(key).or_default().push(i as u32);
+        }
+    }
+    let mut reader = RunReader::open(left)?;
+    let mut writer: Option<RunWriter> = None;
+    while let Some(t) = reader.next_tuple()? {
+        let (lseq, lrow) = untag1(t);
+        let Some(key) = cfg.key_of(&lrow, true)? else {
+            continue;
+        };
+        let Some(idxs) = table.get(&key) else {
+            continue;
+        };
+        for &i in idxs {
+            let (rseq, rrow) = &right_rows[i as usize];
+            let joined = lrow.join(rrow);
+            if cfg.residual_ok(&joined)? {
+                if writer.is_none() {
+                    writer = Some(mgr.begin_run()?);
+                }
+                writer
+                    .as_mut()
+                    .expect("writer created above")
+                    .write_tuple(&tag2(lseq, *rseq, &joined))?;
+            }
+        }
+    }
+    if let Some(w) = writer {
+        let run = w.finish()?;
+        mgr.record_run(&run);
+        out_runs.push(run);
+    }
+    Ok(())
+}
+
+/// Skew fallback: hash the right half in window-sized chunks and
+/// re-stream the left half against each chunk. Each chunk's output is
+/// sorted by `(left seq, right seq)` on its own — one output run per
+/// chunk; the global merge interleaves them correctly.
+fn pair_block_nlj(
+    cfg: &JoinCfg<'_>,
+    mgr: &mut SpillManager,
+    left: &SpillRun,
+    right: &SpillRun,
+    out_runs: &mut Vec<SpillRun>,
+) -> Result<()> {
+    let mut right_reader = RunReader::open(right)?;
+    loop {
+        // Next build chunk: at least one tuple, at most a window's worth.
+        let mut chunk: Vec<(i64, Tuple)> = Vec::new();
+        let mut bytes = 0usize;
+        while bytes <= cfg.window {
+            match right_reader.next_tuple()? {
+                Some(t) => {
+                    bytes += tuple_spill_bytes(&t);
+                    chunk.push(untag1(t));
+                }
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut table: HashMap<JoinKey, Vec<u32>> = HashMap::with_capacity(chunk.len());
+        for (i, (_, row)) in chunk.iter().enumerate() {
+            if let Some(key) = cfg.key_of(row, false)? {
+                table.entry(key).or_default().push(i as u32);
+            }
+        }
+        let mut reader = RunReader::open(left)?;
+        let mut writer: Option<RunWriter> = None;
+        while let Some(t) = reader.next_tuple()? {
+            let (lseq, lrow) = untag1(t);
+            let Some(key) = cfg.key_of(&lrow, true)? else {
+                continue;
+            };
+            let Some(idxs) = table.get(&key) else {
+                continue;
+            };
+            for &i in idxs {
+                let (rseq, rrow) = &chunk[i as usize];
+                let joined = lrow.join(rrow);
+                if cfg.residual_ok(&joined)? {
+                    if writer.is_none() {
+                        writer = Some(mgr.begin_run()?);
+                    }
+                    writer
+                        .as_mut()
+                        .expect("writer created above")
+                        .write_tuple(&tag2(lseq, *rseq, &joined))?;
+                }
+            }
+        }
+        if let Some(w) = writer {
+            let run = w.finish()?;
+            mgr.record_run(&run);
+            out_runs.push(run);
+        }
+    }
+}
+
+/// Streaming k-way merge over the sorted output runs, by `(left seq,
+/// right seq)`. Every joined pair lands in exactly one run (its key
+/// routes both rows to one partition pair; within a pair, one chunk),
+/// so a linear min-scan over the — few dozen at most — run heads
+/// restores the exact nested-loop order.
+struct GraceOutput {
+    /// Keeps the spill directory (and the output runs) alive until the
+    /// operator is closed.
+    _mgr: SpillManager,
+    /// One lookahead head per non-exhausted run: merge key, payload,
+    /// reader.
+    heads: Vec<((i64, i64), Tuple, RunReader)>,
+}
+
+impl GraceOutput {
+    fn new(mgr: SpillManager, runs: Vec<SpillRun>) -> Result<GraceOutput> {
+        let mut heads = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let mut reader = RunReader::open(run)?;
+            if let Some(t) = reader.next_tuple()? {
+                let (key, payload) = untag2(t);
+                heads.push((key, payload, reader));
+            }
+        }
+        Ok(GraceOutput { _mgr: mgr, heads })
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let mut best: Option<usize> = None;
+        for (i, (key, _, _)) in self.heads.iter().enumerate() {
+            if best.map_or(true, |b| *key < self.heads[b].0) {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else {
+            return Ok(None);
+        };
+        let out = std::mem::take(&mut self.heads[i].1);
+        match self.heads[i].2.next_tuple()? {
+            Some(t) => {
+                let (key, payload) = untag2(t);
+                self.heads[i].0 = key;
+                self.heads[i].1 = payload;
+            }
+            None => {
+                self.heads.swap_remove(i);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::{Column, DataType};
+
+    fn schema(qual: &str, cols: &[&str]) -> Schema {
+        Schema::new(
+            cols.iter()
+                .map(|c| Column::new(*c, DataType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+        .with_qualifier(qual)
+    }
+
+    fn col(q: &str, n: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.into()),
+            name: n.into(),
+        }
+    }
+
+    fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(a),
+            op: BinaryOp::Eq,
+            right: Box::new(b),
+        }
+    }
+
+    fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(a),
+            op: BinaryOp::And,
+            right: Box::new(b),
+        }
+    }
+
+    #[test]
+    fn extracts_simple_equi_key() {
+        let l = schema("a", &["x", "z"]);
+        let r = schema("b", &["y", "w"]);
+        let on = eq(col("a", "x"), col("b", "y"));
+        let equi = split_equi_join(&on, &l, &r).expect("equi join");
+        assert_eq!(equi.keys.len(), 1);
+        assert!(equi.residual.is_none());
+    }
+
+    #[test]
+    fn reversed_sides_normalize_to_left_right() {
+        let l = schema("a", &["x"]);
+        let r = schema("b", &["y"]);
+        let on = eq(col("b", "y"), col("a", "x"));
+        let equi = split_equi_join(&on, &l, &r).expect("equi join");
+        assert_eq!(equi.keys[0].0, col("a", "x"));
+        assert_eq!(equi.keys[0].1, col("b", "y"));
+    }
+
+    #[test]
+    fn mixed_condition_keeps_non_equi_as_residual() {
+        let l = schema("a", &["x", "z"]);
+        let r = schema("b", &["y", "w"]);
+        let on = and(
+            eq(col("a", "x"), col("b", "y")),
+            Expr::Binary {
+                left: Box::new(col("a", "z")),
+                op: BinaryOp::Gt,
+                right: Box::new(col("b", "w")),
+            },
+        );
+        let equi = split_equi_join(&on, &l, &r).expect("equi join");
+        assert_eq!(equi.keys.len(), 1);
+        assert!(equi.residual.is_some());
+    }
+
+    #[test]
+    fn pure_non_equi_condition_bails() {
+        let l = schema("a", &["x"]);
+        let r = schema("b", &["y"]);
+        let on = Expr::Binary {
+            left: Box::new(col("a", "x")),
+            op: BinaryOp::Gt,
+            right: Box::new(col("b", "y")),
+        };
+        assert!(split_equi_join(&on, &l, &r).is_none());
+    }
+
+    #[test]
+    fn same_side_equality_is_residual_not_key() {
+        // a.x = a.z is a filter, not a join key; alone it cannot carry
+        // a hash join.
+        let l = schema("a", &["x", "z"]);
+        let r = schema("b", &["y"]);
+        let on = eq(col("a", "x"), col("a", "z"));
+        assert!(split_equi_join(&on, &l, &r).is_none());
+    }
+
+    #[test]
+    fn unresolvable_column_bails_entirely() {
+        // outer.k resolves against neither input (a correlated ON): the
+        // nested loop must keep raising its resolution error.
+        let l = schema("a", &["x"]);
+        let r = schema("b", &["y"]);
+        let on = and(
+            eq(col("a", "x"), col("b", "y")),
+            eq(col("outer", "k"), col("a", "x")),
+        );
+        assert!(split_equi_join(&on, &l, &r).is_none());
+    }
+
+    #[test]
+    fn subquery_in_condition_bails_entirely() {
+        let l = schema("a", &["x"]);
+        let r = schema("b", &["y"]);
+        let on = and(
+            eq(col("a", "x"), col("b", "y")),
+            Expr::Exists {
+                query: match prefsql_parser::parse_statement("SELECT 1").unwrap() {
+                    prefsql_parser::ast::Statement::Select(q) => q,
+                    other => panic!("unexpected statement {other:?}"),
+                },
+                negated: false,
+            },
+        );
+        assert!(split_equi_join(&on, &l, &r).is_none());
+    }
+
+    #[test]
+    fn ambiguous_column_bails_entirely() {
+        // Both sides expose x under the same qualifier: the combined
+        // resolution is ambiguous, so the nested loop keeps the error.
+        let l = schema("t", &["x"]);
+        let r = schema("t", &["x"]);
+        let on = eq(
+            Expr::Column {
+                qualifier: None,
+                name: "x".into(),
+            },
+            Expr::Column {
+                qualifier: None,
+                name: "x".into(),
+            },
+        );
+        assert!(split_equi_join(&on, &l, &r).is_none());
+    }
+
+    #[test]
+    fn join_key_normalizes_sql_equality() {
+        // INT and FLOAT of equal value collide.
+        let a = JoinKey::new(vec![Value::Int(1)]).unwrap();
+        let b = JoinKey::new(vec![Value::Float(1.0)]).unwrap();
+        assert_eq!(a, b);
+        // -0.0 and 0.0 are SQL-equal and must share a key.
+        let n = JoinKey::new(vec![Value::Float(-0.0)]).unwrap();
+        let z = JoinKey::new(vec![Value::Int(0)]).unwrap();
+        assert_eq!(n, z);
+        // NULL and NaN keys can never satisfy `=`.
+        assert!(JoinKey::new(vec![Value::Null]).is_none());
+        assert!(JoinKey::new(vec![Value::Float(f64::NAN)]).is_none());
+    }
+
+    #[test]
+    fn depth_salts_redistribute_partitions() {
+        // Keys that collide at one depth must not all collide at the
+        // next (otherwise re-partitioning a skewed pair is a no-op).
+        let keys: Vec<JoinKey> = (0..64)
+            .map(|i| JoinKey::new(vec![Value::Int(i)]).unwrap())
+            .collect();
+        let moved = keys
+            .iter()
+            .filter(|k| partition_of(k, 0) != partition_of(k, 1))
+            .count();
+        assert!(moved > 0, "depth salt must move at least some keys");
+    }
+}

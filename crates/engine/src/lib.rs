@@ -24,6 +24,7 @@ pub mod access;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod join;
 pub mod physical;
 pub mod plan;
 

@@ -133,14 +133,35 @@ pub fn build<'a>(
         } => Box::new(NestedLoopJoinOp {
             ctx,
             left: build(ctx, left, outer),
-            right: build(ctx, right, outer),
+            right,
             on: on.as_ref(),
             schema,
             outer,
-            right_rows: Vec::new(),
+            right_rows: None,
             cur: None,
             ridx: 0,
         }),
+        PlanNode::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+            window,
+            schema,
+        } => Box::new(crate::join::HashJoinOp::new(
+            ctx,
+            build(ctx, left, outer),
+            build(ctx, right, outer),
+            keys,
+            residual.as_ref(),
+            *build_left,
+            *window,
+            left.schema(),
+            right.schema(),
+            schema,
+            outer,
+        )),
         PlanNode::Filter { input, pred } => Box::new(FilterOp {
             ctx,
             child_schema: input.schema(),
@@ -273,7 +294,7 @@ pub fn drain_tuple_at_a_time(op: &mut (dyn Operator + '_)) -> Result<Vec<Tuple>>
 /// Evaluate `expr` for `tuple` under `schema`, with the enclosing
 /// environment appended. The statement context doubles as the
 /// sub-query evaluation bridge.
-fn eval_row(
+pub(crate) fn eval_row(
     ctx: &ExecCtx<'_>,
     expr: &Expr,
     schema: &Schema,
@@ -570,16 +591,35 @@ impl Operator for FilterOp<'_> {
     }
 }
 
-/// Nested-loop join: the right input is materialized once at `open`, the
-/// left input streams.
+/// Materialize one side of a join once per statement. Join inputs come
+/// from `FROM` table references, which are uncorrelated in SQL92, so
+/// the result is cached in the statement's materialization cache — a
+/// plan re-opened inside the same statement (a correlated sub-query
+/// probed per outer row, a cached statement re-driven) reuses it
+/// instead of re-scanning.
+pub(crate) fn materialize_join_side<'a>(
+    ctx: &'a ExecCtx<'a>,
+    node: &'a PlanNode,
+) -> Result<Arc<Relation>> {
+    let key = format!("join-side:{node:?}");
+    if let Some(hit) = ctx.from_cache.borrow().get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let rel = Arc::new(execute(ctx, node, &[])?);
+    ctx.from_cache.borrow_mut().insert(key, Arc::clone(&rel));
+    Ok(rel)
+}
+
+/// Nested-loop join: the right input is materialized once per statement
+/// (see [`materialize_join_side`]), the left input streams.
 struct NestedLoopJoinOp<'a> {
     ctx: &'a ExecCtx<'a>,
     left: BoxOperator<'a>,
-    right: BoxOperator<'a>,
+    right: &'a PlanNode,
     on: Option<&'a Expr>,
     schema: &'a Schema,
     outer: &'a [Frame<'a>],
-    right_rows: Vec<Tuple>,
+    right_rows: Option<Arc<Relation>>,
     cur: Option<Tuple>,
     ridx: usize,
 }
@@ -587,13 +627,14 @@ struct NestedLoopJoinOp<'a> {
 impl Operator for NestedLoopJoinOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.left.open()?;
-        self.right_rows = drain(self.right.as_mut())?;
+        self.right_rows = Some(materialize_join_side(self.ctx, self.right)?);
         self.cur = None;
         self.ridx = 0;
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
+        let right_rows = &self.right_rows.as_ref().expect("open() before next()").rows;
         loop {
             if self.cur.is_none() {
                 self.cur = self.left.next()?;
@@ -603,8 +644,8 @@ impl Operator for NestedLoopJoinOp<'_> {
                 }
             }
             let l = self.cur.as_ref().expect("left row set above");
-            while self.ridx < self.right_rows.len() {
-                let joined = l.join(&self.right_rows[self.ridx]);
+            while self.ridx < right_rows.len() {
+                let joined = l.join(&right_rows[self.ridx]);
                 self.ridx += 1;
                 let keep = match self.on {
                     None => true,
@@ -623,8 +664,7 @@ impl Operator for NestedLoopJoinOp<'_> {
 
     fn close(&mut self) {
         self.left.close();
-        self.right.close();
-        self.right_rows = Vec::new();
+        self.right_rows = None;
     }
 }
 

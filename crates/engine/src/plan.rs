@@ -87,6 +87,28 @@ pub enum PlanNode {
         /// Combined output schema.
         schema: Schema,
     },
+    /// Hash equi-join with a Grace-hash overflow path. Output is
+    /// byte-identical — rows and order — to the nested-loop join it
+    /// replaces (left-major, right-minor); see [`crate::join`].
+    HashJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Equi-key pairs: (left-side expr, right-side expr), each
+        /// resolved against its own input schema.
+        keys: Vec<(Expr, Expr)>,
+        /// Non-equi conjuncts of the ON condition, re-checked against
+        /// the combined row after the probe.
+        residual: Option<Expr>,
+        /// Build the hash table on the left input (else the right).
+        build_left: bool,
+        /// Session window budget baked in at plan time; builds larger
+        /// than this partition to spill runs. `None` never spills.
+        window: Option<usize>,
+        /// Combined output schema.
+        schema: Schema,
+    },
     /// Keep rows whose predicate is exactly TRUE.
     Filter {
         /// Input node.
@@ -190,6 +212,7 @@ impl PlanNode {
             | PlanNode::IndexScan { schema, .. }
             | PlanNode::Materialize { schema, .. }
             | PlanNode::NestedLoopJoin { schema, .. }
+            | PlanNode::HashJoin { schema, .. }
             | PlanNode::Project { schema, .. }
             | PlanNode::Aggregate { schema, .. } => schema,
             PlanNode::Filter { input, .. }
@@ -210,6 +233,30 @@ impl PlanNode {
             | PlanNode::Limit { input, .. }
             | PlanNode::Aggregate { input, .. } => Some(input),
             _ => None,
+        }
+    }
+
+    /// Plan-time cardinality estimate from catalog row counts (an upper
+    /// bound for filtering nodes). Drives hash-join build-side
+    /// selection; `None` when no estimate is available.
+    pub fn estimate_rows(&self) -> Option<usize> {
+        match self {
+            PlanNode::Nothing { .. } => Some(1),
+            PlanNode::SeqScan { rows, .. } => Some(*rows),
+            PlanNode::IndexScan { row_ids, .. } => Some(row_ids.len()),
+            PlanNode::Materialize { input, .. }
+            | PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Distinct { input } => input.estimate_rows(),
+            PlanNode::Limit { input, n, .. } => {
+                Some(input.estimate_rows()?.min(usize::try_from(*n).ok()?))
+            }
+            PlanNode::NestedLoopJoin { left, right, .. }
+            | PlanNode::HashJoin { left, right, .. } => {
+                Some(left.estimate_rows()?.saturating_mul(right.estimate_rows()?))
+            }
+            PlanNode::Aggregate { .. } => None,
         }
     }
 }
@@ -399,6 +446,32 @@ fn plan_table_ref(
             let l = plan_table_ref(ctx, left, query, false)?;
             let r = plan_table_ref(ctx, right, query, false)?;
             let schema = l.schema().join(r.schema());
+            // Equi-join conjuncts in the ON condition select the hash
+            // fast path; anything the splitter cannot fully classify
+            // (non-equi only, subqueries, unresolvable columns) keeps
+            // the nested loop so evaluation semantics are unchanged.
+            if ctx.use_hash_join() {
+                if let Some(cond) = on {
+                    if let Some(equi) = crate::join::split_equi_join(cond, l.schema(), r.schema()) {
+                        // Build on the estimated-smaller side; ties and
+                        // unknowns keep the right (the side the nested
+                        // loop would materialize anyway).
+                        let build_left = match (l.estimate_rows(), r.estimate_rows()) {
+                            (Some(le), Some(re)) => le < re,
+                            _ => false,
+                        };
+                        return Ok(PlanNode::HashJoin {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                            keys: equi.keys,
+                            residual: equi.residual,
+                            build_left,
+                            window: ctx.window_bytes(),
+                            schema,
+                        });
+                    }
+                }
+            }
             Ok(PlanNode::NestedLoopJoin {
                 left: Box::new(l),
                 right: Box::new(r),

@@ -44,22 +44,11 @@
 use crate::compose::Preference;
 use prefsql_storage::spill::{tuple_spill_bytes, RunReader, RunWriter, SpillManager};
 use prefsql_types::{Error, Result, Tuple, Value};
-use std::path::PathBuf;
 
-/// Observability counters for one external-memory evaluation.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct SpillMetrics {
-    /// Overflow runs written (0 = the window never overflowed).
-    pub runs_written: u64,
-    /// Serialized bytes written across all runs.
-    pub bytes_spilled: u64,
-    /// Passes over candidate data, counting the initial streaming pass;
-    /// `0` means the evaluation never left memory.
-    pub passes: u32,
-    /// The (now removed) spill directory, when any run was written —
-    /// callers assert cleanup against it.
-    pub spill_dir: Option<PathBuf>,
-}
+// The metrics type moved next to the spill substrate it describes (the
+// Grace hash join in the engine reports it too); re-exported here so
+// `prefsql_pref::SpillMetrics` keeps working.
+pub use prefsql_storage::spill::SpillMetrics;
 
 /// One window slot of the external BNL.
 struct WinEntry {

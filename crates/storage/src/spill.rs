@@ -263,6 +263,38 @@ impl RunReader {
     }
 }
 
+/// Observability counters for one external-memory evaluation — spilling
+/// operators (the external skyline, the Grace hash join) report these
+/// through the result surface so callers can see how a query behaved
+/// under its window budget.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpillMetrics {
+    /// Overflow runs written (0 = the window never overflowed).
+    pub runs_written: u64,
+    /// Serialized bytes written across all runs.
+    pub bytes_spilled: u64,
+    /// Passes over candidate data, counting the initial streaming pass;
+    /// `0` means the evaluation never left memory.
+    pub passes: u32,
+    /// The (now removed) spill directory, when any run was written —
+    /// callers assert cleanup against it.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl SpillMetrics {
+    /// Fold another operator's counters into this one (a statement may
+    /// spill in several operators — e.g. a Grace hash join feeding an
+    /// external skyline; the first recorded spill dir is kept).
+    pub fn absorb(&mut self, other: &SpillMetrics) {
+        self.runs_written += other.runs_written;
+        self.bytes_spilled += other.bytes_spilled;
+        self.passes += other.passes;
+        if self.spill_dir.is_none() {
+            self.spill_dir = other.spill_dir.clone();
+        }
+    }
+}
+
 static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Owns one query's overflow runs: a private temp directory, run naming,

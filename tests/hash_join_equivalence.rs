@@ -1,0 +1,390 @@
+//! Differential evidence for the Grace hash join.
+//!
+//! The hash join's contract is *byte-identical rows and order* with the
+//! nested-loop join it replaces: left-major, right-minor, exactly the
+//! sequence the NLJ emits. Every test here renders both results with
+//! `ResultSet::to_string()` and diffs the bytes, so column order, row
+//! order, and value formatting are all part of the assertion:
+//!
+//! 1. A fixed fact ⋈ dim sweep (pure equi, multi-key, mixed
+//!    equi + residual) across batch sizes 1/7/1024 and window budgets
+//!    off / 64 KiB / 4 KiB — the 4 KiB runs overflow into the Grace
+//!    partitioned path.
+//! 2. Fallback regressions: non-equi and subquery ON conditions must
+//!    plan as nested-loop (never panic, never drop a conjunct), and
+//!    EXPLAIN must say so.
+//! 3. A Grace acceptance run: a build side far over a 64 KiB window
+//!    returns bytes identical to the unbounded run, reports
+//!    `runs_written >= 2` through `ResultSet::spill_metrics()`, and
+//!    leaves no spill directory behind.
+//! 4. A property test over random equi-join schemas: random key
+//!    arities, domains small enough to force duplicate- and NULL-key
+//!    collisions, hash (bounded and unbounded) vs nested-loop.
+//! 5. The nested-loop rematerialization fix: a correlated EXISTS that
+//!    re-opens a cross join must not re-scan the join's sides once per
+//!    outer row.
+
+use prefsql::engine::physical::{build, drain_batched};
+use prefsql::parser::ast::Statement;
+use prefsql::parser::parse_statement;
+use prefsql::storage::Table;
+use prefsql::types::{Column, DataType, Schema, Tuple, Value};
+use prefsql::PrefSqlConnection;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ fixtures
+
+/// A tiny deterministic generator so fixtures need no `rand`.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// `fact(id, k, g, v)` — `k` is the join key over a small domain (to
+/// force duplicate matches) with NULLs mixed in; `g` is a second key
+/// column; `v` feeds residual predicates.
+fn fact_table(rows: usize, key_domain: u64, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("k", DataType::Int),
+        Column::new("g", DataType::Int),
+        Column::new("v", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("fact", schema);
+    let mut s = seed;
+    for i in 0..rows {
+        let k = match lcg(&mut s) % 10 {
+            0 => Value::Null,
+            _ => Value::Int((lcg(&mut s) % key_domain) as i64),
+        };
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            k,
+            Value::Int((lcg(&mut s) % 4) as i64),
+            Value::Int((lcg(&mut s) % 100) as i64),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+/// `dim(k, g, w, name)` — keys over the same domain as `fact.k`, again
+/// with NULLs (which must never match anything).
+fn dim_table(rows: usize, key_domain: u64, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("g", DataType::Int),
+        Column::new("w", DataType::Int),
+        Column::new("name", DataType::Str),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("dim", schema);
+    let mut s = seed;
+    for i in 0..rows {
+        let k = match lcg(&mut s) % 12 {
+            0 => Value::Null,
+            _ => Value::Int((lcg(&mut s) % key_domain) as i64),
+        };
+        t.insert(Tuple::new(vec![
+            k,
+            Value::Int((lcg(&mut s) % 4) as i64),
+            Value::Int((lcg(&mut s) % 100) as i64),
+            Value::Str(format!("d{i}")),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+fn explain(conn: &mut PrefSqlConnection, sql: &str) -> String {
+    match conn.execute(sql).expect("explain executes") {
+        prefsql::QueryResult::Explain(text) => text,
+        other => panic!("EXPLAIN produced {other:?}"),
+    }
+}
+
+fn conn_with(tables: Vec<Table>) -> PrefSqlConnection {
+    let mut conn = PrefSqlConnection::new();
+    for t in tables {
+        conn.engine_mut()
+            .catalog_mut()
+            .create_table(t)
+            .expect("fresh catalog");
+    }
+    conn
+}
+
+/// The three join shapes under test: pure equi, multi-key equi, and an
+/// equi key with a non-equi residual that must survive the split.
+const JOIN_QUERIES: [&str; 3] = [
+    "SELECT f.id, f.v, d.name FROM fact f JOIN dim d ON f.k = d.k",
+    "SELECT f.id, d.name FROM fact f JOIN dim d ON f.k = d.k AND f.g = d.g",
+    "SELECT f.id, f.v, d.w, d.name FROM fact f JOIN dim d ON f.k = d.k AND f.v > d.w",
+];
+
+// ------------------------------------------------- the documented contract
+
+/// Hash join ≡ nested-loop join, bytes and order, across window budgets
+/// (off, generous, tight enough that every run takes the Grace path)
+/// and all three join shapes. The baseline is the nested-loop join with
+/// the window off — the executor every prior release shipped.
+#[test]
+fn hash_join_matches_nested_loop_bytes_and_order() {
+    let fact = fact_table(600, 23, 7);
+    let dim = dim_table(80, 23, 11);
+
+    let mut nlj = conn_with(vec![fact.clone(), dim.clone()]);
+    nlj.engine_mut().set_use_hash_join(false);
+
+    for sql in JOIN_QUERIES {
+        let expected = nlj.query(sql).expect("nested-loop run").to_string();
+        for window in [None, Some(64 * 1024), Some(4096)] {
+            let mut hash = conn_with(vec![fact.clone(), dim.clone()]);
+            hash.set_window_bytes(window);
+            let got = hash.query(sql).expect("hash run").to_string();
+            assert_eq!(
+                got, expected,
+                "hash join diverged from nested-loop: window={window:?} sql={sql}"
+            );
+        }
+    }
+}
+
+/// The same contract at the operator level, driven at batch sizes the
+/// session never uses: 1 (tuple-at-a-time), 7 (odd, never aligned with
+/// internal buffers), and 1024 (the default).
+#[test]
+fn hash_join_matches_nested_loop_across_batch_sizes() {
+    let fact = fact_table(400, 17, 3);
+    let dim = dim_table(60, 17, 5);
+
+    let drained = |conn: &PrefSqlConnection, sql: &str, batch: usize| -> Vec<Tuple> {
+        let stmt = parse_statement(sql).expect("parseable");
+        let Statement::Select(q) = stmt else {
+            panic!("test query is a SELECT");
+        };
+        conn.engine()
+            .with_read_ctx(|ctx| {
+                let plan = ctx.plan_for(&q)?;
+                let mut op = build(ctx, plan.root(), &[]);
+                op.open()?;
+                let rows = drain_batched(op.as_mut(), batch)?;
+                op.close();
+                Ok(rows)
+            })
+            .expect("operator drive")
+    };
+
+    let mut nlj = conn_with(vec![fact.clone(), dim.clone()]);
+    nlj.engine_mut().set_use_hash_join(false);
+    for sql in JOIN_QUERIES {
+        let expected = drained(&nlj, sql, 1024);
+        for window in [None, Some(4096)] {
+            let mut hash = conn_with(vec![fact.clone(), dim.clone()]);
+            hash.set_window_bytes(window);
+            for batch in [1usize, 7, 1024] {
+                let got = drained(&hash, sql, batch);
+                assert_eq!(
+                    got, expected,
+                    "operator drive diverged: window={window:?} batch={batch} sql={sql}"
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- fallbacks
+
+/// Mixed conditions keep the non-equi conjunct as a residual on the
+/// hash join — EXPLAIN must show both the key and the residual, and the
+/// residual must actually filter (the equi-only result is strictly
+/// larger).
+#[test]
+fn mixed_condition_keeps_residual_and_filters() {
+    let mut conn = conn_with(vec![fact_table(200, 11, 1), dim_table(40, 11, 2)]);
+
+    let plan = explain(
+        &mut conn,
+        "EXPLAIN SELECT f.id FROM fact f JOIN dim d ON f.k = d.k AND f.v > d.w",
+    );
+    assert!(plan.contains("join=hash"), "not a hash join:\n{plan}");
+    assert!(plan.contains("residual="), "residual dropped:\n{plan}");
+
+    let with_residual = conn
+        .query("SELECT COUNT(*) FROM fact f JOIN dim d ON f.k = d.k AND f.v > d.w")
+        .expect("mixed join")
+        .to_string();
+    let equi_only = conn
+        .query("SELECT COUNT(*) FROM fact f JOIN dim d ON f.k = d.k")
+        .expect("equi join")
+        .to_string();
+    assert_ne!(
+        with_residual, equi_only,
+        "residual predicate filtered nothing — the conjunct was dropped"
+    );
+}
+
+/// Conditions the hash join cannot handle fall back to the nested-loop
+/// join cleanly: pure non-equi, and ON conditions containing a
+/// subquery. Both must execute (no panic) and EXPLAIN as nested-loop.
+#[test]
+fn non_equi_and_subquery_conditions_fall_back_to_nested_loop() {
+    let mut conn = conn_with(vec![fact_table(50, 7, 9), dim_table(20, 7, 4)]);
+
+    for sql in [
+        "SELECT f.id FROM fact f JOIN dim d ON f.v > d.w",
+        "SELECT f.id FROM fact f JOIN dim d \
+         ON f.k = d.k AND EXISTS (SELECT 1 FROM dim x WHERE x.w = f.v)",
+    ] {
+        let plan = explain(&mut conn, &format!("EXPLAIN {sql}"));
+        assert!(
+            plan.contains("Nested-loop join"),
+            "expected nested-loop fallback for {sql}:\n{plan}"
+        );
+        assert!(!plan.contains("join=hash"), "unexpected hash join:\n{plan}");
+        conn.query(sql).expect("fallback executes");
+    }
+}
+
+// ------------------------------------------------------ Grace acceptance
+
+/// A build side far over a 64 KiB window forces the Grace partitioned
+/// path: the result must be byte-identical to the unbounded run, the
+/// metrics must prove real partitioning (≥ 2 overflow runs), and the
+/// spill directory must be gone once the result is materialized.
+#[test]
+fn grace_overflow_is_byte_identical_and_reports_runs() {
+    let fact = fact_table(8_000, 997, 21);
+    let dim = dim_table(4_000, 997, 22);
+    let sql = "SELECT f.id, d.name FROM fact f JOIN dim d ON f.k = d.k";
+
+    let mut unbounded = conn_with(vec![fact.clone(), dim.clone()]);
+    // Explicit: a PREFSQL_WINDOW ceiling in the environment (as the CI
+    // rerun sets) must not turn the baseline into a spilling run.
+    unbounded.set_window_bytes(None);
+    let expected = unbounded.query(sql).expect("unbounded run");
+    assert!(
+        expected.spill_metrics().is_none(),
+        "unbounded run must not spill"
+    );
+
+    let mut bounded = conn_with(vec![fact, dim]);
+    bounded.set_window_bytes(Some(64 * 1024));
+    let rs = bounded.query(sql).expect("bounded run");
+    assert_eq!(
+        rs.to_string(),
+        expected.to_string(),
+        "window budget changed the join result"
+    );
+
+    let m = rs.spill_metrics().expect("bounded run reports metrics");
+    assert!(m.runs_written >= 2, "{m:?}");
+    assert!(m.bytes_spilled > 64 * 1024, "{m:?}");
+    assert!(m.passes >= 1, "{m:?}");
+    let dir = m.spill_dir.as_deref().expect("metrics name the spill dir");
+    assert!(!dir.exists(), "spill dir survived the query: {dir:?}");
+}
+
+// ----------------------------------------------- NLJ rematerialization
+
+/// The nested-loop join materializes each side once per statement, not
+/// once per `open`: a correlated EXISTS over a cross join re-opens the
+/// join for every outer row, and before the fix re-scanned the inner
+/// tables every time. The scan counters pin the fix.
+#[test]
+fn nested_loop_sides_materialize_once_per_statement() {
+    let mut conn = conn_with(vec![fact_table(30, 5, 13), dim_table(50, 5, 14)]);
+    let _ = conn.engine().take_stats();
+    conn.query(
+        "SELECT f1.id FROM fact f1 \
+         WHERE EXISTS (SELECT 1 FROM fact f2, dim d WHERE f2.v = f1.v)",
+    )
+    .expect("correlated exists over cross join");
+    let stats = conn.engine().take_stats();
+    // One outer scan (30), the streaming left scan re-opened per probe
+    // (30 × 30 — scans lend the table slice, re-opening is free), and
+    // exactly ONE materialization of the 50-row right side. The old
+    // per-open behaviour re-materialized the right side on every probe,
+    // pushing the count past 30 + 900 + 30 × 50 = 2430.
+    assert!(
+        stats.rows_scanned <= 30 + 30 * 30 + 50,
+        "right join side was re-materialized per outer row: {stats:?}"
+    );
+}
+
+// ------------------------------------------------------------ proptest
+
+/// A random table over one or two join-key columns plus an id, with
+/// keys drawn from a domain small enough to force heavy duplication and
+/// NULLs mixed in.
+fn arb_side(max_rows: usize) -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>, i64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![(0i64..6).prop_map(Some), Just(None)],
+            prop_oneof![(0i64..4).prop_map(Some), Just(None)],
+            0i64..100,
+        ),
+        0..max_rows,
+    )
+}
+
+fn side_table(name: &str, rows: &[(Option<i64>, Option<i64>, i64)]) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("k1", DataType::Int),
+        Column::new("k2", DataType::Int),
+        Column::new("p", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = Table::new(name, schema);
+    for (i, (k1, k2, p)) in rows.iter().enumerate() {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            k1.map(Value::Int).unwrap_or(Value::Null),
+            k2.map(Value::Int).unwrap_or(Value::Null),
+            Value::Int(*p),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random equi-join schemas: one or two key columns, optional
+    /// residual, random (duplicate- and NULL-heavy) contents on both
+    /// sides. Hash — unbounded and under a window small enough to
+    /// spill — must render byte-identically to nested-loop.
+    #[test]
+    fn random_equi_joins_match_nested_loop(
+        left in arb_side(30),
+        right in arb_side(30),
+        two_keys in any::<bool>(),
+        residual in any::<bool>(),
+    ) {
+        let mut on = String::from("l.k1 = r.k1");
+        if two_keys {
+            on.push_str(" AND l.k2 = r.k2");
+        }
+        if residual {
+            on.push_str(" AND l.p > r.p");
+        }
+        let sql = format!("SELECT l.id, r.id, l.p, r.p FROM lhs l JOIN rhs r ON {on}");
+        let tables = || vec![side_table("lhs", &left), side_table("rhs", &right)];
+
+        let mut nlj = conn_with(tables());
+        nlj.engine_mut().set_use_hash_join(false);
+        let expected = nlj.query(&sql).expect("nested-loop run").to_string();
+
+        for window in [None, Some(4096)] {
+            let mut hash = conn_with(tables());
+            hash.set_window_bytes(window);
+            let got = hash.query(&sql).expect("hash run").to_string();
+            prop_assert_eq!(&got, &expected, "window={:?} sql={}", window, sql);
+        }
+    }
+}
