@@ -1,0 +1,130 @@
+//! **Materialized preference view maintenance** — the incremental
+//! serving cache against the full recomputation it replaces.
+//!
+//! Two groups:
+//!
+//! * `view_maintenance` — amortized cost of one single-row `UPDATE`
+//!   flowing through incremental view maintenance vs a full
+//!   `REFRESH MATERIALIZED VIEW` recompute, at 8 k and 64 k base rows.
+//!   The acceptance yardstick: incremental maintenance must beat the
+//!   recompute by ≥ 10× at 64 k.
+//! * `view_serving` — latency of the matching native BMO query served
+//!   from the cached winner set vs the same query run cold (no view
+//!   registered), at both sizes.
+//!
+//! Numbers land in the README's materialized-view section; like every
+//! bench here they come off a single-core container, so they show the
+//! cost *structure* (cache-hit vs recompute asymptotics), not absolute
+//! wall-clock on real hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefsql::storage::Table;
+use prefsql::types::{Column, DataType, Schema, Tuple, Value};
+use prefsql::{ExecutionMode, PrefSqlConnection};
+
+const SIZES: [usize; 2] = [8_000, 64_000];
+const QUERY: &str = "SELECT id FROM r PREFERRING LOWEST(a) AND LOWEST(b)";
+const VIEW_DDL: &str =
+    "CREATE MATERIALIZED PREFERENCE VIEW v AS SELECT id FROM r PREFERRING LOWEST(a) AND LOWEST(b)";
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// `r(id, a, b)` — `rows` tuples with independent uniform dimensions,
+/// so the Pareto skyline stays small relative to the table.
+fn base_table(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("a", DataType::Int),
+        Column::new("b", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("r", schema);
+    let mut s = seed;
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((lcg(&mut s) % 1_000_000) as i64),
+            Value::Int((lcg(&mut s) % 1_000_000) as i64),
+        ]))
+        .expect("row fits schema");
+    }
+    t
+}
+
+fn connect(rows: usize, with_view: bool) -> PrefSqlConnection {
+    let mut conn = PrefSqlConnection::new();
+    conn.engine_mut()
+        .catalog_mut()
+        .create_table(base_table(rows, 42))
+        .expect("fresh catalog");
+    if with_view {
+        conn.execute(VIEW_DDL).expect("view DDL");
+    }
+    conn
+}
+
+fn bench_maintenance_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maintenance");
+    group.sample_size(10);
+    for n in SIZES {
+        let label = format!("{}k", n / 1000);
+
+        // One random single-row UPDATE per iteration: the base write
+        // plus the view's incremental dominance bookkeeping.
+        let mut inc = connect(n, true);
+        let mut s = 7u64;
+        group.bench_function(BenchmarkId::new("incremental", &label), |b| {
+            b.iter(|| {
+                let id = lcg(&mut s) as usize % n;
+                let (a, b2) = (lcg(&mut s) % 1_000_000, lcg(&mut s) % 1_000_000);
+                inc.execute(&format!("UPDATE r SET a = {a}, b = {b2} WHERE id = {id}"))
+                    .expect("single-row update")
+            })
+        });
+
+        // Full recompute: rebuild the whole winner set from scratch.
+        let mut full = connect(n, true);
+        group.bench_function(BenchmarkId::new("recompute", &label), |b| {
+            b.iter(|| {
+                full.execute("REFRESH MATERIALIZED VIEW v")
+                    .expect("refresh")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_serving");
+    group.sample_size(10);
+    for n in SIZES {
+        let label = format!("{}k", n / 1000);
+
+        let mut cached = connect(n, true);
+        cached.set_mode(ExecutionMode::native());
+        cached.set_threads(1);
+        group.bench_function(BenchmarkId::new("cached", &label), |b| {
+            b.iter(|| cached.query(QUERY).expect("served query").len())
+        });
+
+        let mut cold = connect(n, false);
+        cold.set_mode(ExecutionMode::native());
+        cold.set_threads(1);
+        group.bench_function(BenchmarkId::new("cold", &label), |b| {
+            b.iter(|| cold.query(QUERY).expect("cold BMO").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maintenance_vs_recompute,
+    bench_cached_vs_cold
+);
+criterion_main!(benches);

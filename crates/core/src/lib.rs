@@ -55,7 +55,7 @@ pub mod shell;
 
 pub use connection::{ExecutionMode, PrefSqlConnection, QueryResult};
 pub use native::{NativeOptions, SkylineAlgo, SpillMetrics};
-pub use result::ResultSet;
+pub use result::{ResultSet, ViewActivity};
 pub use session::Session;
 
 /// Re-export: the host SQL engine.

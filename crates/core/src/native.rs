@@ -14,14 +14,14 @@
 //! differential test suite and ablation benchmark A1 depend on that.
 
 use crate::knobs;
-use crate::result::ResultSet;
+use crate::result::{ResultSet, ViewActivity};
 use prefsql_engine::eval::{eval, truth, Frame};
 use prefsql_engine::physical::{
     batch_from, build, drain_batched, drain_tuple_at_a_time, slice_from, BoxOperator, Operator,
     DEFAULT_BATCH,
 };
-use prefsql_engine::{Engine, ExecCtx, Relation};
-use prefsql_parser::ast::{Expr, Query, SelectItem};
+use prefsql_engine::{Engine, ExecCtx, PlanNode, Relation};
+use prefsql_parser::ast::{Expr, Query, SelectItem, Statement, TableRef};
 use prefsql_pref::external::ExternalSkyline;
 use prefsql_pref::{bmo_grouped, maximal_with_threads, should_spill, BasePref};
 use prefsql_rewrite::compile::{compile_preference, CompiledPreference};
@@ -126,6 +126,139 @@ fn prepare(registry: &PreferenceRegistry, query: &Query) -> Result<NativeQuery> 
         aux,
         n_groups: query.grouping.len(),
     })
+}
+
+/// How a native preference query relates to the materialized preference
+/// views registered on its base table.
+enum ViewMatch {
+    /// A fresh view defines exactly this BMO — serve its stored winners.
+    Hit(String),
+    /// A view defines this BMO but is stale (refuses reads until
+    /// `REFRESH MATERIALIZED PREFERENCE VIEW` rebuilds it).
+    Stale(String),
+    /// Views exist on the base table, but none can serve this query.
+    Miss(String),
+    /// No views on the query's base table (or no single base table).
+    None,
+}
+
+/// True iff `expr` mentions a quality function (`TOP`/`LEVEL`/`DISTANCE`)
+/// anywhere. Quality functions need the data-dependent optima, which a
+/// view cache hit does not compute — such queries always recompute.
+fn uses_quality(expr: &Expr) -> bool {
+    if let Expr::Function { name, .. } = expr {
+        if matches!(name.as_str(), "top" | "level" | "distance") {
+            return true;
+        }
+    }
+    expr.children().into_iter().any(uses_quality)
+}
+
+/// True iff the plan reads through a B-tree index probe anywhere. Index
+/// probes surface candidates in *key* order, while a view's entries are
+/// in *row-id* order — serving from the view under an index plan could
+/// reorder the winners relative to a cold recompute, so such plans never
+/// hit the cache.
+fn plan_uses_index(node: &PlanNode) -> bool {
+    match node {
+        PlanNode::IndexScan { .. } => true,
+        PlanNode::Materialize { input, .. }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Distinct { input, .. }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Aggregate { input, .. } => plan_uses_index(input),
+        PlanNode::NestedLoopJoin { left, right, .. } | PlanNode::HashJoin { left, right, .. } => {
+            plan_uses_index(left) || plan_uses_index(right)
+        }
+        PlanNode::Nothing { .. } | PlanNode::SeqScan { .. } | PlanNode::MatViewScan { .. } => false,
+    }
+}
+
+/// Classify `query` against the registered materialized preference views:
+/// a [`ViewMatch::Hit`] means the stored winner set *is* the BMO result of
+/// this query (same FROM, same WHERE, same resolved preference), so the
+/// native path can skip the dominance pass entirely.
+///
+/// Serving stays byte-identical to recomputation because view entries
+/// mirror base-table row ids in order — the same order a sequential scan
+/// feeds the skyline — and the caller reruns its own ORDER BY /
+/// projection / DISTINCT / LIMIT tail over the served winners.
+fn classify_view(
+    ctx: &ExecCtx<'_>,
+    registry: &PreferenceRegistry,
+    query: &Query,
+    plan_root: &PlanNode,
+) -> ViewMatch {
+    let [TableRef::Named { name: base, .. }] = query.from.as_slice() else {
+        return ViewMatch::None;
+    };
+    let cat = ctx.catalog();
+    let candidates = cat.matviews_on(base);
+    let Some(first) = candidates.first().cloned() else {
+        return ViewMatch::None;
+    };
+    let Some(resolved) = query
+        .preferring
+        .as_ref()
+        .and_then(|p| registry.resolve(p).ok())
+    else {
+        return ViewMatch::Miss(first);
+    };
+    for name in &candidates {
+        let Some(def) = cat.matview(name) else {
+            continue;
+        };
+        // The stored SQL is the canonical defining query (preferences
+        // already resolved at CREATE time).
+        let Ok(Statement::Select(vq)) = prefsql_parser::parse_statement(&def.sql) else {
+            continue;
+        };
+        let defines = vq.from == query.from
+            && vq.where_clause == query.where_clause
+            && vq.preferring.as_ref() == Some(&resolved);
+        if !defines {
+            continue;
+        }
+        if def.stale {
+            return ViewMatch::Stale(name.clone());
+        }
+        let serveable = query.grouping.is_empty()
+            && query.but_only.is_none()
+            && !query.select.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => uses_quality(expr),
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => false,
+            })
+            && !query.order_by.iter().any(|o| uses_quality(&o.expr))
+            && !plan_uses_index(plan_root);
+        if serveable {
+            return ViewMatch::Hit(name.clone());
+        }
+        return ViewMatch::Miss(name.clone());
+    }
+    ViewMatch::Miss(first)
+}
+
+/// The stored winner set of a view, re-extended with its slot columns so
+/// the served tuples are shaped exactly like [`PreferenceOp`] output
+/// (base row followed by `prefsql_s*` slots) and the post-processing
+/// tail of [`run_native_ctx`] applies unchanged.
+fn served_winners(ctx: &ExecCtx<'_>, view: &str) -> Result<Vec<Tuple>> {
+    let cat = ctx.catalog();
+    let def = cat
+        .matview(view)
+        .ok_or_else(|| Error::Catalog(format!("unknown materialized preference view '{view}'")))?;
+    Ok(def
+        .entries
+        .iter()
+        .filter(|e| e.winner)
+        .map(|e| {
+            let mut values = e.output.values().to_vec();
+            values.extend(e.slots.iter().cloned());
+            Tuple::new(values)
+        })
+        .collect())
 }
 
 /// The Best-Matches-Only physical operator: a pipeline breaker that
@@ -556,29 +689,50 @@ pub fn run_native_ctx(
     let schema = plan.root().schema().clone();
     let n_orig = schema.len() - native.compiled.preference.arity() - native.n_groups;
 
-    let mut op = PreferenceOp::new(
-        build(ctx, plan.root(), &[]),
-        ctx,
-        &schema,
-        &native.compiled,
-        query.but_only.as_ref(),
-        opts,
-        native.n_groups,
-    )
-    .with_spill_base(spill_base);
-    op.open()?;
-    let mut winners: Vec<Tuple> = op.take_winners();
-    let best_scores = op.best_scores().to_vec();
-    let mut spill = op.spill_metrics().cloned();
-    op.close();
-    // A hash join feeding the preference input may itself have spilled
-    // under the window budget; fold its runs into this query's account.
-    if let Some(join) = ctx.take_spill() {
-        match &mut spill {
-            Some(s) => s.absorb(&join),
-            None => spill = Some(join),
-        }
-    }
+    // A registered materialized preference view that defines exactly this
+    // BMO serves its stored winner set — the dominance pass is skipped
+    // and the tail below post-processes the cached rows instead.
+    let served = match classify_view(ctx, registry, query, plan.root()) {
+        ViewMatch::Hit(name) => Some(name),
+        _ => None,
+    };
+    let (mut winners, best_scores, spill): (Vec<Tuple>, Vec<Option<f64>>, Option<SpillMetrics>) =
+        if let Some(view) = &served {
+            // Quality functions are excluded from hits (`classify_view`),
+            // so the data-dependent optima are never consulted.
+            let winners = served_winners(ctx, view)?;
+            (
+                winners,
+                vec![None; native.compiled.preference.arity()],
+                None,
+            )
+        } else {
+            let mut op = PreferenceOp::new(
+                build(ctx, plan.root(), &[]),
+                ctx,
+                &schema,
+                &native.compiled,
+                query.but_only.as_ref(),
+                opts,
+                native.n_groups,
+            )
+            .with_spill_base(spill_base);
+            op.open()?;
+            let winners: Vec<Tuple> = op.take_winners();
+            let best_scores = op.best_scores().to_vec();
+            let mut spill = op.spill_metrics().cloned();
+            op.close();
+            // A hash join feeding the preference input may itself have
+            // spilled under the window budget; fold its runs into this
+            // query's account.
+            if let Some(join) = ctx.take_spill() {
+                match &mut spill {
+                    Some(s) => s.absorb(&join),
+                    None => spill = Some(join),
+                }
+            }
+            (winners, best_scores, spill)
+        };
 
     let compiled = &native.compiled;
     let arity = compiled.preference.arity();
@@ -642,7 +796,17 @@ pub fn run_native_ctx(
                     },
                     other => other.to_string().to_ascii_lowercase(),
                 });
-                let mut dtype = DataType::Str;
+                // Plain column references take their declared type from
+                // the source schema, so an all-NULL winner set still
+                // reports the same schema as the rewrite path; other
+                // expressions infer from the first typed value.
+                let mut dtype = match expr {
+                    Expr::Column { qualifier, name } => schema
+                        .resolve(qualifier.as_deref(), name)
+                        .map(|i| schema.column(i).data_type)
+                        .unwrap_or(DataType::Str),
+                    _ => DataType::Str,
+                };
                 for (out, row) in cells_per_row.iter_mut().zip(&winners) {
                     let substituted =
                         substitute_quality(expr, compiled, &slot_of(row), &best_scores)?;
@@ -697,7 +861,11 @@ pub fn run_native_ctx(
         schema: out_schema,
         rows,
     })
-    .with_spill(spill))
+    .with_spill(spill)
+    .with_views(served.map(|name| ViewActivity {
+        served_by: Some(name),
+        maintained: 0,
+    })))
 }
 
 /// Render the native execution plan with the default knobs for `algo`:
@@ -776,10 +944,32 @@ pub fn explain_native_ctx(
     } else {
         ""
     };
-    out.push_str(&format!(
-        "  Preference (BMO, {algo_shown}, {arity} base preference(s){but_only})\n"
-    ));
-    prefsql_engine::explain::render(plan.root(), 2, &mut out);
+    // Materialized-preference-view annotation: a hit replaces the whole
+    // dominance pass (and its source plan) with the stored winner set;
+    // stale/miss keep the normal plan but say why the cache didn't serve.
+    match classify_view(ctx, registry, query, plan.root()) {
+        ViewMatch::Hit(name) => {
+            let winners = ctx
+                .catalog()
+                .matview(&name)
+                .map(|d| d.winner_count())
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "  Materialized view scan: {name} ({winners} winners) [view={name} hit]\n"
+            ));
+        }
+        other => {
+            let tag = match &other {
+                ViewMatch::Stale(name) => format!(" [view={name} stale]"),
+                ViewMatch::Miss(name) => format!(" [view={name} miss]"),
+                ViewMatch::Hit(_) | ViewMatch::None => String::new(),
+            };
+            out.push_str(&format!(
+                "  Preference (BMO, {algo_shown}, {arity} base preference(s){but_only}){tag}\n"
+            ));
+            prefsql_engine::explain::render(plan.root(), 2, &mut out);
+        }
+    }
     Ok(out)
 }
 

@@ -5,21 +5,36 @@ use prefsql_pref::SpillMetrics;
 use prefsql_types::{Schema, Tuple, Value};
 use std::fmt;
 
+/// Materialized-preference-view observability of one statement: whether
+/// a SELECT was served from a view's stored winner set, and how many
+/// views a DML statement incrementally maintained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewActivity {
+    /// Name of the materialized preference view that served this query,
+    /// when the native path took the cache hit.
+    pub served_by: Option<String>,
+    /// Number of materialized preference views this statement
+    /// incrementally maintained (DML on their base tables).
+    pub maintained: u64,
+}
+
 /// A query result: schema plus rows, with display helpers for the
 /// examples and the experiment harness. Native preference queries
 /// evaluated under a window budget additionally carry their
-/// [`SpillMetrics`].
+/// [`SpillMetrics`]; statements touching materialized preference views
+/// carry their [`ViewActivity`].
 #[derive(Debug, Clone)]
 pub struct ResultSet {
     schema: Schema,
     rows: Vec<Tuple>,
     spill: Option<SpillMetrics>,
+    views: Option<ViewActivity>,
 }
 
 /// Result equality is *relation* equality (schema and rows). Spill
-/// metrics are execution observability — two runs of the same query at
-/// different window budgets return equal results, which is exactly what
-/// the differential suites assert.
+/// metrics and view activity are execution observability — a view cache
+/// hit and a cold recompute of the same query return equal results,
+/// which is exactly what the differential suites assert.
 impl PartialEq for ResultSet {
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema && self.rows == other.rows
@@ -33,6 +48,7 @@ impl ResultSet {
             schema: rel.schema,
             rows: rel.rows,
             spill: None,
+            views: None,
         }
     }
 
@@ -42,12 +58,25 @@ impl ResultSet {
         self
     }
 
+    /// Attach materialized-view observability.
+    pub(crate) fn with_views(mut self, views: Option<ViewActivity>) -> Self {
+        self.views = views;
+        self
+    }
+
     /// Spill metrics of the evaluation that produced this result:
     /// `Some` whenever a window budget governed a native preference
     /// query (`passes == 0` means the candidates fit in the window and
     /// the selection stayed in memory), `None` otherwise.
     pub fn spill_metrics(&self) -> Option<&SpillMetrics> {
         self.spill.as_ref()
+    }
+
+    /// Materialized-view observability of the statement that produced
+    /// this result: `Some` when a view served the query or a DML
+    /// statement maintained at least one view, `None` otherwise.
+    pub fn view_activity(&self) -> Option<&ViewActivity> {
+        self.views.as_ref()
     }
 
     /// The result schema.
@@ -122,6 +151,7 @@ impl ResultSet {
             schema,
             rows,
             spill: self.spill,
+            views: self.views,
         }
     }
 }

@@ -134,6 +134,10 @@ pub struct Session {
     /// This session's private spill directory, created on first use and
     /// removed when the session drops.
     spill_dir: Option<PathBuf>,
+    /// Number of materialized preference views the last forwarded
+    /// statement incrementally maintained (front ends print it after
+    /// DML, the way spill metrics follow a windowed query).
+    last_view_maintained: u64,
 }
 
 impl Default for Session {
@@ -159,6 +163,7 @@ impl Session {
             threads: crate::knobs::default_threads(),
             window_bytes: crate::knobs::default_window_bytes(),
             spill_dir: None,
+            last_view_maintained: 0,
         };
         session.sync_engine_window();
         session
@@ -306,8 +311,29 @@ impl Session {
         }
     }
 
+    /// Number of materialized preference views the last forwarded
+    /// statement incrementally maintained (0 for reads and for DML on
+    /// tables without views).
+    pub fn last_view_maintained(&self) -> u64 {
+        self.last_view_maintained
+    }
+
     /// Execute a parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Materialized preference view DDL: the engine owns the stored
+        // result but has no preference registry, so named preferences in
+        // the definition resolve through this session's registry first.
+        if let Statement::CreateMaterializedView { name, query } = stmt {
+            let mut q = (**query).clone();
+            if let Some(p) = &q.preferring {
+                q.preferring = Some(self.rewriter.registry().resolve(p)?);
+            }
+            let resolved = Statement::CreateMaterializedView {
+                name: name.clone(),
+                query: Box::new(q),
+            };
+            return self.forward(&resolved, false);
+        }
         // Native mode evaluates preference SELECTs inside this layer and
         // explains them with the native plan it would run.
         if let ExecutionMode::Native(algo) = self.mode {
@@ -408,11 +434,15 @@ impl Session {
     }
 
     fn forward(&mut self, stmt: &Statement, strip_generated: bool) -> Result<QueryResult> {
-        // Discard spill accounting a prior rowless statement (e.g. an
-        // INSERT ... SELECT whose join spilled) may have left behind, so
-        // every result set reports only its own runs.
+        // Discard spill and view-maintenance accounting a prior rowless
+        // statement (e.g. an INSERT ... SELECT whose join spilled) may
+        // have left behind, so every result reports only its own work.
         let _ = self.engine.take_spill_metrics();
-        match self.engine.execute(stmt)? {
+        let _ = self.engine.take_view_maintenance();
+        self.last_view_maintained = 0;
+        let outcome = self.engine.execute(stmt)?;
+        self.last_view_maintained = self.engine.take_view_maintenance();
+        match outcome {
             ExecOutcome::Rows(rel) => {
                 let rs = ResultSet::new(rel);
                 let rs = if strip_generated {
@@ -538,6 +568,23 @@ impl Session {
                 let _ = writeln!(out, "  {v}");
             }
         }
+        let matviews = catalog.matview_names();
+        if !matviews.is_empty() {
+            let _ = writeln!(out, "materialized preference views ({}):", matviews.len());
+            for v in matviews {
+                match catalog.matview(&v) {
+                    Some(d) if d.stale => {
+                        let _ = writeln!(out, "  {v} (stale; REFRESH to rebuild)");
+                    }
+                    Some(d) => {
+                        let _ = writeln!(out, "  {v} ({} rows)", d.winner_count());
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -625,6 +672,76 @@ mod tests {
         // Changing the algorithm while native applies immediately.
         s.set_algo(SkylineAlgo::Bnl);
         assert_eq!(s.mode(), ExecutionMode::Native(SkylineAlgo::Bnl));
+    }
+
+    #[test]
+    fn matview_serves_native_queries_and_tracks_dml() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE cars (id INTEGER, price INTEGER, hp INTEGER)")
+            .unwrap();
+        s.execute("INSERT INTO cars VALUES (1, 10, 90), (2, 20, 120), (3, 15, 120), (4, 30, 200)")
+            .unwrap();
+        // Named preferences resolve through the session registry before
+        // the engine stores the definition.
+        s.execute("CREATE PREFERENCE sporty AS LOWEST(price) AND HIGHEST(hp)")
+            .unwrap();
+        s.execute(
+            "CREATE MATERIALIZED PREFERENCE VIEW best AS \
+             SELECT * FROM cars PREFERRING PREFERENCE sporty",
+        )
+        .unwrap();
+
+        let sql = "SELECT id FROM cars PREFERRING PREFERENCE sporty";
+        s.set_mode(ExecutionMode::native());
+        let hit = s.query(sql).unwrap();
+        assert_eq!(
+            hit.view_activity().and_then(|v| v.served_by.as_deref()),
+            Some("best"),
+            "native query over the view's BMO is served from the cache"
+        );
+        // Byte-identical to the rewrite-path recomputation.
+        s.set_mode(ExecutionMode::Rewrite);
+        let oracle = s.query(sql).unwrap();
+        assert!(oracle.view_activity().is_none(), "rewrite path recomputes");
+        assert_eq!(hit, oracle);
+
+        // EXPLAIN says how the cache relates to the query.
+        s.set_mode(ExecutionMode::native());
+        let plan = match s.execute(&format!("EXPLAIN {sql}")).unwrap() {
+            QueryResult::Explain(p) => p,
+            other => panic!("expected EXPLAIN output, got {other:?}"),
+        };
+        assert!(plan.contains("[view=best hit]"), "{plan}");
+        assert!(plan.contains("Materialized view scan: best"), "{plan}");
+        let plan = match s
+            .execute("EXPLAIN SELECT id FROM cars PREFERRING LOWEST(hp)")
+            .unwrap()
+        {
+            QueryResult::Explain(p) => p,
+            other => panic!("expected EXPLAIN output, got {other:?}"),
+        };
+        assert!(plan.contains("[view=best miss]"), "{plan}");
+
+        // DML reports incremental maintenance, and the next hit serves
+        // the updated winner set.
+        assert_eq!(s.last_view_maintained(), 0);
+        s.execute("INSERT INTO cars VALUES (5, 5, 300)").unwrap();
+        assert_eq!(s.last_view_maintained(), 1);
+        let hit = s.query(sql).unwrap();
+        assert_eq!(hit.column_as_ints(0), vec![5], "(5,300) dominates all");
+        s.execute("DELETE FROM cars WHERE id = 5").unwrap();
+        assert_eq!(s.last_view_maintained(), 1);
+        let hit = s.query(sql).unwrap();
+        s.set_mode(ExecutionMode::Rewrite);
+        assert_eq!(hit, s.query(sql).unwrap(), "delete-of-winner promotes");
+
+        // `\d` lists the view with its current cardinality.
+        let listing = s.command("\\d", "").unwrap();
+        assert!(
+            listing.contains("materialized preference views (1):"),
+            "{listing}"
+        );
+        assert!(listing.contains("best ("), "{listing}");
     }
 
     #[test]

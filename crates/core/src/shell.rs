@@ -116,9 +116,25 @@ impl Shell {
                         m.passes
                     );
                 }
+                // Cache observability: queries served from a materialized
+                // preference view say so instead of recomputing silently.
+                if let Some(v) = rs.view_activity() {
+                    if let Some(name) = &v.served_by {
+                        let _ = writeln!(text, "View: served by {name}");
+                    }
+                }
                 text
             }
-            Ok(QueryResult::Count(n)) => format!("INSERT {n}\n"),
+            Ok(QueryResult::Count(n)) => {
+                let mut text = format!("INSERT {n}\n");
+                // DML that incrementally maintained materialized
+                // preference views reports how many it touched.
+                let maintained = self.session.last_view_maintained();
+                if maintained > 0 {
+                    let _ = writeln!(text, "Maintained: {maintained} materialized view(s)");
+                }
+                text
+            }
             Ok(QueryResult::Message(m)) => format!("{m}\n"),
             Ok(QueryResult::Explain(text)) => text,
             Err(e) => format!("ERROR: {e}\n"),

@@ -465,6 +465,9 @@ pub struct Engine {
     /// Spill metrics harvested from finished statements
     /// ([`Engine::take_spill_metrics`] reads and resets).
     spill: RefCell<Option<SpillMetrics>>,
+    /// Number of materialized-view maintenance applications performed by
+    /// DML statements since the last [`Engine::take_view_maintenance`].
+    view_maintained: std::cell::Cell<u64>,
 }
 
 impl Default for Engine {
@@ -487,6 +490,7 @@ impl Engine {
             window_bytes: None,
             spill_base: None,
             spill: RefCell::new(None),
+            view_maintained: std::cell::Cell::new(0),
         }
     }
 
@@ -567,6 +571,17 @@ impl Engine {
         self.spill.borrow_mut().take()
     }
 
+    /// Read and reset the number of materialized-preference-view
+    /// maintenance applications (one per view kept current by a DML
+    /// statement) since the last call.
+    pub fn take_view_maintenance(&self) -> u64 {
+        self.view_maintained.replace(0)
+    }
+
+    fn note_view_maintenance(&self, n: u64) {
+        self.view_maintained.set(self.view_maintained.get() + n);
+    }
+
     /// Read and reset the session's execution counters.
     pub fn take_stats(&self) -> ExecStats {
         std::mem::take(&mut self.stats.borrow_mut())
@@ -628,7 +643,12 @@ impl Engine {
                 source,
             } => {
                 let mut cat = self.core.catalog_write()?;
-                self.run_insert(&mut cat, table, columns.as_deref(), source)
+                let before = cat.table(table)?.len();
+                let out = self.run_insert(&mut cat, table, columns.as_deref(), source)?;
+                let m =
+                    crate::matview::after_insert(&mut cat, table, before, self.core.use_indexes());
+                self.note_view_maintenance(m);
+                Ok(out)
             }
             Statement::Delete {
                 table,
@@ -637,6 +657,9 @@ impl Engine {
                 let mut cat = self.core.catalog_write()?;
                 let doomed = self.matching_row_ids(&cat, table, where_clause.as_ref())?;
                 let n = cat.table_mut(table)?.delete_rows(&doomed);
+                let m =
+                    crate::matview::after_delete(&mut cat, table, &doomed, self.core.use_indexes());
+                self.note_view_maintenance(m);
                 Ok(ExecOutcome::Count(n))
             }
             Statement::Update {
@@ -645,7 +668,11 @@ impl Engine {
                 where_clause,
             } => {
                 let mut cat = self.core.catalog_write()?;
-                self.run_update(&mut cat, table, assignments, where_clause.as_ref())
+                let ids = self.run_update(&mut cat, table, assignments, where_clause.as_ref())?;
+                let m =
+                    crate::matview::after_update(&mut cat, table, &ids, self.core.use_indexes());
+                self.note_view_maintenance(m);
+                Ok(ExecOutcome::Count(ids.len()))
             }
             Statement::CreateTable { name, columns } => {
                 let cols = columns
@@ -692,8 +719,32 @@ impl Engine {
                 )?;
                 Ok(ExecOutcome::Ddl(format!("created index {name} on {table}")))
             }
+            Statement::CreateMaterializedView { name, query } => {
+                let mut cat = self.core.catalog_write()?;
+                let def = crate::matview::build_def(&cat, name, query, self.core.use_indexes())?;
+                let n = def.winner_count();
+                cat.create_matview(def)?;
+                Ok(ExecOutcome::Ddl(format!(
+                    "created materialized preference view {name} ({n} rows)"
+                )))
+            }
+            Statement::DropMaterializedView(name) => {
+                self.core.catalog_write()?.drop_matview(name)?;
+                Ok(ExecOutcome::Ddl(format!(
+                    "dropped materialized preference view {name}"
+                )))
+            }
+            Statement::RefreshMaterializedView(name) => {
+                let mut cat = self.core.catalog_write()?;
+                let n = crate::matview::refresh(&mut cat, name, self.core.use_indexes())?;
+                Ok(ExecOutcome::Ddl(format!(
+                    "refreshed materialized preference view {name} ({n} rows)"
+                )))
+            }
             Statement::DropTable(name) => {
-                self.core.catalog_write()?.drop_table(name)?;
+                let mut cat = self.core.catalog_write()?;
+                cat.drop_table(name)?;
+                crate::matview::on_drop_table(&mut cat, name);
                 Ok(ExecOutcome::Ddl(format!("dropped table {name}")))
             }
             Statement::DropView(name) => {
@@ -826,13 +877,15 @@ impl Engine {
         Ok(ids)
     }
 
+    /// Apply an UPDATE and return the ids of the replaced rows (the
+    /// caller drives view maintenance off them).
     fn run_update(
         &self,
         cat: &mut Catalog,
         table: &str,
         assignments: &[(String, Expr)],
         predicate: Option<&Expr>,
-    ) -> Result<ExecOutcome> {
+    ) -> Result<Vec<usize>> {
         let ids = self.matching_row_ids(cat, table, predicate)?;
         // Pre-resolve target columns and compute the new tuples before
         // mutating, so a failing assignment leaves the table untouched.
@@ -872,7 +925,7 @@ impl Engine {
         if !ids.is_empty() {
             t.rebuild_indexes();
         }
-        Ok(ExecOutcome::Count(ids.len()))
+        Ok(ids)
     }
 }
 

@@ -56,6 +56,9 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
         } => {
             let _ = writeln!(out, "Seq scan: {}({rows} rows)", shown(table, qualifier));
         }
+        PlanNode::MatViewScan { view, rows, .. } => {
+            let _ = writeln!(out, "Materialized view scan: {view} ({rows} winners)");
+        }
         PlanNode::IndexScan {
             table,
             qualifier,

@@ -25,6 +25,7 @@ pub mod eval;
 pub mod exec;
 pub mod explain;
 pub mod join;
+mod matview;
 pub mod physical;
 pub mod plan;
 

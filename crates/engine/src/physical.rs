@@ -105,6 +105,12 @@ pub fn build<'a>(
             rows: &[],
             pos: 0,
         }),
+        PlanNode::MatViewScan { view, .. } => Box::new(MatViewScanOp {
+            ctx,
+            view,
+            rows: Vec::new(),
+            pos: 0,
+        }),
         PlanNode::IndexScan { table, row_ids, .. } => Box::new(IndexScanOp {
             ctx,
             table,
@@ -384,6 +390,53 @@ impl Operator for SeqScanOp<'_> {
 
     fn close(&mut self) {
         self.rows = &[];
+    }
+}
+
+/// Materialized preference view scan: stream the stored winner rows in
+/// entry order. Winners are cloned at open (the stored entries stay put),
+/// and count as scanned rows — the serving cost of a cache hit.
+struct MatViewScanOp<'a> {
+    ctx: &'a ExecCtx<'a>,
+    view: &'a str,
+    rows: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Operator for MatViewScanOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        let def = self.ctx.catalog().matview(self.view).ok_or_else(|| {
+            Error::Catalog(format!(
+                "unknown materialized preference view '{}'",
+                self.view
+            ))
+        })?;
+        self.rows = def.winners();
+        self.ctx.stats.borrow_mut().rows_scanned += self.rows.len() as u64;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.rows.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        Ok(batch_from(&self.rows, &mut self.pos, out, max))
+    }
+
+    fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
+        Ok(Some(slice_from(&self.rows, &mut self.pos, max)))
+    }
+
+    fn close(&mut self) {
+        self.rows = Vec::new();
     }
 }
 

@@ -49,6 +49,17 @@ pub enum PlanNode {
         /// Output schema (table schema re-qualified).
         schema: Schema,
     },
+    /// Scan of a materialized preference view: streams the stored winner
+    /// rows (base-table tuples, entry order) — the serving cache a
+    /// registered skyline reads instead of recomputing BMO.
+    MatViewScan {
+        /// View name in the catalog.
+        view: String,
+        /// Winner count at plan time (informational, for EXPLAIN).
+        rows: usize,
+        /// Output schema (base-table schema under the view's qualifier).
+        schema: Schema,
+    },
     /// Index probe of a base table: candidate row ids were computed at
     /// plan time; the full predicate is re-checked by the parent
     /// [`PlanNode::Filter`], so the probe never changes results.
@@ -209,6 +220,7 @@ impl PlanNode {
         match self {
             PlanNode::Nothing { schema }
             | PlanNode::SeqScan { schema, .. }
+            | PlanNode::MatViewScan { schema, .. }
             | PlanNode::IndexScan { schema, .. }
             | PlanNode::Materialize { schema, .. }
             | PlanNode::NestedLoopJoin { schema, .. }
@@ -242,7 +254,7 @@ impl PlanNode {
     pub fn estimate_rows(&self) -> Option<usize> {
         match self {
             PlanNode::Nothing { .. } => Some(1),
-            PlanNode::SeqScan { rows, .. } => Some(*rows),
+            PlanNode::SeqScan { rows, .. } | PlanNode::MatViewScan { rows, .. } => Some(*rows),
             PlanNode::IndexScan { row_ids, .. } => Some(row_ids.len()),
             PlanNode::Materialize { input, .. }
             | PlanNode::Filter { input, .. }
@@ -525,6 +537,47 @@ fn plan_named(
             schema,
         });
     }
+    // Materialized preference views serve their stored winner set
+    // directly: a scan of the cached base rows plus the view's own
+    // projection — no BMO recomputation.
+    if let Some(mv) = ctx.catalog().matview(name) {
+        if mv.stale {
+            return Err(Error::Catalog(format!(
+                "materialized preference view '{}' is stale; run \
+                 REFRESH MATERIALIZED PREFERENCE VIEW {}",
+                mv.name, mv.name
+            )));
+        }
+        let parsed = parse_statement(&mv.sql)?;
+        let Statement::Select(body) = parsed else {
+            return Err(Error::Catalog(format!(
+                "materialized view '{}' does not contain a query",
+                mv.name
+            )));
+        };
+        let scan = PlanNode::MatViewScan {
+            view: mv.name.clone(),
+            rows: mv.winner_count(),
+            schema: mv.schema.clone(),
+        };
+        let (schema, projections) = projection_plan(&body, &mv.schema)?;
+        let project = PlanNode::Project {
+            input: Box::new(scan),
+            projections,
+            schema,
+        };
+        let schema = project.schema().without_qualifiers().with_qualifier(&qual);
+        let shown = match alias {
+            Some(a) => format!("{name} AS {a}"),
+            None => name.to_string(),
+        };
+        return Ok(PlanNode::Materialize {
+            label: format!("Materialized preference view: {shown}"),
+            cache_key: format!("matview:{name}:{qual}"),
+            input: Box::new(project),
+            schema,
+        });
+    }
     let table = ctx.catalog().table(name)?;
     let schema = table.schema().without_qualifiers().with_qualifier(&qual);
     let path = if ctx.use_indexes() && allow_index {
@@ -536,7 +589,7 @@ fn plan_named(
         AccessPath::SeqScan => PlanNode::SeqScan {
             table: name.to_string(),
             qualifier: qual,
-            rows: table.len(),
+            rows: table.stat_row_count(),
             schema,
         },
         // The probe counter is bumped at operator open, not here: EXPLAIN

@@ -30,6 +30,15 @@ pub enum Statement {
         /// Defining query.
         query: Box<Query>,
     },
+    /// `CREATE MATERIALIZED PREFERENCE VIEW v AS SELECT ... PREFERRING ...`
+    /// — a stored, incrementally maintained BMO result (the serving cache
+    /// for repeated skyline queries over mostly-stable catalogs).
+    CreateMaterializedView {
+        /// View name.
+        name: String,
+        /// Defining preference query.
+        query: Box<Query>,
+    },
     /// `CREATE [UNIQUE] INDEX i ON t (cols) [USING HASH|BTREE]`
     CreateIndex {
         /// Index name.
@@ -70,6 +79,11 @@ pub enum Statement {
     DropTable(String),
     /// `DROP VIEW v`
     DropView(String),
+    /// `DROP MATERIALIZED PREFERENCE VIEW v`
+    DropMaterializedView(String),
+    /// `REFRESH MATERIALIZED PREFERENCE VIEW v` — rebuild the stored result
+    /// from scratch (recovers a view marked stale by a failed maintenance).
+    RefreshMaterializedView(String),
     /// `DROP PREFERENCE p`
     DropPreference(String),
     /// `EXPLAIN <statement>`

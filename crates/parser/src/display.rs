@@ -82,6 +82,9 @@ impl fmt::Display for Statement {
             Statement::CreateView { name, query } => {
                 write!(f, "CREATE VIEW {name} AS {query}")
             }
+            Statement::CreateMaterializedView { name, query } => {
+                write!(f, "CREATE MATERIALIZED PREFERENCE VIEW {name} AS {query}")
+            }
             Statement::CreateIndex {
                 name,
                 table,
@@ -126,6 +129,12 @@ impl fmt::Display for Statement {
             }
             Statement::DropTable(n) => write!(f, "DROP TABLE {n}"),
             Statement::DropView(n) => write!(f, "DROP VIEW {n}"),
+            Statement::DropMaterializedView(n) => {
+                write!(f, "DROP MATERIALIZED PREFERENCE VIEW {n}")
+            }
+            Statement::RefreshMaterializedView(n) => {
+                write!(f, "REFRESH MATERIALIZED PREFERENCE VIEW {n}")
+            }
             Statement::DropPreference(n) => write!(f, "DROP PREFERENCE {n}"),
             Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
         }

@@ -184,10 +184,10 @@ impl Parser {
             TokenKind::Keyword(Keyword::Update) => self.update(),
             TokenKind::Keyword(Keyword::Create) => self.create(),
             TokenKind::Keyword(Keyword::Drop) => self.drop(),
-            _ => {
-                Err(self
-                    .unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN)"))
-            }
+            TokenKind::Keyword(Keyword::Refresh) => self.refresh(),
+            _ => Err(self.unexpected(
+                "a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/REFRESH/EXPLAIN)",
+            )),
         }
     }
 
@@ -289,6 +289,14 @@ impl Parser {
             self.expect_kw(Keyword::As)?;
             let query = Box::new(self.query()?);
             Ok(Statement::CreateView { name, query })
+        } else if self.eat_kw(Keyword::Materialized) {
+            // `PREFERENCE` is optional: `CREATE MATERIALIZED [PREFERENCE] VIEW`.
+            self.eat_kw(Keyword::Preference);
+            self.expect_kw(Keyword::View)?;
+            let name = self.ident()?;
+            self.expect_kw(Keyword::As)?;
+            let query = Box::new(self.query()?);
+            Ok(Statement::CreateMaterializedView { name, query })
         } else if self.check_kw(Keyword::Index) || self.check_kw(Keyword::Unique) {
             self.eat_kw(Keyword::Unique); // accepted, treated as plain index
             self.expect_kw(Keyword::Index)?;
@@ -336,11 +344,23 @@ impl Parser {
             Ok(Statement::DropTable(self.ident()?))
         } else if self.eat_kw(Keyword::View) {
             Ok(Statement::DropView(self.ident()?))
+        } else if self.eat_kw(Keyword::Materialized) {
+            self.eat_kw(Keyword::Preference);
+            self.expect_kw(Keyword::View)?;
+            Ok(Statement::DropMaterializedView(self.ident()?))
         } else if self.eat_kw(Keyword::Preference) {
             Ok(Statement::DropPreference(self.ident()?))
         } else {
-            Err(self.unexpected("TABLE, VIEW or PREFERENCE after DROP"))
+            Err(self.unexpected("TABLE, VIEW, MATERIALIZED VIEW or PREFERENCE after DROP"))
         }
+    }
+
+    fn refresh(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Refresh)?;
+        self.expect_kw(Keyword::Materialized)?;
+        self.eat_kw(Keyword::Preference);
+        self.expect_kw(Keyword::View)?;
+        Ok(Statement::RefreshMaterializedView(self.ident()?))
     }
 
     fn column_def(&mut self) -> Result<ColumnDef> {

@@ -86,6 +86,8 @@ pub enum Keyword {
     Top,
     Level,
     Distance,
+    Materialized,
+    Refresh,
 }
 
 impl Keyword {
@@ -172,6 +174,8 @@ impl Keyword {
             "TOP" => Top,
             "LEVEL" => Level,
             "DISTANCE" => Distance,
+            "MATERIALIZED" => Materialized,
+            "REFRESH" => Refresh,
             _ => return None,
         })
     }

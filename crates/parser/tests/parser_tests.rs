@@ -476,6 +476,10 @@ fn display_roundtrip_statements() {
         "SELECT * FROM docs PREFERRING body CONTAINS ('a', 'b')",
         "SELECT * FROM t PREFERRING color EXPLICIT ('red' BETTER 'blue')",
         "SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make",
+        "CREATE MATERIALIZED PREFERENCE VIEW best AS \
+         SELECT id FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)",
+        "DROP MATERIALIZED VIEW best",
+        "REFRESH MATERIALIZED VIEW best",
     ] {
         let ast1 = parse_statement(sql).unwrap();
         let printed = ast1.to_string();
@@ -486,6 +490,34 @@ fn display_roundtrip_statements() {
             "round-trip mismatch for: {sql}\nprinted: {printed}"
         );
     }
+}
+
+#[test]
+fn materialized_view_statements_parse() {
+    // The PREFERENCE keyword is optional noise; both spellings print
+    // back canonically and re-parse to the same AST.
+    let canonical = "CREATE MATERIALIZED PREFERENCE VIEW v AS SELECT x FROM t PREFERRING LOWEST(x)";
+    let short = "CREATE MATERIALIZED VIEW v AS SELECT x FROM t PREFERRING LOWEST(x)";
+    let a = parse_statement(canonical).unwrap();
+    let b = parse_statement(short).unwrap();
+    assert_eq!(a, b);
+    match &a {
+        Statement::CreateMaterializedView { name, query } => {
+            assert_eq!(name, "v");
+            assert!(query.preferring.is_some());
+        }
+        other => panic!("expected CreateMaterializedView, got {other:?}"),
+    }
+    assert_eq!(a.to_string(), canonical);
+
+    assert_eq!(
+        parse_statement("DROP MATERIALIZED VIEW v").unwrap(),
+        Statement::DropMaterializedView("v".into())
+    );
+    assert_eq!(
+        parse_statement("REFRESH MATERIALIZED VIEW v").unwrap(),
+        Statement::RefreshMaterializedView("v".into())
+    );
 }
 
 #[test]

@@ -23,7 +23,10 @@
 //! * [`external`] — the external-memory skyline: \[BKS01\]'s multi-pass
 //!   BNL with a bounded window and spill-to-disk overflow runs
 //!   ([`ExternalSkyline`]), engaged by [`should_spill`] when the
-//!   estimated candidate bytes exceed the session's window budget.
+//!   estimated candidate bytes exceed the session's window budget;
+//! * [`incremental`] — the skyline delta algebra behind
+//!   `MATERIALIZED PREFERENCE VIEW`: per-winner domination counts let
+//!   INSERT/DELETE/UPDATE maintain the BMO result without recomputation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod base;
 pub mod bmo;
 pub mod compose;
 pub mod external;
+pub mod incremental;
 
 pub use algo::{
     choose_algo, choose_degree, maximal, maximal_bnl, maximal_naive, maximal_parallel, maximal_sfs,
@@ -42,3 +46,4 @@ pub use base::BasePref;
 pub use bmo::{bmo, bmo_grouped};
 pub use compose::{PrefNode, Preference};
 pub use external::{maximal_external, ExternalSkyline, SpillMetrics};
+pub use incremental::{apply_delete, apply_insert, apply_replace, check_invariant, rebuild};

@@ -1,31 +1,54 @@
 //! `prefsql-server` — serve one shared Preference SQL catalog over TCP.
 //!
 //! ```sh
-//! prefsql-server [ADDR]        # default 127.0.0.1:5433
+//! prefsql-server [ADDR] [--max-connections N]   # default 127.0.0.1:5433
 //! ```
 //!
 //! Thread-per-connection; every connection gets its own session (mode,
 //! `\algo`, `\threads`, `\window`, spill dir) over the shared catalog.
-//! See `prefsql_server::protocol` for the wire format; `prefsql-client`
-//! is the matching line client.
+//! Connections beyond `--max-connections` are refused with one `ERROR:`
+//! line instead of queuing. See `prefsql_server::protocol` for the wire
+//! format; `prefsql-client` is the matching line client.
 
 use prefsql_engine::EngineCore;
-use prefsql_server::Server;
+use prefsql_server::{Server, DEFAULT_MAX_CONNECTIONS};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:5433";
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: prefsql-server [ADDR] [--max-connections N]\n\
+         \x20      (default {DEFAULT_ADDR}, {DEFAULT_MAX_CONNECTIONS} connections)"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
+    let mut addr: Option<String> = None;
+    let mut max_connections = DEFAULT_MAX_CONNECTIONS;
     let mut args = std::env::args().skip(1);
-    let addr = match args.next() {
-        Some(a) if a == "--help" || a == "-h" => {
-            eprintln!("usage: prefsql-server [ADDR]   (default {DEFAULT_ADDR})");
-            return;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: prefsql-server [ADDR] [--max-connections N]   \
+                     (default {DEFAULT_ADDR}, {DEFAULT_MAX_CONNECTIONS} connections)"
+                );
+                return;
+            }
+            "--max-connections" => {
+                max_connections = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => usage(),
+                };
+            }
+            _ if addr.is_none() && !a.starts_with('-') => addr = Some(a),
+            _ => usage(),
         }
-        Some(a) => a,
-        None => DEFAULT_ADDR.to_string(),
-    };
+    }
+    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.to_string());
     let server = match Server::bind(&addr, EngineCore::shared()) {
-        Ok(s) => s,
+        Ok(s) => s.with_max_connections(max_connections),
         Err(e) => {
             eprintln!("prefsql-server: cannot bind {addr}: {e}");
             std::process::exit(1);

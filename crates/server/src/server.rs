@@ -11,9 +11,15 @@ use prefsql_engine::EngineCore;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+
+/// Default cap on concurrent connections (`--max-connections`):
+/// generous for a thread-per-connection design, but finite, so a
+/// misbehaving client pool degrades into polite refusals instead of
+/// unbounded thread growth.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
 
 /// A bound-but-not-yet-running server: the listener plus the shared
 /// engine core every connection's session will borrow.
@@ -21,6 +27,17 @@ pub struct Server {
     listener: TcpListener,
     core: Arc<EngineCore>,
     shutdown: Arc<AtomicBool>,
+    max_connections: usize,
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits (EOF, protocol error, or unwinding panic).
+struct ConnectionGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Handle to a server running on a background thread (see
@@ -62,7 +79,17 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             core,
             shutdown: Arc::new(AtomicBool::new(false)),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         })
+    }
+
+    /// Cap the number of concurrently served connections (clamped to at
+    /// least 1). Connections accepted at capacity are refused with a
+    /// single `ERROR:` line and closed — backpressure the line client
+    /// surfaces as a failed connect instead of a hang.
+    pub fn with_max_connections(mut self, max: usize) -> Server {
+        self.max_connections = max.max(1);
+        self
     }
 
     /// The address the listener is bound to.
@@ -76,6 +103,7 @@ impl Server {
     /// each iteration.
     pub fn run(self) -> io::Result<()> {
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        let active = Arc::new(AtomicUsize::new(0));
         loop {
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
@@ -85,8 +113,24 @@ impl Server {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            // At capacity the connection is refused, not queued: one
+            // terminator line tells the client why, then the socket
+            // closes and the accept loop is immediately free again.
+            if active.load(Ordering::SeqCst) >= self.max_connections {
+                let mut refused = BufWriter::new(stream);
+                let _ = writeln!(
+                    refused,
+                    "ERROR: server at capacity ({} connections); try again later",
+                    self.max_connections
+                );
+                let _ = refused.flush();
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let guard = ConnectionGuard(Arc::clone(&active));
             let core = Arc::clone(&self.core);
             workers.push(thread::spawn(move || {
+                let _guard = guard;
                 // Connection I/O errors just end that connection.
                 let _ = serve_connection(stream, core);
             }));
@@ -154,8 +198,16 @@ fn serve_connection(stream: TcpStream, core: Arc<EngineCore>) -> io::Result<()> 
                 // A panicking statement must cost at most this statement
                 // (and, if it held the write lock, poison the catalog into
                 // Error::Concurrency for everyone) — never the whole
-                // server or even this connection.
-                let result = catch_unwind(AssertUnwindSafe(|| session.execute(sql)));
+                // server or even this connection. No legitimate SQL input
+                // panics, so the regression suite injects one through
+                // PREFSQL_PANIC_SQL: a request matching the variable's
+                // value panics mid-execution instead of executing.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if std::env::var("PREFSQL_PANIC_SQL").is_ok_and(|p| p == sql) {
+                        panic!("injected test panic");
+                    }
+                    session.execute(sql)
+                }));
                 match result {
                     Ok(result) => protocol::render_result(&result, &mut out),
                     Err(_) => out.push("ERROR: exec error: statement panicked".into()),
@@ -204,6 +256,43 @@ mod tests {
         assert!(r.is_err(), "{r:?}");
 
         c.quit().unwrap();
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn at_capacity_connections_are_refused_politely() {
+        let server = Server::bind("127.0.0.1:0", EngineCore::shared())
+            .unwrap()
+            .with_max_connections(2);
+        let handle = server.spawn().unwrap();
+        let a = Client::connect(handle.addr()).unwrap();
+        let b = Client::connect(handle.addr()).unwrap();
+
+        // The third connection gets one ERROR line instead of the
+        // greeting — the client surfaces it as a failed connect.
+        let msg = match Client::connect(handle.addr()) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("third connection must be refused"),
+        };
+        assert!(msg.contains("server at capacity (2 connections)"), "{msg}");
+
+        // A slot frees as soon as a connection finishes.
+        a.quit().unwrap();
+        let c = (0..100)
+            .find_map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Client::connect(handle.addr()).ok()
+            })
+            .expect("slot frees after quit");
+        drop(c); // EOF teardown (no \q) must release the slot too
+        let d = (0..100)
+            .find_map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Client::connect(handle.addr()).ok()
+            })
+            .expect("slot frees after EOF");
+        drop(d);
+        b.quit().unwrap();
         handle.stop().unwrap();
     }
 

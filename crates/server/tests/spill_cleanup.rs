@@ -1,0 +1,91 @@
+//! Regression: a session's lazily created private spill directory is
+//! removed at connection teardown even when a statement panicked on that
+//! connection after spilling (the server's `catch_unwind` keeps the
+//! connection and its session alive; `\q`/EOF drops the session, which
+//! owns the `remove_dir_all`).
+//!
+//! This suite runs in its own test binary — and therefore its own
+//! process — so the temp-dir diff below cannot race the spill dirs of
+//! sessions created by other tests.
+
+use prefsql_engine::EngineCore;
+use prefsql_server::{Client, Server};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// All of this process's session spill dirs currently in the system
+/// temp dir (the dir name carries the pid).
+fn session_spill_dirs() -> HashSet<PathBuf> {
+    let prefix = format!("prefsql-session-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(&prefix))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn spill_dir_survives_statement_panic_but_not_connection_teardown() {
+    // No legitimate SQL input panics; the server exposes this hook so
+    // the recovery path can be driven through a real connection.
+    const PANIC_SQL: &str = "SELECT panic_now FROM injected";
+    std::env::set_var("PREFSQL_PANIC_SQL", PANIC_SQL);
+    let before = session_spill_dirs();
+
+    let server = Server::bind("127.0.0.1:0", EngineCore::shared()).unwrap();
+    let handle = server.spawn().unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.request("CREATE TABLE pts (x INTEGER, y INTEGER)")
+        .unwrap();
+    // Anti-correlated points: the whole table is the skyline, so a
+    // 4 KiB window must overflow and write spill runs.
+    let values: Vec<String> = (0..400).map(|i| format!("({i}, {})", 400 - i)).collect();
+    c.request(&format!("INSERT INTO pts VALUES {}", values.join(", ")))
+        .unwrap();
+    c.request("\\mode native").unwrap();
+    c.request("\\window 4k").unwrap();
+    let r = c
+        .request("SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y)")
+        .unwrap();
+    assert_eq!(r.status, "OK 400 rows");
+
+    // The spilling query created this connection's private dir.
+    let created: Vec<PathBuf> = session_spill_dirs().difference(&before).cloned().collect();
+    assert_eq!(
+        created.len(),
+        1,
+        "exactly one session spill dir: {created:?}"
+    );
+    let dir = created[0].clone();
+    assert!(dir.exists());
+
+    // A panicking statement costs only itself: the panic is caught, the
+    // session — and with it the spill dir — lives on.
+    let r = c.request(PANIC_SQL).unwrap();
+    assert_eq!(r.status, "ERROR: exec error: statement panicked");
+    assert!(dir.exists(), "panic must not tear down the live session");
+    let r = c.request("SELECT COUNT(*) FROM pts").unwrap();
+    assert!(r.is_ok(), "connection stays usable after the panic: {r:?}");
+    let r = c
+        .request("SELECT x FROM pts PREFERRING LOWEST(x) AND LOWEST(y)")
+        .unwrap();
+    assert_eq!(r.status, "OK 400 rows", "spilling still works afterwards");
+
+    // Connection teardown drops the session, which removes the dir.
+    c.quit().unwrap();
+    for _ in 0..200 {
+        if !dir.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!dir.exists(), "session teardown removes the spill dir");
+    handle.stop().unwrap();
+}

@@ -13,10 +13,12 @@
 
 pub mod catalog;
 pub mod index;
+pub mod matview;
 pub mod spill;
 pub mod table;
 
 pub use catalog::{Catalog, ViewDef};
 pub use index::{BTreeIndex, HashIndex, IndexKind};
+pub use matview::{MatViewDef, MatViewEntry};
 pub use spill::{RunReader, RunWriter, SpillManager, SpillRun};
 pub use table::Table;

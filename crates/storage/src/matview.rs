@@ -1,0 +1,109 @@
+//! Materialized preference views: stored state for incremental skyline
+//! maintenance.
+//!
+//! A `CREATE MATERIALIZED PREFERENCE VIEW` stores, per base-table row, the
+//! evaluated preference slot vector plus bookkeeping that makes DML
+//! maintenance incremental: each qualifying row carries the number of
+//! *winners* that dominate it. The invariant maintained by the engine is
+//!
+//! ```text
+//! e.dominators == |{ w : w.winner && better(w.slots, e.slots) }|
+//! e.winner     ⇔  e.qualifies && e.dominators == 0
+//! ```
+//!
+//! which lets an INSERT run one dominance pass against the current entries
+//! and a DELETE of a winner promote exactly the rows it exclusively
+//! dominated — no full recomputation. The storage layer only holds the
+//! data; the dominance algebra lives in `prefsql-pref` and the hook points
+//! in `prefsql-engine` (the crate dependency order forbids anything
+//! smarter here, just like [`crate::catalog::ViewDef`] stores SQL text).
+
+use prefsql_types::{Schema, Tuple, Value};
+
+/// Per-base-row state tracked by a materialized preference view.
+///
+/// Entries mirror the base table's row ids 1:1 and in order, so reading
+/// the view (winners, in entry order) is byte-identical to running the
+/// defining BMO query from scratch — the order contract every skyline
+/// algorithm in `prefsql-pref` honours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatViewEntry {
+    /// The base-table row (the view serves winners un-projected; readers
+    /// apply the definition's projection on top).
+    pub output: Tuple,
+    /// The evaluated base-preference expressions of this row.
+    pub slots: Vec<Value>,
+    /// True iff the row passed the view's WHERE clause. Non-qualifying
+    /// rows are tracked (to keep ids aligned) but never compete.
+    pub qualifies: bool,
+    /// True iff the row is currently in the BMO result.
+    pub winner: bool,
+    /// Number of winners strictly better than this row (0 for winners).
+    pub dominators: u32,
+}
+
+/// A stored materialized preference view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatViewDef {
+    /// View name (lower-cased).
+    pub name: String,
+    /// The defining query in canonical SQL text (used for plan matching
+    /// and for recompiling the preference on maintenance).
+    pub sql: String,
+    /// The single base table the view reads (lower-cased).
+    pub base_table: String,
+    /// The qualified base-table schema entry rows carry (the schema the
+    /// defining query's slot expressions evaluate against).
+    pub schema: Schema,
+    /// One entry per base-table row, in row-id order.
+    pub entries: Vec<MatViewEntry>,
+    /// True when maintenance could not keep the view current (e.g. the
+    /// base table was dropped, or a maintenance step failed). Stale views
+    /// refuse reads until `REFRESH MATERIALIZED PREFERENCE VIEW` rebuilds
+    /// them.
+    pub stale: bool,
+}
+
+impl MatViewDef {
+    /// The current view contents: winners, in entry (= base row) order.
+    pub fn winners(&self) -> Vec<Tuple> {
+        self.entries
+            .iter()
+            .filter(|e| e.winner)
+            .map(|e| e.output.clone())
+            .collect()
+    }
+
+    /// Number of rows currently served by the view.
+    pub fn winner_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.winner).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::{tuple, Column, DataType};
+
+    #[test]
+    fn winners_preserve_entry_order() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        let entry = |x: i64, winner: bool| MatViewEntry {
+            output: tuple![x],
+            slots: vec![Value::Int(x)],
+            qualifies: true,
+            winner,
+            dominators: u32::from(!winner),
+        };
+        let v = MatViewDef {
+            name: "v".into(),
+            sql: "SELECT x FROM t PREFERRING LOWEST x".into(),
+            base_table: "t".into(),
+            schema,
+            entries: vec![entry(3, true), entry(9, false), entry(3, true)],
+            stale: false,
+        };
+        assert_eq!(v.winners(), vec![tuple![3], tuple![3]]);
+        assert_eq!(v.winner_count(), 2);
+    }
+}

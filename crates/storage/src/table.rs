@@ -12,6 +12,11 @@ pub struct Table {
     rows: Vec<Tuple>,
     hash_indexes: HashMap<String, HashIndex>,
     btree_indexes: HashMap<String, BTreeIndex>,
+    /// Live row-count statistic, maintained incrementally at the insert
+    /// and delete choke points. The planner reads this counter (via
+    /// `Catalog::row_count`) for cardinality decisions instead of
+    /// touching row storage.
+    stat_rows: usize,
 }
 
 impl Table {
@@ -23,6 +28,7 @@ impl Table {
             rows: Vec::new(),
             hash_indexes: HashMap::new(),
             btree_indexes: HashMap::new(),
+            stat_rows: 0,
         }
     }
 
@@ -63,6 +69,7 @@ impl Table {
             idx.insert(row_id, &row);
         }
         self.rows.push(row);
+        self.stat_rows += 1;
         Ok(row_id)
     }
 
@@ -162,8 +169,16 @@ impl Table {
             }
         }
         self.rows = keep;
+        self.stat_rows = self.rows.len();
         self.rebuild_indexes();
         before - self.rows.len()
+    }
+
+    /// The live row-count statistic. Maintained at every insert/delete,
+    /// so it always equals [`Table::len`] — but reading it never touches
+    /// row storage, which is the contract the planner relies on.
+    pub fn stat_row_count(&self) -> usize {
+        self.stat_rows
     }
 
     /// Replace the row at `row_id` after validating the new tuple.
@@ -303,6 +318,22 @@ mod tests {
         // Validation still applies.
         assert!(t.replace_row(0, tuple!["bad", "x", 1]).is_err());
         assert!(t.replace_row(99, tuple![9, "x", 1]).is_err());
+    }
+
+    #[test]
+    fn stat_row_count_tracks_len() {
+        let mut t = cars();
+        assert_eq!(t.stat_row_count(), t.len());
+        t.insert(tuple![4, "opel", 15_000]).unwrap();
+        assert_eq!(t.stat_row_count(), 4);
+        t.delete_rows(&[0, 2]);
+        assert_eq!(t.stat_row_count(), t.len());
+        t.replace_row(0, tuple![9, "seat", 9_000]).unwrap();
+        assert_eq!(t.stat_row_count(), 2);
+        // Bulk insert goes through the same choke point.
+        t.insert_all(vec![tuple![5, "kia", 1], tuple![6, "fiat", 2]])
+            .unwrap();
+        assert_eq!(t.stat_row_count(), t.len());
     }
 
     #[test]
