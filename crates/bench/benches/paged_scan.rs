@@ -1,0 +1,96 @@
+//! **Paged-storage scan cost** — the heap-file backend against the
+//! in-memory default, and the price of a buffer pool that does not fit
+//! the table.
+//!
+//! One aggregate full scan (`SELECT COUNT(*), SUM(v) FROM r`) over
+//! 8 k and 64 k rows, three storage configurations:
+//!
+//! * `mem` — the default in-memory table (baseline);
+//! * `paged-warm` — heap pages behind a pool comfortably larger than
+//!   the table, pre-touched, so every pin is a hit;
+//! * `paged-cold` — the same pages behind the four-page minimum pool,
+//!   so every scan runs at ~100% miss/eviction rate and each page comes
+//!   back off the file.
+//!
+//! Recorded medians land in `BENCH_paged_scan.json`; the spread between
+//! `paged-warm` and `mem` is the slotted-page decode overhead, and the
+//! spread between `paged-cold` and `paged-warm` is the pure I/O cost
+//! the pool exists to amortize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prefsql::types::{Column, DataType, Schema, Tuple, Value};
+use prefsql::Session;
+use prefsql_engine::{BackendKind, EngineCore};
+use prefsql_types::knobs::MIN_POOL_BYTES;
+use std::sync::Arc;
+
+const SIZES: [usize; 2] = [8_000, 64_000];
+const QUERY: &str = "SELECT COUNT(*), SUM(v) FROM r";
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A session over a fresh core of the given storage configuration with
+/// `r(id, v)` loaded: `rows` tuples of uniform noise.
+fn session_with(kind: BackendKind, pool_bytes: usize, rows: usize) -> Session {
+    let core = Arc::new(EngineCore::with_storage(kind, pool_bytes));
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("v", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = core.make_table("r", schema).expect("table builds");
+    let mut s = 42u64;
+    t.insert_all((0..rows).map(|i| {
+        Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((lcg(&mut s) % 100_000) as i64),
+        ])
+    }))
+    .expect("rows insert");
+    let mut session = Session::with_core(Arc::clone(&core));
+    session
+        .engine_mut()
+        .catalog_mut()
+        .create_table(t)
+        .expect("fresh catalog");
+    session
+}
+
+fn bench_paged_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paged_scan");
+    group.sample_size(20);
+    for rows in SIZES {
+        group.throughput(Throughput::Elements(rows as u64));
+        // Baseline: the default in-memory backend.
+        let mut mem = session_with(BackendKind::Mem, MIN_POOL_BYTES, rows);
+        group.bench_with_input(BenchmarkId::new("mem", fmt(rows)), &(), |b, _| {
+            b.iter(|| mem.query(QUERY).expect("scan").len())
+        });
+        // Warm pool: 8 MiB holds the whole table; one priming scan makes
+        // every timed pin a hit.
+        let mut warm = session_with(BackendKind::Paged, 8 << 20, rows);
+        warm.query(QUERY).expect("priming scan");
+        group.bench_with_input(BenchmarkId::new("paged-warm", fmt(rows)), &(), |b, _| {
+            b.iter(|| warm.query(QUERY).expect("scan").len())
+        });
+        // Cold pool: the four-page minimum evicts continuously — every
+        // timed scan re-reads the heap file page by page.
+        let mut cold = session_with(BackendKind::Paged, MIN_POOL_BYTES, rows);
+        group.bench_with_input(BenchmarkId::new("paged-cold", fmt(rows)), &(), |b, _| {
+            b.iter(|| cold.query(QUERY).expect("scan").len())
+        });
+    }
+    group.finish();
+}
+
+fn fmt(rows: usize) -> String {
+    format!("{}k", rows / 1_000)
+}
+
+criterion_group!(benches, bench_paged_scan);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Session resource knobs and their `PREFSQL_*` environment ceilings.
 //!
-//! Two knobs share one resolution policy (this module exists so they
+//! Three knobs share one resolution policy (this module exists so they
 //! can't drift):
 //!
 //! * `PREFSQL_THREADS` — parallel-window degree ceiling (the shell's
@@ -8,44 +8,22 @@
 //! * `PREFSQL_WINDOW` — external-memory window budget in bytes, with
 //!   optional `k`/`m` suffixes (KiB/MiB; the shell's `\window N[k|m]`);
 //!   absent means unbounded (no spilling).
+//! * `PREFSQL_POOL` — buffer-pool size for the paged storage backend
+//!   (the shell's `\pool N[k|m]`); absent falls back to
+//!   [`DEFAULT_POOL_BYTES`]. Resolved by the engine core at
+//!   construction, not cached process-wide, so every core (and every CI
+//!   matrix leg) sees the environment it was started under.
 //!
-//! The shared semantics, pinned by [`ceiling_from_value`]: **a set env
-//! var is a ceiling**. A parseable value is clamped to at least the
-//! knob's minimum; zero or garbage caps *at* the minimum — a
-//! set-but-invalid value must never escalate past the most conservative
-//! setting (serial execution, the smallest window).
+//! The parsing/clamping primitives themselves live in
+//! [`prefsql_types::knobs`] — below the storage layer, which sizes the
+//! buffer pool with the same parser — and are re-exported here so
+//! existing callers keep compiling.
 
 use std::sync::OnceLock;
 
-/// The smallest admissible external-memory window budget (4 KiB).
-/// Budgets below this thrash: the window always admits at least one
-/// tuple, but a sub-page budget spills nearly every candidate every
-/// pass. Both the env ceiling and the shell's `\window` clamp up to it.
-pub const MIN_WINDOW_BYTES: usize = 4096;
-
-/// Resolve a *set* `PREFSQL_*` ceiling value: parse it with `parse` and
-/// clamp to at least `min`; zero or garbage (unparseable, overflowing)
-/// caps at `min`. Callers handle the unset case themselves — the two
-/// knobs fall back differently (host width vs unbounded).
-pub fn ceiling_from_value<T: Ord>(raw: &str, parse: impl FnOnce(&str) -> Option<T>, min: T) -> T {
-    match parse(raw.trim()) {
-        Some(v) if v > min => v,
-        _ => min,
-    }
-}
-
-/// Parse a byte size with an optional binary suffix: `65536`, `64k`,
-/// `1M` (case-insensitive; `k` = KiB, `m` = MiB). `None` on garbage or
-/// overflow.
-pub fn parse_size(s: &str) -> Option<usize> {
-    let s = s.trim();
-    let (digits, factor) = match s.char_indices().next_back()? {
-        (i, 'k') | (i, 'K') => (&s[..i], 1024usize),
-        (i, 'm') | (i, 'M') => (&s[..i], 1024 * 1024),
-        _ => (s, 1),
-    };
-    digits.trim().parse::<usize>().ok()?.checked_mul(factor)
-}
+pub use prefsql_types::knobs::{
+    ceiling_from_value, fmt_bytes, parse_size, DEFAULT_POOL_BYTES, MIN_POOL_BYTES, MIN_WINDOW_BYTES,
+};
 
 /// The session-default parallel degree: `PREFSQL_THREADS` when set
 /// (ceiling semantics, minimum 1 = serial), otherwise the host's
@@ -72,28 +50,6 @@ pub fn default_window_bytes() -> Option<usize> {
             .ok()
             .map(|v| ceiling_from_value(&v, parse_size, MIN_WINDOW_BYTES))
     })
-}
-
-/// Render a byte count the way the shell and EXPLAIN display it:
-/// `512 B`, `64 KiB`, `1.5 MiB`.
-pub fn fmt_bytes(n: u64) -> String {
-    if n < 1024 {
-        format!("{n} B")
-    } else if n < 1024 * 1024 {
-        let kib = n as f64 / 1024.0;
-        if kib.fract() == 0.0 {
-            format!("{kib:.0} KiB")
-        } else {
-            format!("{kib:.1} KiB")
-        }
-    } else {
-        let mib = n as f64 / (1024.0 * 1024.0);
-        if mib.fract() == 0.0 {
-            format!("{mib:.0} MiB")
-        } else {
-            format!("{mib:.1} MiB")
-        }
-    }
 }
 
 #[cfg(test)]
@@ -136,25 +92,11 @@ mod tests {
     }
 
     #[test]
-    fn size_suffixes() {
+    fn size_suffixes_reexported() {
         assert_eq!(parse_size("4096"), Some(4096));
         assert_eq!(parse_size("4k"), Some(4096));
-        assert_eq!(parse_size("4K"), Some(4096));
-        assert_eq!(parse_size("2m"), Some(2 << 20));
-        assert_eq!(parse_size(" 8 k "), Some(8192));
         assert_eq!(parse_size("k"), None);
-        assert_eq!(parse_size(""), None);
-        assert_eq!(parse_size("4g"), None);
-        assert_eq!(parse_size("-1"), None);
-    }
-
-    #[test]
-    fn byte_formatting() {
-        assert_eq!(fmt_bytes(512), "512 B");
-        assert_eq!(fmt_bytes(4096), "4 KiB");
-        assert_eq!(fmt_bytes(1536), "1.5 KiB");
-        assert_eq!(fmt_bytes(1 << 20), "1 MiB");
-        assert_eq!(fmt_bytes(3 << 19), "1.5 MiB");
+        assert_eq!(parse_size("99999999999999999999k"), None);
     }
 
     #[test]
@@ -165,5 +107,7 @@ mod tests {
         if let Some(w) = default_window_bytes() {
             assert!(w >= MIN_WINDOW_BYTES);
         }
+        const _: () = assert!(MIN_POOL_BYTES >= MIN_WINDOW_BYTES);
+        const _: () = assert!(DEFAULT_POOL_BYTES > MIN_POOL_BYTES);
     }
 }

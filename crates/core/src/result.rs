@@ -2,6 +2,7 @@
 
 use prefsql_engine::Relation;
 use prefsql_pref::SpillMetrics;
+use prefsql_storage::PoolStats;
 use prefsql_types::{Schema, Tuple, Value};
 use std::fmt;
 
@@ -29,11 +30,13 @@ pub struct ResultSet {
     rows: Vec<Tuple>,
     spill: Option<SpillMetrics>,
     views: Option<ViewActivity>,
+    pool: Option<PoolStats>,
 }
 
 /// Result equality is *relation* equality (schema and rows). Spill
-/// metrics and view activity are execution observability — a view cache
-/// hit and a cold recompute of the same query return equal results,
+/// metrics, view activity and buffer-pool counters are execution
+/// observability — a view cache hit and a cold recompute of the same
+/// query return equal results, and so do a mem-backed and a paged run,
 /// which is exactly what the differential suites assert.
 impl PartialEq for ResultSet {
     fn eq(&self, other: &Self) -> bool {
@@ -49,6 +52,7 @@ impl ResultSet {
             rows: rel.rows,
             spill: None,
             views: None,
+            pool: None,
         }
     }
 
@@ -61,6 +65,12 @@ impl ResultSet {
     /// Attach materialized-view observability.
     pub(crate) fn with_views(mut self, views: Option<ViewActivity>) -> Self {
         self.views = views;
+        self
+    }
+
+    /// Attach this statement's buffer-pool delta (paged backend only).
+    pub(crate) fn with_pool(mut self, pool: Option<PoolStats>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -77,6 +87,14 @@ impl ResultSet {
     /// statement maintained at least one view, `None` otherwise.
     pub fn view_activity(&self) -> Option<&ViewActivity> {
         self.views.as_ref()
+    }
+
+    /// Buffer-pool counters for the statement that produced this result:
+    /// `Some` (a delta over the shared pool — hits, misses, evictions,
+    /// write-backs) whenever the session's core runs the paged backend,
+    /// `None` on the in-memory default.
+    pub fn pool_stats(&self) -> Option<&PoolStats> {
+        self.pool.as_ref()
     }
 
     /// The result schema.
@@ -152,6 +170,7 @@ impl ResultSet {
             rows,
             spill: self.spill,
             views: self.views,
+            pool: self.pool,
         }
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::native::{self, NativeOptions, SkylineAlgo};
 use crate::result::ResultSet;
-use prefsql_engine::{Engine, EngineCore, ExecOutcome};
+use prefsql_engine::{BackendKind, Engine, EngineCore, ExecOutcome};
 use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
 use prefsql_parser::{parse_statement, parse_statements};
 use prefsql_rewrite::{RewriteOutput, Rewriter};
@@ -354,6 +354,12 @@ impl Session {
                     } else {
                         None
                     };
+                    // Like `forward`, report the buffer-pool delta this
+                    // statement caused (paged backend only).
+                    let pool_before = match self.engine.backend_kind() {
+                        BackendKind::Paged => Some(self.engine.pool_stats()),
+                        BackendKind::Mem => None,
+                    };
                     let rs = native::run_native_in(
                         &self.engine,
                         self.rewriter.registry(),
@@ -361,6 +367,7 @@ impl Session {
                         opts,
                         spill.as_deref(),
                     )?;
+                    let rs = rs.with_pool(pool_before.map(|b| self.engine.pool_stats().since(&b)));
                     return Ok(QueryResult::Rows(rs));
                 }
             }
@@ -440,6 +447,13 @@ impl Session {
         let _ = self.engine.take_spill_metrics();
         let _ = self.engine.take_view_maintenance();
         self.last_view_maintained = 0;
+        // Snapshot the shared buffer pool so a row result can report this
+        // statement's delta (paged backend only — the counters are
+        // cumulative across all sessions on the core).
+        let pool_before = match self.engine.backend_kind() {
+            BackendKind::Paged => Some(self.engine.pool_stats()),
+            BackendKind::Mem => None,
+        };
         let outcome = self.engine.execute(stmt)?;
         self.last_view_maintained = self.engine.take_view_maintenance();
         match outcome {
@@ -453,6 +467,8 @@ impl Session {
                 // A hash join that overflowed `\window` reports its run
                 // accounting the same way native skylines do.
                 let rs = rs.with_spill(self.engine.take_spill_metrics());
+                let rs =
+                    rs.with_pool(pool_before.map(|before| self.engine.pool_stats().since(&before)));
                 Ok(QueryResult::Rows(rs))
             }
             ExecOutcome::Count(n) => Ok(QueryResult::Count(n)),
@@ -463,9 +479,9 @@ impl Session {
 
     /// Handle a session-level `\`-meta-command shared by every front end
     /// (shell, server): `\mode`, `\algo`, `\threads`, `\window`,
-    /// `\rewrite`, `\d`. Returns `None` for commands the session does
-    /// not own (`\q`, `\timing`, `\help`, ...) so the caller can layer
-    /// its own on top.
+    /// `\pool`, `\backend`, `\rewrite`, `\d`. Returns `None` for
+    /// commands the session does not own (`\q`, `\timing`, `\help`, ...)
+    /// so the caller can layer its own on top.
     pub fn command(&mut self, head: &str, arg: &str) -> Option<String> {
         let out = match head {
             "\\mode" => match arg {
@@ -517,14 +533,54 @@ impl Session {
                 }
                 w => match crate::knobs::parse_size(w) {
                     // `set_window_bytes` clamps sub-minimum budgets up to
-                    // MIN_WINDOW_BYTES; echo what actually took effect.
+                    // MIN_WINDOW_BYTES; echo what actually took effect,
+                    // flagging when it differs from what was asked for.
                     Some(n) if n >= 1 => {
                         self.set_window_bytes(Some(n));
-                        format!("window: {}\n", self.window_label())
+                        let clamped = if n < crate::knobs::MIN_WINDOW_BYTES {
+                            " (clamped)"
+                        } else {
+                            ""
+                        };
+                        format!("window: {}{clamped}\n", self.window_label())
                     }
                     _ => format!(
                         "invalid window budget '{w}' (bytes with optional k/m suffix, or 'off')\n"
                     ),
+                },
+            },
+            "\\pool" => match arg {
+                "" => format!("pool: {}\n", self.pool_label()),
+                p => match crate::knobs::parse_size(p) {
+                    Some(n) if n >= 1 => match self.engine.core().resize_pool(n) {
+                        // The pool clamps to its four-page floor and
+                        // rounds to whole pages; echo the effective size,
+                        // flagging when the floor raised the request.
+                        Ok(effective) => {
+                            let clamped = if effective > n { " (clamped)" } else { "" };
+                            format!(
+                                "pool: {}{clamped}\n",
+                                crate::knobs::fmt_bytes(effective as u64)
+                            )
+                        }
+                        Err(e) => format!("ERROR: {e}\n"),
+                    },
+                    _ => format!("invalid pool size '{p}' (bytes with optional k/m suffix)\n"),
+                },
+            },
+            "\\backend" => match arg {
+                "" => format!("backend: {}\n", self.engine.backend_kind().label()),
+                // Unlike the `PREFSQL_BACKEND` ceiling (anything
+                // non-"paged" means mem), an interactive typo should be
+                // an error, not a silent fallback.
+                b => match b.to_ascii_lowercase().as_str() {
+                    kind @ ("mem" | "paged") => {
+                        match self.engine.core().set_backend(BackendKind::parse(kind)) {
+                            Ok(()) => format!("backend: {kind}\n"),
+                            Err(e) => format!("ERROR: {e}\n"),
+                        }
+                    }
+                    _ => format!("unknown backend '{b}' (mem|paged)\n"),
                 },
             },
             "\\rewrite" => match self.rewritten_sql(arg) {
@@ -550,6 +606,13 @@ impl Session {
             Some(b) => crate::knobs::fmt_bytes(b as u64),
             None => "off".into(),
         }
+    }
+
+    /// The `\pool` display label: the shared buffer pool's current
+    /// capacity, e.g. `1 MiB`.
+    pub fn pool_label(&self) -> String {
+        let stats = self.engine.pool_stats();
+        crate::knobs::fmt_bytes((stats.capacity_pages * prefsql_storage::page::PAGE_SIZE) as u64)
     }
 
     fn list_relations(&self) -> String {
@@ -652,7 +715,30 @@ mod tests {
         assert_eq!(s.threads(), 4);
         assert_eq!(s.command("\\window", "64k").unwrap(), "window: 64 KiB\n");
         assert_eq!(s.window_bytes(), Some(64 << 10));
+        // A sub-minimum budget takes effect clamped, and says so.
+        assert_eq!(
+            s.command("\\window", "100").unwrap(),
+            "window: 4 KiB (clamped)\n"
+        );
+        assert_eq!(s.window_bytes(), Some(crate::knobs::MIN_WINDOW_BYTES));
         assert_eq!(s.command("\\window", "off").unwrap(), "window: off\n");
+        // The storage knobs: backend is introspectable, the pool resizes
+        // with the same clamp reporting as `\window`.
+        assert_eq!(s.command("\\backend", "").unwrap(), "backend: mem\n");
+        assert!(s
+            .command("\\backend", "disk")
+            .unwrap()
+            .contains("unknown backend"));
+        assert_eq!(s.command("\\pool", "64k").unwrap(), "pool: 64 KiB\n");
+        assert_eq!(s.command("\\pool", "").unwrap(), "pool: 64 KiB\n");
+        assert_eq!(
+            s.command("\\pool", "1k").unwrap(),
+            "pool: 16 KiB (clamped)\n"
+        );
+        assert!(s
+            .command("\\pool", "banana")
+            .unwrap()
+            .contains("invalid pool size"));
         // Commands the session doesn't own bounce back to the front end.
         assert!(s.command("\\q", "").is_none());
         assert!(s.command("\\timing", "").is_none());

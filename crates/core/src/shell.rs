@@ -12,6 +12,8 @@
 //! | `\algo [auto\|naive\|bnl\|sfs]` | show/set the native skyline algorithm |
 //! | `\threads [N]` | show/set the parallel skyline degree |
 //! | `\window [N[k\|m]\|off]` | show/set the external-memory window budget |
+//! | `\pool [N[k\|m]]` | show/resize the shared buffer pool (paged backend) |
+//! | `\backend [mem\|paged]` | show/set the storage backend (empty catalog only) |
 //! | `\timing` | toggle per-statement timing |
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
@@ -116,6 +118,19 @@ impl Shell {
                         m.passes
                     );
                 }
+                // Storage observability: under the paged backend every
+                // row result reports its buffer-pool delta.
+                if let Some(p) = rs.pool_stats() {
+                    let _ = writeln!(
+                        text,
+                        "Pool: size={}, hits={}, misses={}, evictions={}, writebacks={}",
+                        self.session.pool_label(),
+                        p.hits,
+                        p.misses,
+                        p.evictions,
+                        p.writebacks
+                    );
+                }
                 // Cache observability: queries served from a materialized
                 // preference view say so instead of recomputing silently.
                 if let Some(v) = rs.view_activity() {
@@ -165,6 +180,8 @@ impl Shell {
                  \\threads [n] show or set the parallel skyline degree (1 = serial)\n\
                  \\window [w]  show or set the external-memory window budget\n\
                  \\            (bytes with optional k/m suffix, or 'off' = never spill)\n\
+                 \\pool [p]    show or resize the shared buffer pool (paged backend)\n\
+                 \\backend [b] show or set the storage backend (mem|paged; empty catalog only)\n\
                  \\rewrite q   show the standard SQL a preference query becomes\n\
                  \\timing      toggle timing\n\
                  \\q           quit\n"
@@ -334,8 +351,10 @@ mod tests {
         assert_eq!(sh.feed_line("\\window 64k"), "window: 64 KiB\n");
         assert_eq!(sh.feed_line("\\window"), "window: 64 KiB\n");
         assert_eq!(sh.feed_line("\\window 1m"), "window: 1 MiB\n");
-        // Sub-minimum budgets clamp up to MIN_WINDOW_BYTES (4 KiB).
-        assert_eq!(sh.feed_line("\\window 100"), "window: 4 KiB\n");
+        // Sub-minimum budgets clamp up to MIN_WINDOW_BYTES (4 KiB), and
+        // the answer admits the clamp instead of silently differing.
+        assert_eq!(sh.feed_line("\\window 100"), "window: 4 KiB (clamped)\n");
+        assert_eq!(sh.feed_line("\\window"), "window: 4 KiB\n");
         // Zero and garbage are rejected like `\threads 0`.
         assert!(sh.feed_line("\\window 0").contains("invalid window budget"));
         assert!(sh

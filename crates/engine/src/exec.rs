@@ -27,13 +27,14 @@ use crate::plan::{plan_query, QueryPlan};
 use prefsql_parser::ast::{Expr, InsertSource, Query, Statement};
 use prefsql_parser::parse_statement;
 use prefsql_storage::spill::SpillMetrics;
-use prefsql_storage::{Catalog, IndexKind, Table};
+use prefsql_storage::{BufferPool, Catalog, HeapFile, IndexKind, PoolStats, Table};
+use prefsql_types::knobs::{ceiling_from_value, parse_size, DEFAULT_POOL_BYTES, MIN_POOL_BYTES};
 use prefsql_types::{Column, Error, Result, Schema, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A materialized relation: schema + rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,8 +124,39 @@ fn poisoned<T>(_: PoisonError<T>) -> Error {
     Error::Concurrency("engine catalog lock poisoned by a panicked session".into())
 }
 
+/// Which storage backend `CREATE TABLE` builds new tables on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The in-memory `Vec<Tuple>` store (the default).
+    Mem,
+    /// Slotted heap-file pages served through the shared buffer pool.
+    Paged,
+}
+
+impl BackendKind {
+    /// Interpret a `PREFSQL_BACKEND` / `\backend` value: `paged` selects
+    /// the heap-file backend, anything else the in-memory default.
+    pub fn parse(v: &str) -> BackendKind {
+        if v.trim().eq_ignore_ascii_case("paged") {
+            BackendKind::Paged
+        } else {
+            BackendKind::Mem
+        }
+    }
+
+    /// `"mem"` or `"paged"` — the label EXPLAIN and the shell show.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Paged => "paged",
+        }
+    }
+}
+
 /// The shared, thread-safe core of the engine: the catalog behind a
-/// [`RwLock`] plus global toggles. Many [`Engine`] façades (one per
+/// [`RwLock`] plus global toggles and the storage substrate every session
+/// shares — the backend selection for new tables and the pinning buffer
+/// pool paged tables read through. Many [`Engine`] façades (one per
 /// session) hold the same core through an `Arc`; concurrent queries take
 /// the read lock for the duration of one statement, DML and DDL take the
 /// write lock, which gives statement-level isolation.
@@ -132,6 +164,15 @@ pub struct EngineCore {
     catalog: RwLock<Catalog>,
     use_indexes: AtomicBool,
     use_hash_join: AtomicBool,
+    /// `true` = new tables go to paged heap files.
+    paged: AtomicBool,
+    /// The buffer pool all paged tables of this core share.
+    pool: Arc<BufferPool>,
+    /// Lazily created directory holding this core's heap files; removed
+    /// when the core drops (heap files themselves delete on drop).
+    data_dir: Mutex<Option<PathBuf>>,
+    /// Heap-file name sequence within the data dir.
+    heap_seq: AtomicU64,
 }
 
 impl Default for EngineCore {
@@ -141,18 +182,122 @@ impl Default for EngineCore {
 }
 
 impl EngineCore {
-    /// A fresh core with an empty catalog.
+    /// A fresh core with an empty catalog. The storage substrate comes
+    /// from the environment: `PREFSQL_BACKEND=paged` selects the
+    /// heap-file backend for new tables, `PREFSQL_POOL=N[k|m]` sizes the
+    /// shared buffer pool (ceiling semantics: garbage or sub-minimum
+    /// values cap at the 16 KiB minimum; unset means 1 MiB). Both are
+    /// read per core — not cached process-wide — so test harnesses can
+    /// vary them between cores.
     pub fn new() -> Self {
+        let kind = match std::env::var("PREFSQL_BACKEND") {
+            Ok(v) => BackendKind::parse(&v),
+            Err(_) => BackendKind::Mem,
+        };
+        let pool_bytes = match std::env::var("PREFSQL_POOL") {
+            Ok(v) => ceiling_from_value(&v, parse_size, MIN_POOL_BYTES),
+            Err(_) => DEFAULT_POOL_BYTES,
+        };
+        EngineCore::with_storage(kind, pool_bytes)
+    }
+
+    /// A fresh core with an explicit storage configuration (tests and
+    /// harnesses that must not depend on the environment).
+    pub fn with_storage(kind: BackendKind, pool_bytes: usize) -> Self {
         EngineCore {
             catalog: RwLock::new(Catalog::new()),
             use_indexes: AtomicBool::new(true),
             use_hash_join: AtomicBool::new(true),
+            paged: AtomicBool::new(kind == BackendKind::Paged),
+            pool: Arc::new(BufferPool::new(pool_bytes)),
+            data_dir: Mutex::new(None),
+            heap_seq: AtomicU64::new(0),
         }
     }
 
     /// A fresh shared core, ready to be handed to many sessions.
     pub fn shared() -> Arc<EngineCore> {
         Arc::new(EngineCore::new())
+    }
+
+    /// The backend newly created tables use.
+    pub fn backend_kind(&self) -> BackendKind {
+        if self.paged.load(Ordering::Relaxed) {
+            BackendKind::Paged
+        } else {
+            BackendKind::Mem
+        }
+    }
+
+    /// Switch the backend for *future* tables. Refused once the catalog
+    /// holds tables — existing rows are not migrated, and a mixed
+    /// catalog is exactly what the per-database selection model avoids.
+    pub fn set_backend(&self, kind: BackendKind) -> Result<()> {
+        let cat = self.catalog_read()?;
+        if !cat.table_names().is_empty() {
+            return Err(Error::Catalog(
+                "cannot switch storage backend: catalog already holds tables \
+                 (backend selection happens at database open)"
+                    .into(),
+            ));
+        }
+        drop(cat);
+        self.paged
+            .store(kind == BackendKind::Paged, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The buffer pool shared by this core's paged tables.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Cumulative buffer-pool counters (hits/misses/evictions/writebacks).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Resize the shared buffer pool (the `\pool` command); clamps to the
+    /// 16 KiB minimum and returns the size actually in effect.
+    pub fn resize_pool(&self, bytes: usize) -> Result<usize> {
+        self.pool.resize(bytes)?;
+        Ok(self.pool.capacity_pages() * prefsql_storage::page::PAGE_SIZE)
+    }
+
+    /// Build an empty table on the configured backend. Paged tables get a
+    /// fresh heap file in this core's (lazily created) data directory.
+    pub fn make_table(&self, name: &str, schema: Schema) -> Result<Table> {
+        match self.backend_kind() {
+            BackendKind::Mem => Ok(Table::new(name, schema)),
+            BackendKind::Paged => {
+                let dir = self.data_dir()?;
+                let seq = self.heap_seq.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("{}-{seq}.heap", name.to_ascii_lowercase()));
+                let file = Arc::new(HeapFile::create(path, true)?);
+                Ok(Table::paged(name, schema, file, Arc::clone(&self.pool)))
+            }
+        }
+    }
+
+    /// The core's heap-file directory, created on first use:
+    /// `<tmp>/prefsql-db-<pid>-<addr>` — unique per core within the
+    /// process and across concurrent processes.
+    fn data_dir(&self) -> Result<PathBuf> {
+        let mut slot = self
+            .data_dir
+            .lock()
+            .map_err(|_| Error::Concurrency("engine data-dir lock poisoned".into()))?;
+        if let Some(dir) = &*slot {
+            return Ok(dir.clone());
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "prefsql-db-{}-{:x}",
+            std::process::id(),
+            self as *const EngineCore as usize
+        ));
+        std::fs::create_dir_all(&dir)?;
+        *slot = Some(dir.clone());
+        Ok(dir)
     }
 
     /// Enable or disable index access paths (ablation A2). Global: the
@@ -199,6 +344,20 @@ impl EngineCore {
     /// whole statement, so readers never observe a half-applied write.
     pub fn catalog_write(&self) -> Result<RwLockWriteGuard<'_, Catalog>> {
         self.catalog.write().map_err(poisoned)
+    }
+}
+
+impl Drop for EngineCore {
+    fn drop(&mut self) {
+        // The catalog (and with it every heap file's Arc) is still alive
+        // here, so remove the whole tree: unlinking open files is fine on
+        // the platforms we run, and HeapFile's own delete-on-drop then
+        // no-ops. Best-effort — a vanished temp dir must not panic a drop.
+        if let Ok(slot) = self.data_dir.get_mut() {
+            if let Some(dir) = slot.take() {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
     }
 }
 
@@ -546,6 +705,17 @@ impl Engine {
         self.core.use_hash_join()
     }
 
+    /// The storage backend newly created tables use.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.core.backend_kind()
+    }
+
+    /// Cumulative buffer-pool counters of the shared core (sessions
+    /// snapshot these around a statement to report per-query deltas).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.core.pool_stats()
+    }
+
     /// Set this session's external-memory window budget: spill-capable
     /// operators (the Grace hash join) overflow to disk runs once their
     /// build memory exceeds it. `None` never spills.
@@ -656,7 +826,7 @@ impl Engine {
             } => {
                 let mut cat = self.core.catalog_write()?;
                 let doomed = self.matching_row_ids(&cat, table, where_clause.as_ref())?;
-                let n = cat.table_mut(table)?.delete_rows(&doomed);
+                let n = cat.table_mut(table)?.delete_rows(&doomed)?;
                 let m =
                     crate::matview::after_delete(&mut cat, table, &doomed, self.core.use_indexes());
                 self.note_view_maintenance(m);
@@ -683,9 +853,8 @@ impl Engine {
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let schema = Schema::new(cols)?;
-                self.core
-                    .catalog_write()?
-                    .create_table(Table::new(name.clone(), schema))?;
+                let table = self.core.make_table(name, schema)?;
+                self.core.catalog_write()?.create_table(table)?;
                 Ok(ExecOutcome::Ddl(format!("created table {name}")))
             }
             Statement::CreateView { name, query } => {
@@ -743,6 +912,9 @@ impl Engine {
             }
             Statement::DropTable(name) => {
                 let mut cat = self.core.catalog_write()?;
+                // Discard the table's cached pool pages before the drop;
+                // its heap file goes when the last shared handle does.
+                cat.table(name)?.release_storage()?;
                 cat.drop_table(name)?;
                 crate::matview::on_drop_table(&mut cat, name);
                 Ok(ExecOutcome::Ddl(format!("dropped table {name}")))
@@ -858,7 +1030,7 @@ impl Engine {
         let schema = t.schema().without_qualifiers().with_qualifier(t.name());
         let ctx = ExecCtx::over(cat, self.core.use_indexes());
         let mut ids = Vec::new();
-        for (rid, row) in t.rows().iter().enumerate() {
+        t.for_each_row(|rid, row| {
             let keep = match predicate {
                 None => true,
                 Some(pred) => {
@@ -872,7 +1044,8 @@ impl Engine {
             if keep {
                 ids.push(rid);
             }
-        }
+            Ok(())
+        })?;
         self.note_stats(ctx.take_stats());
         Ok(ids)
     }
@@ -900,10 +1073,10 @@ impl Engine {
             let ctx = ExecCtx::over(cat, self.core.use_indexes());
             let mut new_rows = Vec::with_capacity(ids.len());
             for &rid in &ids {
-                let row = t.row(rid);
+                let row = t.fetch_row(rid)?;
                 let frames = [Frame {
                     schema: &eval_schema,
-                    tuple: row,
+                    tuple: &row,
                 }];
                 let mut values = row.values().to_vec();
                 for ((_, expr), &pos) in assignments.iter().zip(&positions) {
@@ -923,7 +1096,7 @@ impl Engine {
             t.replace_row(rid, row)?;
         }
         if !ids.is_empty() {
-            t.rebuild_indexes();
+            t.rebuild_indexes()?;
         }
         Ok(ids)
     }

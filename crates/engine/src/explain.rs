@@ -52,9 +52,16 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             table,
             qualifier,
             rows,
+            backend,
             ..
         } => {
-            let _ = writeln!(out, "Seq scan: {}({rows} rows)", shown(table, qualifier));
+            let _ = write!(out, "Seq scan: {}({rows} rows)", shown(table, qualifier));
+            // The default in-memory backend stays unmarked so existing
+            // EXPLAIN output is byte-identical; paged scans are tagged.
+            if *backend != "mem" {
+                let _ = write!(out, " [backend={backend}]");
+            }
+            out.push('\n');
         }
         PlanNode::MatViewScan { view, rows, .. } => {
             let _ = writeln!(out, "Materialized view scan: {view} ({rows} winners)");

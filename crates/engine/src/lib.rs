@@ -29,6 +29,6 @@ mod matview;
 pub mod physical;
 pub mod plan;
 
-pub use exec::{Engine, EngineCore, ExecCtx, ExecOutcome, ExecStats, Relation};
+pub use exec::{BackendKind, Engine, EngineCore, ExecCtx, ExecOutcome, ExecStats, Relation};
 pub use physical::{BoxOperator, Operator};
 pub use plan::{PlanNode, QueryPlan};

@@ -230,9 +230,10 @@ pub(crate) fn build_def(
     crate::plan::projection_plan(&spec.query, &schema)?;
     let ctx = ExecCtx::over(cat, use_indexes);
     let mut entries = Vec::with_capacity(table.len());
-    for row in table.rows() {
+    table.for_each_row(|_, row| {
         entries.push(entry_for(&ctx, &spec, &schema, row)?);
-    }
+        Ok(())
+    })?;
     prefsql_pref::incremental::rebuild(&mut entries, &spec.compiled.preference);
     Ok(MatViewDef {
         name: name.to_string(),
@@ -247,6 +248,12 @@ pub(crate) fn build_def(
 /// `REFRESH MATERIALIZED PREFERENCE VIEW`: rebuild the stored result from
 /// the current base table and clear the stale flag. Returns the number of
 /// rows the view now serves.
+///
+/// Any rebuild failure — the base table gone, its schema changed under
+/// the view (DROP + CREATE with a different shape), an evaluation error —
+/// marks the view *stale* and returns a diagnostic: the one thing REFRESH
+/// must never do is leave a non-stale view serving rows that no longer
+/// match the definition.
 pub(crate) fn refresh(cat: &mut Catalog, name: &str, use_indexes: bool) -> Result<usize> {
     let (sql, base) = {
         let def = cat.matview(name).ok_or_else(|| {
@@ -257,25 +264,79 @@ pub(crate) fn refresh(cat: &mut Catalog, name: &str, use_indexes: bool) -> Resul
         })?;
         (def.sql.clone(), def.base_table.clone())
     };
-    let (schema, entries) = {
-        let spec = view_spec(&sql)?;
-        let table = cat.table(&base)?;
-        let schema = eval_schema(table, &spec.qual);
-        let ctx = ExecCtx::over(cat, use_indexes);
-        let mut entries = Vec::with_capacity(table.len());
-        for row in table.rows() {
-            entries.push(entry_for(&ctx, &spec, &schema, row)?);
+    match rebuild_from_base(cat, &sql, &base, use_indexes) {
+        Ok((schema, entries)) => {
+            let def = cat
+                .matview_mut(name)
+                .expect("view existed above and the catalog is write-locked");
+            def.schema = schema;
+            def.entries = entries;
+            def.stale = false;
+            Ok(def.winner_count())
         }
-        prefsql_pref::incremental::rebuild(&mut entries, &spec.compiled.preference);
-        (schema, entries)
-    };
-    let def = cat
-        .matview_mut(name)
-        .expect("view existed above and the catalog is write-locked");
-    def.schema = schema;
-    def.entries = entries;
-    def.stale = false;
-    Ok(def.winner_count())
+        Err(e) => {
+            if let Some(def) = cat.matview_mut(name) {
+                def.stale = true;
+            }
+            Err(Error::Catalog(format!(
+                "cannot refresh materialized preference view '{name}': {e} \
+                 (the view stays stale)"
+            )))
+        }
+    }
+}
+
+/// The rebuild phase of [`refresh`]: re-validate the definition against
+/// the *current* base table and recompute every entry.
+fn rebuild_from_base(
+    cat: &Catalog,
+    sql: &str,
+    base: &str,
+    use_indexes: bool,
+) -> Result<(Schema, Vec<MatViewEntry>)> {
+    let spec = view_spec(sql)?;
+    let table = cat.table(base)?;
+    let schema = eval_schema(table, &spec.qual);
+    // Re-resolve the select list against the table as it exists *now* —
+    // the validation CREATE ran binds to the schema of that moment, and a
+    // DROP/CREATE cycle may have replaced the table with a different
+    // shape whose rows must not be served through the old projection.
+    // `projection_plan` resolves wildcards eagerly but computed columns
+    // lazily, so every referenced column is additionally checked here —
+    // an empty base table must not let a dangling reference slide.
+    crate::plan::projection_plan(&spec.query, &schema)?;
+    for item in &spec.query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            check_columns(expr, &schema)?;
+        }
+    }
+    if let Some(w) = &spec.query.where_clause {
+        check_columns(w, &schema)?;
+    }
+    for e in &spec.compiled.base_exprs {
+        check_columns(e, &schema)?;
+    }
+    let ctx = ExecCtx::over(cat, use_indexes);
+    let mut entries = Vec::with_capacity(table.len());
+    table.for_each_row(|_, row| {
+        entries.push(entry_for(&ctx, &spec, &schema, row)?);
+        Ok(())
+    })?;
+    prefsql_pref::incremental::rebuild(&mut entries, &spec.compiled.preference);
+    Ok((schema, entries))
+}
+
+/// Every column reference in `expr` must resolve against `schema`
+/// (subqueries are skipped — they bind to their own FROM clause and are
+/// caught by per-row evaluation).
+fn check_columns(expr: &Expr, schema: &Schema) -> Result<()> {
+    if let Expr::Column { qualifier, name } = expr {
+        schema.resolve(qualifier.as_deref(), name)?;
+    }
+    for child in expr.children() {
+        check_columns(child, schema)?;
+    }
+    Ok(())
 }
 
 /// The views on `table` a DML hook must maintain: registered, not stale.
@@ -303,10 +364,12 @@ pub(crate) fn after_insert(
             let t = cat.table(table)?;
             let schema = eval_schema(t, &spec.qual);
             let ctx = ExecCtx::over(cat, use_indexes);
-            t.rows()[from_rid.min(t.len())..]
-                .iter()
-                .map(|row| entry_for(&ctx, spec, &schema, row))
-                .collect::<Result<Vec<_>>>()
+            let mut out = Vec::new();
+            t.for_each_row_from(from_rid.min(t.len()), |_, row| {
+                out.push(entry_for(&ctx, spec, &schema, row)?);
+                Ok(())
+            })?;
+            Ok(out)
         },
         |def, spec, new_entries| {
             for entry in new_entries {
@@ -367,7 +430,7 @@ pub(crate) fn after_update(
             let schema = eval_schema(t, &spec.qual);
             let ctx = ExecCtx::over(cat, use_indexes);
             ids.iter()
-                .map(|&rid| entry_for(&ctx, spec, &schema, t.row(rid)))
+                .map(|&rid| entry_for(&ctx, spec, &schema, &t.fetch_row(rid)?))
                 .collect::<Result<Vec<_>>>()
         },
         |def, spec, new_entries| {

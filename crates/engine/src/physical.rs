@@ -104,6 +104,10 @@ pub fn build<'a>(
             table,
             rows: &[],
             pos: 0,
+            paged: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+            scan_pos: 0,
         }),
         PlanNode::MatViewScan { view, .. } => Box::new(MatViewScanOp {
             ctx,
@@ -351,45 +355,109 @@ impl Operator for NothingOp {
     }
 }
 
-/// Full table scan: streams straight off the catalog's stored rows, no
-/// upfront copy — a `LIMIT` above stops the scan after a handful of
-/// clones no matter how large the table is.
+/// Full table scan. The in-memory backend streams straight off the
+/// catalog's stored rows with no upfront copy — a `LIMIT` above stops
+/// the scan after a handful of clones no matter how large the table is.
+/// The paged backend decodes page-sized batches through the buffer pool
+/// into an owned buffer that `next_slice` then lends, so consumers see
+/// the same borrowed-batch interface either way.
 struct SeqScanOp<'a> {
     ctx: &'a ExecCtx<'a>,
     table: &'a str,
+    /// Mem fast path: the backend's contiguous rows.
     rows: &'a [Tuple],
     pos: usize,
+    /// Paged path: the table handle to pull batches from (`None` = mem).
+    paged: Option<&'a prefsql_storage::Table>,
+    /// Paged path: the owned decode buffer `next_slice` lends from.
+    buf: Vec<Tuple>,
+    buf_pos: usize,
+    /// Paged path: the backend scan cursor (rid of the next refill).
+    scan_pos: usize,
+}
+
+impl SeqScanOp<'_> {
+    /// Refill the paged buffer with up to `max` rows; `false` at EOF.
+    fn refill(&mut self, max: usize) -> Result<bool> {
+        let table = self.paged.expect("refill is paged-only");
+        self.buf.clear();
+        self.buf_pos = 0;
+        table.scan_batch(&mut self.scan_pos, &mut self.buf, max)?;
+        Ok(!self.buf.is_empty())
+    }
 }
 
 impl Operator for SeqScanOp<'_> {
     fn open(&mut self) -> Result<()> {
         self.pos = 0;
+        self.scan_pos = 0;
+        self.buf.clear();
+        self.buf_pos = 0;
         let table = self.ctx.catalog().table(self.table)?;
         self.ctx.stats.borrow_mut().rows_scanned += table.len() as u64;
-        self.rows = table.rows();
+        match table.mem_rows() {
+            Some(rows) => {
+                self.rows = rows;
+                self.paged = None;
+            }
+            None => {
+                self.rows = &[];
+                self.paged = Some(table);
+            }
+        }
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
-        match self.rows.get(self.pos) {
-            Some(t) => {
-                self.pos += 1;
-                Ok(Some(t.clone()))
-            }
-            None => Ok(None),
+        if self.paged.is_none() {
+            return match self.rows.get(self.pos) {
+                Some(t) => {
+                    self.pos += 1;
+                    Ok(Some(t.clone()))
+                }
+                None => Ok(None),
+            };
         }
+        if self.buf_pos >= self.buf.len() && !self.refill(DEFAULT_BATCH)? {
+            return Ok(None);
+        }
+        let t = self.buf[self.buf_pos].clone();
+        self.buf_pos += 1;
+        Ok(Some(t))
     }
 
     fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
-        Ok(batch_from(self.rows, &mut self.pos, out, max))
+        let Some(table) = self.paged else {
+            return Ok(batch_from(self.rows, &mut self.pos, out, max));
+        };
+        // Emit any rows `next`/`next_slice` already decoded first, then
+        // pull straight from the backend into the caller's buffer.
+        if self.buf_pos < self.buf.len() {
+            let end = (self.buf_pos + max).min(self.buf.len());
+            out.extend_from_slice(&self.buf[self.buf_pos..end]);
+            self.buf_pos = end;
+            return Ok(true);
+        }
+        table.scan_batch(&mut self.scan_pos, out, max)
     }
 
     fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
-        Ok(Some(slice_from(self.rows, &mut self.pos, max)))
+        if self.paged.is_none() {
+            return Ok(Some(slice_from(self.rows, &mut self.pos, max)));
+        }
+        if self.buf_pos >= self.buf.len() && !self.refill(max)? {
+            return Ok(Some(&[]));
+        }
+        let end = (self.buf_pos + max).min(self.buf.len());
+        let slice = &self.buf[self.buf_pos..end];
+        self.buf_pos = end;
+        Ok(Some(slice))
     }
 
     fn close(&mut self) {
         self.rows = &[];
+        self.paged = None;
+        self.buf = Vec::new();
     }
 }
 
@@ -462,8 +530,8 @@ impl Operator for IndexScanOp<'_> {
         self.rows = self
             .row_ids
             .iter()
-            .map(|&rid| table.row(rid).clone())
-            .collect();
+            .map(|&rid| table.fetch_row(rid))
+            .collect::<Result<_>>()?;
         Ok(())
     }
 

@@ -46,6 +46,9 @@ pub enum PlanNode {
         qualifier: String,
         /// Row count at plan time (informational, for EXPLAIN).
         rows: usize,
+        /// Storage backend serving the scan (`"mem"` or `"paged"`; EXPLAIN
+        /// tags non-default backends).
+        backend: &'static str,
         /// Output schema (table schema re-qualified).
         schema: Schema,
     },
@@ -264,9 +267,16 @@ impl PlanNode {
             PlanNode::Limit { input, n, .. } => {
                 Some(input.estimate_rows()?.min(usize::try_from(*n).ok()?))
             }
-            PlanNode::NestedLoopJoin { left, right, .. }
-            | PlanNode::HashJoin { left, right, .. } => {
+            PlanNode::NestedLoopJoin { left, right, .. } => {
                 Some(left.estimate_rows()?.saturating_mul(right.estimate_rows()?))
+            }
+            // An equi-join emits at most |left| x |right| rows, but the
+            // cross-product estimate made every hash join look enormous to
+            // its parent (so a 3-table plan would build on a huge joined
+            // side). `max` keeps the bound sound for the common key-to-key
+            // shape while staying monotone in both inputs.
+            PlanNode::HashJoin { left, right, .. } => {
+                Some(left.estimate_rows()?.max(right.estimate_rows()?))
             }
             PlanNode::Aggregate { .. } => None,
         }
@@ -590,6 +600,7 @@ fn plan_named(
             table: name.to_string(),
             qualifier: qual,
             rows: table.stat_row_count(),
+            backend: table.backend_label(),
             schema,
         },
         // The probe counter is bumped at operator open, not here: EXPLAIN

@@ -293,7 +293,7 @@ mod tests {
             tab.insert(prefsql_types::tuple![i]).unwrap();
         }
         assert_eq!(c.row_count("R").unwrap(), 5);
-        c.table_mut("r").unwrap().delete_rows(&[0, 3]);
+        c.table_mut("r").unwrap().delete_rows(&[0, 3]).unwrap();
         assert_eq!(c.row_count("r").unwrap(), 3);
         assert!(c.row_count("missing").is_err());
     }

@@ -1,0 +1,160 @@
+//! The tagged-value binary codec shared by every on-disk tuple format.
+//!
+//! Spill runs ([`crate::spill`]) and heap-file pages ([`crate::page`])
+//! serialize tuples identically: a `u32` arity followed by one tagged
+//! value per field (tag byte + fixed or length-prefixed payload). This
+//! module is the single definition of that encoding, so the spill
+//! window's byte accounting, the Grace join's partition sizing and the
+//! paged backend's free-space math all agree on what a tuple weighs.
+//!
+//! The encoding is private to this crate's file formats: it carries no
+//! version header and makes no cross-version compatibility promise.
+
+use prefsql_types::{Date, Error, Result, Tuple, Value};
+use std::io::{Read, Write};
+
+/// Value tags (one byte per value).
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+/// The serialized size of one tuple (arity header + tagged values), in
+/// bytes. Also used as the in-memory byte estimate for window
+/// accounting, so "window budget" and "bytes spilled" speak the same
+/// unit.
+pub fn tuple_spill_bytes(t: &Tuple) -> usize {
+    4 + t.values().iter().map(value_spill_bytes).sum::<usize>()
+}
+
+/// The serialized size of one value (tag byte + payload). The single
+/// size table behind every byte estimate — callers that weigh candidates
+/// without building [`Tuple`]s sum this directly.
+pub fn value_spill_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) | Value::Date(_) => 9,
+        Value::Str(s) => 5 + s.len(),
+    }
+}
+
+pub(crate) fn write_value(out: &mut impl Write, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.write_all(&[TAG_NULL])?,
+        Value::Bool(b) => out.write_all(&[TAG_BOOL, u8::from(*b)])?,
+        Value::Int(i) => {
+            out.write_all(&[TAG_INT])?;
+            out.write_all(&i.to_le_bytes())?;
+        }
+        Value::Float(f) => {
+            out.write_all(&[TAG_FLOAT])?;
+            out.write_all(&f.to_bits().to_le_bytes())?;
+        }
+        Value::Str(s) => {
+            let len = u32::try_from(s.len())
+                .map_err(|_| Error::Io(format!("string of {} bytes exceeds format", s.len())))?;
+            out.write_all(&[TAG_STR])?;
+            out.write_all(&len.to_le_bytes())?;
+            out.write_all(s.as_bytes())?;
+        }
+        Value::Date(d) => {
+            out.write_all(&[TAG_DATE])?;
+            out.write_all(&d.days().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn read_exact<const N: usize>(input: &mut impl Read) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    input
+        .read_exact(&mut buf)
+        .map_err(|e| Error::Io(format!("truncated tuple data: {e}")))?;
+    Ok(buf)
+}
+
+pub(crate) fn read_value(input: &mut impl Read) -> Result<Value> {
+    let [tag] = read_exact::<1>(input)?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(read_exact::<1>(input)?[0] != 0),
+        TAG_INT => Value::Int(i64::from_le_bytes(read_exact::<8>(input)?)),
+        TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(read_exact::<8>(input)?))),
+        TAG_STR => {
+            let len = u32::from_le_bytes(read_exact::<4>(input)?) as usize;
+            let mut bytes = vec![0u8; len];
+            input
+                .read_exact(&mut bytes)
+                .map_err(|e| Error::Io(format!("truncated tuple data: {e}")))?;
+            Value::Str(
+                String::from_utf8(bytes).map_err(|e| Error::Io(format!("corrupt tuple: {e}")))?,
+            )
+        }
+        TAG_DATE => Value::Date(Date::from_days(i64::from_le_bytes(read_exact::<8>(input)?))),
+        other => return Err(Error::Io(format!("corrupt tuple: unknown tag {other}"))),
+    })
+}
+
+/// Serialize one tuple (arity header + values) onto the end of `buf`.
+pub(crate) fn encode_tuple(buf: &mut Vec<u8>, t: &Tuple) -> Result<()> {
+    let arity = u32::try_from(t.len())
+        .map_err(|_| Error::Io(format!("tuple of {} fields exceeds format", t.len())))?;
+    buf.extend_from_slice(&arity.to_le_bytes());
+    for v in t.values() {
+        write_value(buf, v)?;
+    }
+    Ok(())
+}
+
+/// Deserialize one tuple from the front of `bytes` (the slice advances
+/// past what was consumed).
+pub(crate) fn decode_tuple(bytes: &mut &[u8]) -> Result<Tuple> {
+    let arity = u32::from_le_bytes(read_exact::<4>(bytes)?) as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(read_value(bytes)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefsql_types::tuple;
+
+    #[test]
+    fn tuples_round_trip_and_sizes_are_exact() {
+        let cases = vec![
+            tuple![1, "audi", 2.5, true],
+            Tuple::new(vec![Value::Null, Value::Date(Date::from_days(10_000))]),
+            Tuple::new(vec![]),
+            tuple!["grüß gott", ""],
+        ];
+        for t in cases {
+            let mut buf = Vec::new();
+            encode_tuple(&mut buf, &t).unwrap();
+            assert_eq!(
+                buf.len(),
+                tuple_spill_bytes(&t),
+                "size table drifted: {t:?}"
+            );
+            let mut slice = &buf[..];
+            assert_eq!(decode_tuple(&mut slice).unwrap(), t);
+            assert!(slice.is_empty(), "decode must consume exactly one tuple");
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_error() {
+        let mut buf = Vec::new();
+        encode_tuple(&mut buf, &tuple![17, "body"]).unwrap();
+        let mut short = &buf[..buf.len() - 1];
+        assert!(matches!(decode_tuple(&mut short), Err(Error::Io(_))));
+        buf[4] = 99; // clobber the first value tag
+        let mut bad = &buf[..];
+        assert!(matches!(decode_tuple(&mut bad), Err(Error::Io(_))));
+    }
+}

@@ -11,14 +11,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod catalog;
+pub mod codec;
+pub mod heap;
 pub mod index;
 pub mod matview;
+pub mod page;
+pub mod pool;
 pub mod spill;
 pub mod table;
 
+pub use backend::{MemBackend, PagedBackend, StorageBackend};
 pub use catalog::{Catalog, ViewDef};
+pub use heap::HeapFile;
 pub use index::{BTreeIndex, HashIndex, IndexKind};
 pub use matview::{MatViewDef, MatViewEntry};
+pub use pool::{BufferPool, PoolStats};
 pub use spill::{RunReader, RunWriter, SpillManager, SpillRun};
 pub use table::Table;

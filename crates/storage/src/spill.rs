@@ -13,101 +13,19 @@
 //!   and everything in it is removed even when a pass errors mid-read).
 //!
 //! The on-disk format is a private length-prefixed binary encoding
-//! (frame = tuple count + tuples; tuple = arity + tagged values). Runs
-//! are temporary per-query files, never persisted artifacts, so the
-//! format carries no version header and makes no compatibility promise.
+//! (frame = tuple count + tuples; tuple = arity + tagged values — the
+//! shared [`crate::codec`], which heap-file pages reuse). Runs are
+//! temporary per-query files, never persisted artifacts, so the format
+//! carries no version header and makes no compatibility promise.
 
-use prefsql_types::{Date, Error, Result, Tuple, Value};
+use crate::codec::{read_exact, read_value, write_value};
+use prefsql_types::{Error, Result, Tuple};
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Value tags of the run encoding (one byte per value).
-const TAG_NULL: u8 = 0;
-const TAG_BOOL: u8 = 1;
-const TAG_INT: u8 = 2;
-const TAG_FLOAT: u8 = 3;
-const TAG_STR: u8 = 4;
-const TAG_DATE: u8 = 5;
-
-/// The serialized size of one tuple in a run file, in bytes. Also used
-/// as the in-memory byte estimate for window accounting, so "window
-/// budget" and "bytes spilled" speak the same unit.
-pub fn tuple_spill_bytes(t: &Tuple) -> usize {
-    4 + t.values().iter().map(value_spill_bytes).sum::<usize>()
-}
-
-/// The serialized size of one value in a run file (tag byte + payload).
-/// The single size table behind every byte estimate — callers that
-/// weigh candidates without building [`Tuple`]s sum this directly.
-pub fn value_spill_bytes(v: &Value) -> usize {
-    match v {
-        Value::Null => 1,
-        Value::Bool(_) => 2,
-        Value::Int(_) | Value::Float(_) | Value::Date(_) => 9,
-        Value::Str(s) => 5 + s.len(),
-    }
-}
-
-fn write_value(out: &mut impl Write, v: &Value) -> Result<()> {
-    match v {
-        Value::Null => out.write_all(&[TAG_NULL])?,
-        Value::Bool(b) => out.write_all(&[TAG_BOOL, u8::from(*b)])?,
-        Value::Int(i) => {
-            out.write_all(&[TAG_INT])?;
-            out.write_all(&i.to_le_bytes())?;
-        }
-        Value::Float(f) => {
-            out.write_all(&[TAG_FLOAT])?;
-            out.write_all(&f.to_bits().to_le_bytes())?;
-        }
-        Value::Str(s) => {
-            let len = u32::try_from(s.len()).map_err(|_| {
-                Error::Io(format!("string of {} bytes exceeds run format", s.len()))
-            })?;
-            out.write_all(&[TAG_STR])?;
-            out.write_all(&len.to_le_bytes())?;
-            out.write_all(s.as_bytes())?;
-        }
-        Value::Date(d) => {
-            out.write_all(&[TAG_DATE])?;
-            out.write_all(&d.days().to_le_bytes())?;
-        }
-    }
-    Ok(())
-}
-
-fn read_exact<const N: usize>(input: &mut impl Read) -> Result<[u8; N]> {
-    let mut buf = [0u8; N];
-    input
-        .read_exact(&mut buf)
-        .map_err(|e| Error::Io(format!("truncated spill run: {e}")))?;
-    Ok(buf)
-}
-
-fn read_value(input: &mut impl Read) -> Result<Value> {
-    let [tag] = read_exact::<1>(input)?;
-    Ok(match tag {
-        TAG_NULL => Value::Null,
-        TAG_BOOL => Value::Bool(read_exact::<1>(input)?[0] != 0),
-        TAG_INT => Value::Int(i64::from_le_bytes(read_exact::<8>(input)?)),
-        TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(read_exact::<8>(input)?))),
-        TAG_STR => {
-            let len = u32::from_le_bytes(read_exact::<4>(input)?) as usize;
-            let mut bytes = vec![0u8; len];
-            input
-                .read_exact(&mut bytes)
-                .map_err(|e| Error::Io(format!("truncated spill run: {e}")))?;
-            Value::Str(
-                String::from_utf8(bytes)
-                    .map_err(|e| Error::Io(format!("corrupt spill run: {e}")))?,
-            )
-        }
-        TAG_DATE => Value::Date(Date::from_days(i64::from_le_bytes(read_exact::<8>(input)?))),
-        other => return Err(Error::Io(format!("corrupt spill run: unknown tag {other}"))),
-    })
-}
+pub use crate::codec::{tuple_spill_bytes, value_spill_bytes};
 
 /// A completed overflow run: the file path plus its totals, returned by
 /// [`RunWriter::finish`] and consumed by [`RunReader::open`]. The file
@@ -382,7 +300,7 @@ impl Drop for SpillManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prefsql_types::tuple;
+    use prefsql_types::{tuple, Date, Value};
 
     fn sample_batch() -> Vec<Tuple> {
         vec![

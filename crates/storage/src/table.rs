@@ -1,15 +1,28 @@
 //! Heap tables: schema-validated row storage with secondary indexes.
+//!
+//! A [`Table`] owns a [`StorageBackend`] — the in-memory `Vec<Tuple>`
+//! by default, or the paged heap-file store — plus everything that is
+//! backend-independent: the schema, validation, secondary indexes and
+//! the live row-count statistic. Callers that can exploit contiguous
+//! rows (the scan operators' zero-copy path) ask for [`Table::mem_rows`]
+//! and fall back to the rid-based accessors ([`Table::fetch_row`],
+//! [`Table::scan_batch`], [`Table::for_each_row_from`]) when the rows
+//! live on disk.
 
+use crate::backend::{MemBackend, PagedBackend, StorageBackend};
+use crate::heap::HeapFile;
 use crate::index::{BTreeIndex, HashIndex, IndexKind};
+use crate::pool::BufferPool;
 use prefsql_types::{Error, Result, Schema, Tuple};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// An in-memory heap table.
+/// A heap table over one of the storage backends.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Tuple>,
+    backend: Box<dyn StorageBackend>,
     hash_indexes: HashMap<String, HashIndex>,
     btree_indexes: HashMap<String, BTreeIndex>,
     /// Live row-count statistic, maintained incrementally at the insert
@@ -20,15 +33,43 @@ pub struct Table {
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty in-memory table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table::over(name, schema, Box::new(MemBackend::default()))
+    }
+
+    /// Create an empty paged table storing rows in `file` through the
+    /// shared buffer pool.
+    pub fn paged(
+        name: impl Into<String>,
+        schema: Schema,
+        file: Arc<HeapFile>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        Table::over(name, schema, Box::new(PagedBackend::create(file, pool)))
+    }
+
+    /// Open an existing heap file as a paged table (reopened database).
+    /// Indexes are not persisted and start empty.
+    pub fn paged_open(
+        name: impl Into<String>,
+        schema: Schema,
+        file: Arc<HeapFile>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self> {
+        let backend = PagedBackend::open(file, pool)?;
+        Ok(Table::over(name, schema, Box::new(backend)))
+    }
+
+    fn over(name: impl Into<String>, schema: Schema, backend: Box<dyn StorageBackend>) -> Self {
+        let stat_rows = backend.row_count();
         Table {
             name: name.into().to_ascii_lowercase(),
             schema,
-            rows: Vec::new(),
+            backend,
             hash_indexes: HashMap::new(),
             btree_indexes: HashMap::new(),
-            stat_rows: 0,
+            stat_rows,
         }
     }
 
@@ -42,33 +83,96 @@ impl Table {
         &self.schema
     }
 
+    /// The backend's EXPLAIN label: `"mem"` or `"paged"`.
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// All rows as a contiguous slice, if the backend keeps them in
+    /// memory — the zero-copy fast path. Paged tables return `None`;
+    /// use [`Table::scan_batch`] / [`Table::fetch_row`] instead.
+    pub fn mem_rows(&self) -> Option<&[Tuple]> {
+        self.backend.as_mem()
+    }
+
     /// All rows, in insertion order.
+    ///
+    /// # Panics
+    /// On a paged table — this accessor predates the backend seam and
+    /// only exists for in-memory workloads; backend-agnostic callers use
+    /// [`Table::mem_rows`] or the rid-based accessors.
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.backend
+            .as_mem()
+            .expect("Table::rows is only available on the in-memory backend")
     }
 
     /// Row count.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.backend.row_count()
     }
 
     /// True iff the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Fetch one row by id, whichever backend holds it.
+    pub fn fetch_row(&self, row_id: usize) -> Result<Tuple> {
+        self.backend.fetch(row_id)
+    }
+
+    /// Append up to `max` rows starting at rid `*pos` onto `out`,
+    /// advancing `*pos`. Returns `false` once the scan is exhausted.
+    pub fn scan_batch(&self, pos: &mut usize, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
+        self.backend.scan(pos, out, max)
+    }
+
+    /// Run `f` over every row from rid `from` on, in rid order. The
+    /// in-memory backend iterates its slice; the paged backend decodes
+    /// page-sized batches.
+    pub fn for_each_row_from(
+        &self,
+        from: usize,
+        mut f: impl FnMut(usize, &Tuple) -> Result<()>,
+    ) -> Result<()> {
+        if let Some(rows) = self.backend.as_mem() {
+            for (i, row) in rows.iter().enumerate().skip(from) {
+                f(i, row)?;
+            }
+            return Ok(());
+        }
+        let mut pos = from;
+        let mut buf = Vec::new();
+        loop {
+            let batch_start = pos;
+            buf.clear();
+            if !self.backend.scan(&mut pos, &mut buf, 1024)? {
+                return Ok(());
+            }
+            for (i, row) in buf.iter().enumerate() {
+                f(batch_start + i, row)?;
+            }
+        }
+    }
+
+    /// Run `f` over every row, in rid order.
+    pub fn for_each_row(&self, f: impl FnMut(usize, &Tuple) -> Result<()>) -> Result<()> {
+        self.for_each_row_from(0, f)
     }
 
     /// Insert one row after validating it against the schema; maintains all
     /// indexes. Returns the new row id.
     pub fn insert(&mut self, row: Tuple) -> Result<usize> {
         row.check_against(&self.schema)?;
-        let row_id = self.rows.len();
         for idx in self.hash_indexes.values_mut() {
-            idx.insert(row_id, &row);
+            idx.insert(self.stat_rows, &row);
         }
         for idx in self.btree_indexes.values_mut() {
-            idx.insert(row_id, &row);
+            idx.insert(self.stat_rows, &row);
         }
-        self.rows.push(row);
+        let row_id = self.backend.insert(row)?;
+        debug_assert_eq!(row_id, self.stat_rows, "backends append densely");
         self.stat_rows += 1;
         Ok(row_id)
     }
@@ -107,16 +211,18 @@ impl Table {
         match kind {
             IndexKind::Hash => {
                 let mut idx = HashIndex::new(key_columns);
-                for (rid, row) in self.rows.iter().enumerate() {
+                self.for_each_row(|rid, row| {
                     idx.insert(rid, row);
-                }
+                    Ok(())
+                })?;
                 self.hash_indexes.insert(index_name, idx);
             }
             IndexKind::BTree => {
                 let mut idx = BTreeIndex::new(key_columns);
-                for (rid, row) in self.rows.iter().enumerate() {
+                self.for_each_row(|rid, row| {
                     idx.insert(rid, row);
-                }
+                    Ok(())
+                })?;
                 self.btree_indexes.insert(index_name, idx);
             }
         }
@@ -149,29 +255,26 @@ impl Table {
         names
     }
 
-    /// Fetch a row by id.
+    /// Fetch a row by id, borrowed.
+    ///
+    /// # Panics
+    /// On a paged table or an out-of-range id — backend-agnostic callers
+    /// use [`Table::fetch_row`].
     pub fn row(&self, row_id: usize) -> &Tuple {
-        &self.rows[row_id]
+        &self.rows()[row_id]
     }
 
     /// Delete every row whose id is in `row_ids`; returns the number of
     /// rows removed. Row ids are compacted and all indexes rebuilt.
-    pub fn delete_rows(&mut self, row_ids: &[usize]) -> usize {
+    pub fn delete_rows(&mut self, row_ids: &[usize]) -> Result<usize> {
         if row_ids.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let doomed: std::collections::HashSet<usize> = row_ids.iter().copied().collect();
-        let before = self.rows.len();
-        let mut keep = Vec::with_capacity(before - doomed.len().min(before));
-        for (rid, row) in self.rows.drain(..).enumerate() {
-            if !doomed.contains(&rid) {
-                keep.push(row);
-            }
-        }
-        self.rows = keep;
-        self.stat_rows = self.rows.len();
-        self.rebuild_indexes();
-        before - self.rows.len()
+        let removed = self.backend.delete(&doomed)?;
+        self.stat_rows = self.backend.row_count();
+        self.rebuild_indexes()?;
+        Ok(removed)
     }
 
     /// The live row-count statistic. Maintained at every insert/delete,
@@ -185,51 +288,105 @@ impl Table {
     /// Call [`Table::rebuild_indexes`] once after a batch of updates.
     pub fn replace_row(&mut self, row_id: usize, row: Tuple) -> Result<()> {
         row.check_against(&self.schema)?;
-        if row_id >= self.rows.len() {
+        if row_id >= self.len() {
             return Err(Error::Exec(format!(
                 "row id {row_id} out of range for table '{}'",
                 self.name
             )));
         }
-        self.rows[row_id] = row;
-        Ok(())
+        self.backend.replace(row_id, row)
     }
 
     /// Rebuild every index from the current rows (after deletes/updates).
-    pub fn rebuild_indexes(&mut self) {
+    pub fn rebuild_indexes(&mut self) -> Result<()> {
         for idx in self.hash_indexes.values_mut() {
             let mut fresh = HashIndex::new(idx.key_columns().to_vec());
-            for (rid, row) in self.rows.iter().enumerate() {
-                fresh.insert(rid, row);
+            let mut pos = 0;
+            let mut buf = Vec::new();
+            loop {
+                let start = pos;
+                buf.clear();
+                if !self.backend.scan(&mut pos, &mut buf, 1024)? {
+                    break;
+                }
+                for (i, row) in buf.iter().enumerate() {
+                    fresh.insert(start + i, row);
+                }
             }
             *idx = fresh;
         }
         for idx in self.btree_indexes.values_mut() {
             let mut fresh = BTreeIndex::new(idx.key_columns().to_vec());
-            for (rid, row) in self.rows.iter().enumerate() {
-                fresh.insert(rid, row);
+            let mut pos = 0;
+            let mut buf = Vec::new();
+            loop {
+                let start = pos;
+                buf.clear();
+                if !self.backend.scan(&mut pos, &mut buf, 1024)? {
+                    break;
+                }
+                for (i, row) in buf.iter().enumerate() {
+                    fresh.insert(start + i, row);
+                }
             }
             *idx = fresh;
         }
+        Ok(())
+    }
+
+    /// Release backend resources on DROP TABLE (a paged table's cached
+    /// pool pages are discarded; its heap file goes when the last shared
+    /// handle does).
+    pub fn release_storage(&self) -> Result<()> {
+        self.backend.release()
+    }
+
+    /// Persist dirty backend state (paged tables flush their pool pages
+    /// and sync the heap file; in-memory tables are a no-op).
+    pub fn flush_storage(&self) -> Result<()> {
+        self.backend.flush()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefsql_types::knobs::MIN_POOL_BYTES;
     use prefsql_types::{tuple, Column, DataType, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn cars() -> Table {
-        let schema = Schema::new(vec![
+    fn cars_schema() -> Schema {
+        Schema::new(vec![
             Column::new("id", DataType::Int).not_null(),
             Column::new("make", DataType::Str),
             Column::new("price", DataType::Int),
         ])
-        .unwrap();
-        let mut t = Table::new("cars", schema);
+        .unwrap()
+    }
+
+    fn fill(t: &mut Table) {
         t.insert(tuple![1, "audi", 40_000]).unwrap();
         t.insert(tuple![2, "bmw", 35_000]).unwrap();
         t.insert(tuple![3, "vw", 20_000]).unwrap();
+    }
+
+    fn cars() -> Table {
+        let mut t = Table::new("cars", cars_schema());
+        fill(&mut t);
+        t
+    }
+
+    fn paged_cars(tag: &str) -> Table {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "prefsql-table-test-{}-{}-{tag}.heap",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = Arc::new(HeapFile::create(path, true).unwrap());
+        let pool = Arc::new(BufferPool::new(MIN_POOL_BYTES));
+        let mut t = Table::paged("cars", cars_schema(), file, pool);
+        fill(&mut t);
         t
     }
 
@@ -288,7 +445,7 @@ mod tests {
             .unwrap();
         t.create_index("i_price", &["price"], IndexKind::BTree)
             .unwrap();
-        assert_eq!(t.delete_rows(&[1]), 1); // drop the BMW
+        assert_eq!(t.delete_rows(&[1]).unwrap(), 1); // drop the BMW
         assert_eq!(t.len(), 2);
         // Row ids compacted: vw moved from 2 to 1.
         assert_eq!(t.row(1)[1], Value::str("vw"));
@@ -299,9 +456,9 @@ mod tests {
         let b = t.find_btree_index(2).unwrap();
         assert_eq!(b.range(None, None).len(), 2);
         // Deleting nothing is a no-op.
-        assert_eq!(t.delete_rows(&[]), 0);
+        assert_eq!(t.delete_rows(&[]).unwrap(), 0);
         // Duplicate and repeated ids are tolerated.
-        assert_eq!(t.delete_rows(&[0, 0]), 1);
+        assert_eq!(t.delete_rows(&[0, 0]).unwrap(), 1);
         assert_eq!(t.len(), 1);
     }
 
@@ -311,7 +468,7 @@ mod tests {
         t.create_index("i_make", &["make"], IndexKind::Hash)
             .unwrap();
         t.replace_row(0, tuple![1, "opel", 42_000]).unwrap();
-        t.rebuild_indexes();
+        t.rebuild_indexes().unwrap();
         let idx = t.find_hash_index(&[1]).unwrap();
         assert_eq!(idx.lookup(&[Value::str("opel")]), &[0]);
         assert_eq!(idx.lookup(&[Value::str("audi")]), &[] as &[usize]);
@@ -326,7 +483,7 @@ mod tests {
         assert_eq!(t.stat_row_count(), t.len());
         t.insert(tuple![4, "opel", 15_000]).unwrap();
         assert_eq!(t.stat_row_count(), 4);
-        t.delete_rows(&[0, 2]);
+        t.delete_rows(&[0, 2]).unwrap();
         assert_eq!(t.stat_row_count(), t.len());
         t.replace_row(0, tuple![9, "seat", 9_000]).unwrap();
         assert_eq!(t.stat_row_count(), 2);
@@ -342,5 +499,59 @@ mod tests {
         t.create_index("z", &["make"], IndexKind::Hash).unwrap();
         t.create_index("a", &["price"], IndexKind::BTree).unwrap();
         assert_eq!(t.index_names(), vec!["a".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn paged_table_mirrors_the_mem_api() {
+        let mut t = paged_cars("mirror");
+        assert_eq!(t.backend_label(), "paged");
+        assert!(t.mem_rows().is_none());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.fetch_row(2).unwrap(), tuple![3, "vw", 20_000]);
+        // Validation is backend-independent.
+        assert!(t.insert(tuple!["bad", "x", 1]).is_err());
+        // Index backfill scans pages; maintenance tracks inserts.
+        t.create_index("idx_make", &["make"], IndexKind::Hash)
+            .unwrap();
+        t.insert(tuple![4, "audi", 45_000]).unwrap();
+        let idx = t.find_hash_index(&[1]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("audi")]), &[0, 3]);
+        // Delete compacts, reindexes, and keeps the statistic honest.
+        assert_eq!(t.delete_rows(&[1]).unwrap(), 1);
+        assert_eq!(t.stat_row_count(), t.len());
+        assert_eq!(t.fetch_row(1).unwrap()[1], Value::str("vw"));
+        let idx = t.find_hash_index(&[1]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("vw")]), &[1]);
+        // Replace in place, then scan everything in order.
+        t.replace_row(0, tuple![9, "opel", 1]).unwrap();
+        let mut rows = Vec::new();
+        let mut pos = 0;
+        while t.scan_batch(&mut pos, &mut rows, 2).unwrap() {}
+        assert_eq!(
+            rows,
+            vec![
+                tuple![9, "opel", 1],
+                tuple![3, "vw", 20_000],
+                tuple![4, "audi", 45_000],
+            ]
+        );
+    }
+
+    #[test]
+    fn for_each_row_from_matches_both_backends() {
+        for t in [cars(), paged_cars("foreach")] {
+            let mut seen = Vec::new();
+            t.for_each_row_from(1, |rid, row| {
+                seen.push((rid, row[0].clone()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(
+                seen,
+                vec![(1, Value::Int(2)), (2, Value::Int(3))],
+                "backend {}",
+                t.backend_label()
+            );
+        }
     }
 }

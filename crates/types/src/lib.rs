@@ -13,6 +13,7 @@
 
 pub mod date;
 pub mod error;
+pub mod knobs;
 pub mod schema;
 pub mod tuple;
 pub mod value;
