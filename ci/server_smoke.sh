@@ -33,3 +33,61 @@ got=$(mktemp)
 "$client" "$addr" <ci/smoke_session.txt >"$got"
 diff -u ci/smoke_session.expected "$got"
 echo "smoke session OK against $addr"
+
+# ---- observability leg: METRICS verb + slow-query log -----------------
+# Counter values and timings are nondeterministic, so this leg greps for
+# structure instead of diffing a golden transcript. A 0 ms threshold
+# makes every statement "slow".
+slow_log=$(mktemp)
+log2=$(mktemp)
+"$server" 127.0.0.1:0 --slow-query-ms 0 >"$log2" 2>"$slow_log" &
+slow_pid=$!
+trap 'kill "$server_pid" "$slow_pid" 2>/dev/null || true' EXIT
+
+addr2=""
+for _ in $(seq 1 100); do
+    addr2=$(sed -n 's/^prefsql-server listening on //p' "$log2")
+    [ -n "$addr2" ] && break
+    sleep 0.1
+done
+if [ -z "$addr2" ]; then
+    echo "slow-query server never reported its listening address" >&2
+    cat "$log2" >&2
+    exit 1
+fi
+
+metrics_out=$(mktemp)
+"$client" "$addr2" >"$metrics_out" <<'EOF'
+CREATE TABLE trips (dest VARCHAR, duration INTEGER)
+INSERT INTO trips VALUES ('Rome', 10), ('Oslo', 14), ('Pisa', 21)
+\mode native
+SELECT dest FROM trips PREFERRING duration AROUND 14
+METRICS
+\q
+EOF
+
+# The registry saw the statements and ships key<TAB>value payload lines.
+total=$(sed -n 's/^| statements\.total\t//p' "$metrics_out")
+if [ -z "$total" ] || [ "$total" -lt 3 ]; then
+    echo "METRICS reply missing or implausible statements.total: '$total'" >&2
+    cat "$metrics_out" >&2
+    exit 1
+fi
+grep -q '^| exec\.dominance_tests	[1-9]' "$metrics_out" || {
+    echo "METRICS reply missing nonzero exec.dominance_tests" >&2
+    cat "$metrics_out" >&2
+    exit 1
+}
+
+# Every statement crossed the 0 ms bar and was logged with its plan.
+grep -q '^\[slow query\] .* ms: SELECT dest FROM trips' "$slow_log" || {
+    echo "slow-query log missing the SELECT" >&2
+    cat "$slow_log" >&2
+    exit 1
+}
+grep -q 'actual rows=' "$slow_log" || {
+    echo "slow-query log missing the analyzed plan" >&2
+    cat "$slow_log" >&2
+    exit 1
+}
+echo "METRICS + slow-query log OK against $addr2"

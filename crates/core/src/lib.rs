@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod connection;
+pub(crate) mod footer;
 pub mod knobs;
 pub mod native;
 pub mod result;

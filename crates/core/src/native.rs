@@ -707,6 +707,10 @@ pub fn run_native_ctx(
                 None,
             )
         } else {
+            // Under EXPLAIN ANALYZE (or the server's slow-query log) the
+            // statement context carries a profiler: register the source
+            // plan so the per-node metrics can be rendered against it.
+            ctx.profile_plan(&plan);
             let mut op = PreferenceOp::new(
                 build(ctx, plan.root(), &[]),
                 ctx,
@@ -733,6 +737,13 @@ pub fn run_native_ctx(
             }
             (winners, best_scores, spill)
         };
+
+    // Harvest the dominance tally of this statement's maximal-set
+    // selection — the paper's unit of preference-evaluation cost. A view
+    // hit skipped the pass entirely (its upkeep was charged at DML
+    // time), so a served query reports zero.
+    let comparisons = native.compiled.preference.take_comparisons();
+    ctx.note_dominance_tests(comparisons);
 
     let compiled = &native.compiled;
     let arity = compiled.preference.arity();
@@ -862,6 +873,7 @@ pub fn run_native_ctx(
         rows,
     })
     .with_spill(spill)
+    .with_dominance(comparisons)
     .with_views(served.map(|name| ViewActivity {
         served_by: Some(name),
         maintained: 0,

@@ -31,6 +31,9 @@ pub struct ResultSet {
     spill: Option<SpillMetrics>,
     views: Option<ViewActivity>,
     pool: Option<PoolStats>,
+    /// Dominance comparisons the maximal-set selection performed (native
+    /// preference path; 0 for rewrite-path and plain SQL results).
+    dominance: u64,
 }
 
 /// Result equality is *relation* equality (schema and rows). Spill
@@ -53,6 +56,7 @@ impl ResultSet {
             spill: None,
             views: None,
             pool: None,
+            dominance: 0,
         }
     }
 
@@ -72,6 +76,21 @@ impl ResultSet {
     pub(crate) fn with_pool(mut self, pool: Option<PoolStats>) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Attach the dominance-comparison tally of the evaluation that
+    /// produced this result (native preference path).
+    pub(crate) fn with_dominance(mut self, n: u64) -> Self {
+        self.dominance = n;
+        self
+    }
+
+    /// Dominance comparisons ([`prefsql_pref`]'s `Preference::better`
+    /// calls) the maximal-set selection behind this result performed —
+    /// the paper's unit of preference-evaluation cost. Zero for
+    /// rewrite-path results, plain SQL, and view cache hits.
+    pub fn dominance_tests(&self) -> u64 {
+        self.dominance
     }
 
     /// Spill metrics of the evaluation that produced this result:
@@ -171,6 +190,7 @@ impl ResultSet {
             spill: self.spill,
             views: self.views,
             pool: self.pool,
+            dominance: self.dominance,
         }
     }
 }

@@ -26,7 +26,7 @@
 use crate::native::{self, NativeOptions, SkylineAlgo};
 use crate::result::ResultSet;
 use prefsql_engine::{BackendKind, Engine, EngineCore, ExecOutcome};
-use prefsql_parser::ast::{Expr as PExpr, InsertSource, Statement};
+use prefsql_parser::ast::{Expr as PExpr, InsertSource, Query, Statement};
 use prefsql_parser::{parse_statement, parse_statements};
 use prefsql_rewrite::{RewriteOutput, Rewriter};
 use prefsql_types::{Error, Result};
@@ -34,6 +34,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How preference queries are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -155,6 +156,7 @@ impl Session {
     /// A session over an existing shared core — the server spawns one of
     /// these per accepted connection.
     pub fn with_core(core: Arc<EngineCore>) -> Self {
+        core.metrics().session_opened();
         let mut session = Session {
             engine: Engine::with_core(core),
             rewriter: Rewriter::new(),
@@ -320,6 +322,21 @@ impl Session {
 
     /// Execute a parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Every statement — whichever path evaluates it — feeds the
+        // engine-wide metrics registry exactly once, here.
+        let started = Instant::now();
+        let result = self.execute_statement_inner(stmt);
+        let metrics = self.engine.core().metrics();
+        metrics.note_statement(started.elapsed().as_nanos() as u64, result.is_ok());
+        match &result {
+            Ok(QueryResult::Rows(rs)) => metrics.add_rows_returned(rs.len() as u64),
+            Ok(QueryResult::Count(n)) => metrics.add_rows_affected(*n as u64),
+            _ => {}
+        }
+        result
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<QueryResult> {
         // Materialized preference view DDL: the engine owns the stored
         // result but has no preference registry, so named preferences in
         // the definition resolve through this session's registry first.
@@ -371,7 +388,11 @@ impl Session {
                     return Ok(QueryResult::Rows(rs));
                 }
             }
-            if let Statement::Explain(inner) = stmt {
+            if let Statement::Explain {
+                analyze,
+                statement: inner,
+            } = stmt
+            {
                 if let Statement::Select(q) = inner.as_ref() {
                     if q.preferring.is_some() {
                         let plan = native::explain_native_opts(
@@ -380,6 +401,9 @@ impl Session {
                             q,
                             opts,
                         )?;
+                        if *analyze {
+                            return self.explain_analyze_native(q, opts, plan);
+                        }
                         return Ok(QueryResult::Explain(format!(
                             "Native preference plan:\n{plan}"
                         )));
@@ -391,8 +415,13 @@ impl Session {
             RewriteOutput::Handled(msg) => Ok(QueryResult::Message(msg)),
             RewriteOutput::Passthrough => self.forward(stmt, false),
             RewriteOutput::Rewritten { statement, sql, .. } => {
-                // EXPLAIN of a preference query shows the rewrite first.
-                if let Statement::Explain(inner) = statement.as_ref() {
+                // EXPLAIN of a preference query shows the rewrite first
+                // (ANALYZE additionally executes the rewritten statement
+                // and annotates the host plan — the engine handles both).
+                if let Statement::Explain {
+                    statement: inner, ..
+                } = statement.as_ref()
+                {
                     let plan = match self.engine.execute(&statement)? {
                         ExecOutcome::Explain(p) => p,
                         other => {
@@ -477,9 +506,93 @@ impl Session {
         }
     }
 
+    /// `EXPLAIN ANALYZE` of a native-mode preference query: actually run
+    /// the statement with the host source plan instrumented, then report
+    /// the planned tree, the dominance tally, spill/pool activity, the
+    /// executed source tree with per-node metrics, and the wall time.
+    /// `plan` is the already-rendered plain native plan.
+    fn explain_analyze_native(
+        &mut self,
+        q: &Query,
+        opts: NativeOptions,
+        plan: String,
+    ) -> Result<QueryResult> {
+        let spill = if self.window_bytes.is_some() {
+            Some(self.spill_base().to_path_buf())
+        } else {
+            None
+        };
+        let pool_before = match self.engine.backend_kind() {
+            BackendKind::Paged => Some(self.engine.pool_stats()),
+            BackendKind::Mem => None,
+        };
+        let was = self.engine.profiling();
+        self.engine.set_profiling(true);
+        let started = Instant::now();
+        let result = native::run_native_in(
+            &self.engine,
+            self.rewriter.registry(),
+            q,
+            opts,
+            spill.as_deref(),
+        );
+        self.engine.set_profiling(was);
+        let rs = result?;
+        let elapsed = started.elapsed();
+        let rs = rs.with_pool(pool_before.map(|b| self.engine.pool_stats().since(&b)));
+
+        let mut text = format!("Native preference plan:\n{plan}");
+        let _ = writeln!(
+            text,
+            "Preference evaluation: {} winner(s), {} dominance comparison(s)",
+            rs.len(),
+            rs.dominance_tests()
+        );
+        if let Some(m) = rs.spill_metrics() {
+            let _ = writeln!(
+                text,
+                "{}",
+                crate::footer::spill_line(&self.window_label(), m)
+            );
+        }
+        if let Some(p) = rs.pool_stats() {
+            let _ = writeln!(text, "{}", crate::footer::pool_line(&self.pool_label(), p));
+        }
+        // The executed source tree, annotated per node — absent when a
+        // view cache hit replaced the whole scan-and-select pipeline.
+        if let Some(src) = self.engine.take_analyzed() {
+            text.push_str("Source plan (actual):\n");
+            for line in src.lines() {
+                let _ = writeln!(text, "  {line}");
+            }
+        }
+        let _ = writeln!(
+            text,
+            "Execution: returned {} row(s) in {:.3} ms",
+            rs.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
+        Ok(QueryResult::Explain(text))
+    }
+
+    /// Arm or disarm always-on statement profiling: every subsequently
+    /// executed statement leaves its analyzed plan behind for
+    /// [`Session::take_analyzed`]. The server's slow-query log runs
+    /// sessions this way; `EXPLAIN ANALYZE` needs no arming.
+    pub fn set_profile_all(&mut self, on: bool) {
+        self.engine.set_profiling(on);
+    }
+
+    /// Consume the analyzed plan of the last profiled statement
+    /// (`None` when the statement did not execute a profiled plan —
+    /// DDL, meta output, or profiling not armed).
+    pub fn take_analyzed(&mut self) -> Option<String> {
+        self.engine.take_analyzed()
+    }
+
     /// Handle a session-level `\`-meta-command shared by every front end
     /// (shell, server): `\mode`, `\algo`, `\threads`, `\window`,
-    /// `\pool`, `\backend`, `\rewrite`, `\d`. Returns `None` for
+    /// `\pool`, `\backend`, `\metrics`, `\rewrite`, `\d`. Returns `None` for
     /// commands the session does not own (`\q`, `\timing`, `\help`, ...)
     /// so the caller can layer its own on top.
     pub fn command(&mut self, head: &str, arg: &str) -> Option<String> {
@@ -583,6 +696,13 @@ impl Session {
                     _ => format!("unknown backend '{b}' (mem|paged)\n"),
                 },
             },
+            "\\metrics" => {
+                let mut out = String::new();
+                for (k, v) in self.engine.core().metrics_report() {
+                    let _ = writeln!(out, "{k:<32} {v}");
+                }
+                out
+            }
             "\\rewrite" => match self.rewritten_sql(arg) {
                 Ok(Some(sql)) => format!("{sql}\n"),
                 Ok(None) => "query contains no preference constructs\n".into(),
@@ -668,6 +788,7 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        self.engine.core().metrics().session_closed();
         // Best-effort teardown of the private spill dir; leaking temp
         // files on failure beats panicking in a destructor.
         if let Some(dir) = self.spill_dir.take() {

@@ -14,7 +14,8 @@
 //! | `\window [N[k\|m]\|off]` | show/set the external-memory window budget |
 //! | `\pool [N[k\|m]]` | show/resize the shared buffer pool (paged backend) |
 //! | `\backend [mem\|paged]` | show/set the storage backend (empty catalog only) |
-//! | `\timing` | toggle per-statement timing |
+//! | `\metrics` | show the engine-wide metrics registry |
+//! | `\timing [on\|off]` | toggle or set per-statement timing |
 //! | `\rewrite <query>` | show the SQL a preference query rewrites into |
 //! | `\help` | list commands |
 //! | `\q` | quit |
@@ -105,40 +106,11 @@ impl Shell {
         let elapsed = t0.elapsed();
         let mut out = match result {
             Ok(QueryResult::Rows(rs)) => {
-                let mut text = rs.to_string();
-                // External-memory observability: queries evaluated under
-                // a window budget report their spill behaviour.
-                if let Some(m) = rs.spill_metrics() {
-                    let _ = writeln!(
-                        text,
-                        "Spill: window={}, spilled_runs={}, spilled_bytes={}, passes={}",
-                        self.session.window_label(),
-                        m.runs_written,
-                        crate::knobs::fmt_bytes(m.bytes_spilled),
-                        m.passes
-                    );
-                }
-                // Storage observability: under the paged backend every
-                // row result reports its buffer-pool delta.
-                if let Some(p) = rs.pool_stats() {
-                    let _ = writeln!(
-                        text,
-                        "Pool: size={}, hits={}, misses={}, evictions={}, writebacks={}",
-                        self.session.pool_label(),
-                        p.hits,
-                        p.misses,
-                        p.evictions,
-                        p.writebacks
-                    );
-                }
-                // Cache observability: queries served from a materialized
-                // preference view say so instead of recomputing silently.
-                if let Some(v) = rs.view_activity() {
-                    if let Some(name) = &v.served_by {
-                        let _ = writeln!(text, "View: served by {name}");
-                    }
-                }
-                text
+                // Every row result carries one observability footer
+                // block (spill, pool, view cache) in a fixed order — the
+                // formats live in `crate::footer`, shared with EXPLAIN
+                // ANALYZE's native annotations.
+                format!("{rs}{}", crate::footer::result_footer(&self.session, &rs))
             }
             Ok(QueryResult::Count(n)) => {
                 let mut text = format!("INSERT {n}\n");
@@ -146,7 +118,7 @@ impl Shell {
                 // preference views reports how many it touched.
                 let maintained = self.session.last_view_maintained();
                 if maintained > 0 {
-                    let _ = writeln!(text, "Maintained: {maintained} materialized view(s)");
+                    let _ = writeln!(text, "{}", crate::footer::maintained_line(maintained));
                 }
                 text
             }
@@ -155,7 +127,7 @@ impl Shell {
             Err(e) => format!("ERROR: {e}\n"),
         };
         if self.timing {
-            let _ = writeln!(out, "Time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+            let _ = writeln!(out, "{}", crate::footer::time_line(elapsed));
         }
         out
     }
@@ -183,11 +155,17 @@ impl Shell {
                  \\pool [p]    show or resize the shared buffer pool (paged backend)\n\
                  \\backend [b] show or set the storage backend (mem|paged; empty catalog only)\n\
                  \\rewrite q   show the standard SQL a preference query becomes\n\
-                 \\timing      toggle timing\n\
+                 \\metrics     show the engine-wide metrics registry\n\
+                 \\timing [t]  toggle timing, or set it (on|off)\n\
                  \\q           quit\n"
                 .into(),
             "\\timing" => {
-                self.timing = !self.timing;
+                match arg {
+                    "" => self.timing = !self.timing,
+                    "on" => self.timing = true,
+                    "off" => self.timing = false,
+                    other => return format!("unknown timing argument '{other}' (on|off)\n"),
+                }
                 format!("timing {}\n", if self.timing { "on" } else { "off" })
             }
             other => format!("unknown command '{other}' (try \\help)\n"),

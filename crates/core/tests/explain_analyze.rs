@@ -1,0 +1,250 @@
+//! `EXPLAIN ANALYZE` differential suite.
+//!
+//! The analyzed run *is* the plain run with instrumentation attached:
+//! results and catalog side effects must be byte-identical, and the
+//! counters it reports must match ground truth (BNL dominance
+//! comparisons bounded by n², hash-join probe rows exact).
+
+use prefsql::engine::{BackendKind, EngineCore};
+use prefsql::{ExecutionMode, QueryResult, Session, SkylineAlgo};
+
+/// A session over the paper's §3.2-style cars table.
+fn seeded() -> Session {
+    let mut s = Session::new();
+    run(
+        &mut s,
+        "CREATE TABLE cars (id INTEGER NOT NULL, price INTEGER, mileage INTEGER, \
+         make VARCHAR)",
+    );
+    run(
+        &mut s,
+        "INSERT INTO cars VALUES \
+         (1, 40000, 15000, 'Audi'), (2, 35000, 30000, 'BMW'), \
+         (3, 20000, 10000, 'VW'), (4, 20000, 60000, 'Opel'), \
+         (5, 55000, 5000, 'Porsche'), (6, 35000, 30000, 'BMW')",
+    );
+    s
+}
+
+fn run(s: &mut Session, sql: &str) -> QueryResult {
+    s.execute(sql)
+        .unwrap_or_else(|e| panic!("statement failed: {sql}: {e}"))
+}
+
+/// Run `EXPLAIN ANALYZE <sql>` and return the report text.
+fn analyze(s: &mut Session, sql: &str) -> String {
+    match run(s, &format!("EXPLAIN ANALYZE {sql}")) {
+        QueryResult::Explain(text) => text,
+        other => panic!("EXPLAIN ANALYZE produced {other:?}"),
+    }
+}
+
+/// Render a query's full result, ordered, for byte-level comparison.
+fn dump(s: &mut Session, sql: &str) -> String {
+    format!("{}", s.query(sql).expect(sql))
+}
+
+/// Pull `<label>=<number>` out of a report (first occurrence).
+fn counter(text: &str, label: &str) -> u64 {
+    let key = format!("{label}=");
+    let at = text
+        .find(&key)
+        .unwrap_or_else(|| panic!("no `{key}` in:\n{text}"));
+    let digits: String = text[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().expect("counter digits")
+}
+
+const PREF_SELECT: &str =
+    "SELECT id, price, mileage FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)";
+
+#[test]
+fn analyzed_select_leaves_results_byte_identical() {
+    let mut plain = seeded();
+    let mut analyzed = seeded();
+
+    let expected = dump(&mut plain, PREF_SELECT);
+    let report = analyze(&mut analyzed, PREF_SELECT);
+    // Rewrite mode reports the rewrite plus the executed host plan.
+    assert!(report.contains("Preference SQL rewrite:"), "{report}");
+    assert!(report.contains("Host engine plan:"), "{report}");
+    assert!(report.contains("actual rows="), "{report}");
+    assert!(report.contains("Execution: returned"), "{report}");
+
+    // The analyzed run evaluated the very same statement: re-running it
+    // plainly on either session yields the same bytes.
+    assert_eq!(dump(&mut analyzed, PREF_SELECT), expected);
+    assert_eq!(dump(&mut plain, PREF_SELECT), expected);
+}
+
+#[test]
+fn analyzed_dml_side_effects_byte_identical() {
+    let mut plain = seeded();
+    let mut analyzed = seeded();
+    for s in [&mut plain, &mut analyzed] {
+        run(
+            s,
+            "CREATE MATERIALIZED VIEW sky AS SELECT id, price, mileage FROM cars \
+             PREFERRING LOWEST(price) AND LOWEST(mileage)",
+        );
+    }
+
+    let statements = [
+        "INSERT INTO cars VALUES (7, 18000, 8000, 'Skoda'), (8, 90000, 90000, 'Tank')",
+        "UPDATE cars SET price = 15000 WHERE id = 4",
+        "DELETE FROM cars WHERE id = 7",
+    ];
+    for sql in statements {
+        let a = run(&mut plain, sql);
+        let report = analyze(&mut analyzed, sql);
+        // The analyzed run executed the DML for real and says so.
+        if let QueryResult::Count(n) = a {
+            assert!(
+                report.contains(&format!("affected {n} row(s)")),
+                "{sql}: {report}"
+            );
+        }
+        // Base table and the incrementally-maintained view agree byte
+        // for byte after every statement.
+        for probe in [
+            "SELECT * FROM cars ORDER BY id",
+            "SELECT * FROM sky ORDER BY id",
+        ] {
+            assert_eq!(
+                dump(&mut analyzed, probe),
+                dump(&mut plain, probe),
+                "diverged after {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bnl_dominance_comparisons_bounded_by_n_squared() {
+    let mut s = seeded();
+    s.set_mode(ExecutionMode::Native(SkylineAlgo::Bnl));
+    let n: u64 = 6;
+
+    let expected = dump(&mut s, PREF_SELECT);
+    let expected_winners = s.query(PREF_SELECT).unwrap().len();
+    let report = analyze(&mut s, PREF_SELECT);
+    assert!(report.contains("Native preference plan:"), "{report}");
+
+    // "Preference evaluation: W winner(s), C dominance comparison(s)"
+    let line = report
+        .lines()
+        .find(|l| l.starts_with("Preference evaluation:"))
+        .unwrap_or_else(|| panic!("no evaluation line in:\n{report}"));
+    let nums: Vec<u64> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().unwrap())
+        .collect();
+    let (winners, comparisons) = (nums[0], nums[1]);
+    assert!(comparisons >= 1, "{line}");
+    assert!(comparisons <= n * n, "BNL exceeded n²: {line}");
+    assert_eq!(winners as usize, expected_winners, "{line}");
+
+    // The analyzed native run changed nothing observable.
+    assert_eq!(dump(&mut s, PREF_SELECT), expected);
+}
+
+#[test]
+fn hash_join_probe_rows_exact() {
+    let mut s = Session::new();
+    run(&mut s, "CREATE TABLE a (k INTEGER, x INTEGER)");
+    run(&mut s, "CREATE TABLE b (k INTEGER, y INTEGER)");
+    run(&mut s, "INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)");
+    run(
+        &mut s,
+        "INSERT INTO b VALUES (1, 1), (1, 2), (2, 3), (9, 4), (9, 5)",
+    );
+
+    let report = analyze(&mut s, "SELECT a.x, b.y FROM a JOIN b ON a.k = b.k");
+    assert!(report.contains("join=hash"), "{report}");
+
+    // In one in-memory pass the probe side streams through exactly
+    // once: probe rows equal that side's cardinality, build rows the
+    // other's.
+    let (build_n, probe_n) = if report.contains("build=left") {
+        (3, 5)
+    } else {
+        assert!(report.contains("build=right"), "{report}");
+        (5, 3)
+    };
+    assert_eq!(counter(&report, "build_rows"), build_n, "{report}");
+    assert_eq!(counter(&report, "probe_rows"), probe_n, "{report}");
+    // Zero-valued counters are suppressed — nothing spilled, no key.
+    assert!(!report.contains("spilled_rows="), "{report}");
+    assert!(report.contains("Execution: returned 3 row(s)"), "{report}");
+}
+
+/// The ISSUE's acceptance scenario: a three-table hash-join preference
+/// query under `EXPLAIN ANALYZE` reports per-node rows/time, the
+/// dominance-comparison tally, and spill/pool counters.
+#[test]
+fn three_table_join_preference_query_reports_all_counters() {
+    let core = EngineCore::shared();
+    core.set_backend(BackendKind::Paged).unwrap();
+    let mut s = Session::with_core(core);
+    s.set_mode(ExecutionMode::native());
+    run(
+        &mut s,
+        "CREATE TABLE cars (id INTEGER, dealer INTEGER, price INTEGER, mileage INTEGER)",
+    );
+    run(&mut s, "CREATE TABLE dealers (id INTEGER, region INTEGER)");
+    run(&mut s, "CREATE TABLE regions (id INTEGER, name VARCHAR)");
+    // Anti-correlated price/mileage: every car is a skyline winner, so
+    // the BMO window must hold all of them — far past the 4 KiB floor —
+    // and the external skyline has to spill runs.
+    let mut rows = Vec::new();
+    for i in 0..200 {
+        rows.push(format!(
+            "({i}, {}, {}, {})",
+            i % 8,
+            20000 + i * 50,
+            100000 - i * 50
+        ));
+    }
+    run(
+        &mut s,
+        &format!("INSERT INTO cars VALUES {}", rows.join(", ")),
+    );
+    let dealers: Vec<String> = (0..8).map(|i| format!("({i}, {})", i % 3)).collect();
+    run(
+        &mut s,
+        &format!("INSERT INTO dealers VALUES {}", dealers.join(", ")),
+    );
+    run(
+        &mut s,
+        "INSERT INTO regions VALUES (0, 'north'), (1, 'south'), (2, 'west')",
+    );
+
+    // A window too small for 120 joined rows forces the external
+    // skyline to spill runs.
+    s.set_window_bytes(Some(512));
+    let sql = "SELECT cars.id, cars.price, cars.mileage, regions.name \
+               FROM cars JOIN dealers ON cars.dealer = dealers.id \
+               JOIN regions ON dealers.region = regions.id \
+               PREFERRING LOWEST(cars.price) AND LOWEST(cars.mileage)";
+
+    let expected = dump(&mut s, sql);
+    let report = analyze(&mut s, sql);
+
+    // Per-node actuals on the executed source tree, joins included.
+    assert!(report.contains("Source plan (actual):"), "{report}");
+    assert!(report.contains("join=hash"), "{report}");
+    assert!(report.contains("actual rows="), "{report}");
+    assert!(counter(&report, "probe_rows") > 0, "{report}");
+    // The paper's cost unit.
+    assert!(report.contains("dominance comparison(s)"), "{report}");
+    // Spill and buffer-pool activity for this statement.
+    assert!(report.contains("Spill: window="), "{report}");
+    assert!(counter(&report, "spilled_runs") > 0, "{report}");
+    assert!(report.contains("Pool: size="), "{report}");
+
+    // Side effects: none — the analyzed run returns the same skyline.
+    assert_eq!(dump(&mut s, sql), expected);
+}

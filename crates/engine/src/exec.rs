@@ -105,6 +105,11 @@ pub struct ExecStats {
     /// Number of sub-query evaluations (one per outer row for correlated
     /// sub-queries — the O(n²) heart of the rewrite).
     pub subquery_evals: u64,
+    /// Dominance comparisons ([`prefsql_pref::compose::Preference::better`])
+    /// charged to this statement — the paper's unit of preference-
+    /// evaluation cost. Includes skyline evaluation and materialized-view
+    /// maintenance.
+    pub dominance_tests: u64,
 }
 
 impl ExecStats {
@@ -114,6 +119,7 @@ impl ExecStats {
         self.rows_scanned += other.rows_scanned;
         self.index_probes += other.index_probes;
         self.subquery_evals += other.subquery_evals;
+        self.dominance_tests += other.dominance_tests;
     }
 }
 
@@ -173,6 +179,9 @@ pub struct EngineCore {
     data_dir: Mutex<Option<PathBuf>>,
     /// Heap-file name sequence within the data dir.
     heap_seq: AtomicU64,
+    /// Engine-wide metrics: every session's finished statements fold
+    /// their deltas in here.
+    metrics: crate::metrics::MetricsRegistry,
 }
 
 impl Default for EngineCore {
@@ -212,7 +221,37 @@ impl EngineCore {
             pool: Arc::new(BufferPool::new(pool_bytes)),
             data_dir: Mutex::new(None),
             heap_seq: AtomicU64::new(0),
+            metrics: crate::metrics::MetricsRegistry::new(),
         }
+    }
+
+    /// The engine-wide metrics registry shared by this core's sessions.
+    pub fn metrics(&self) -> &crate::metrics::MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A machine-parseable report of the registry plus the live
+    /// buffer-pool counters — what `\metrics` and the server's `METRICS`
+    /// verb print, one `key value` pair per line.
+    pub fn metrics_report(&self) -> Vec<(String, String)> {
+        let mut out = self.metrics.snapshot();
+        let pool = self.pool_stats();
+        let served = pool.hits + pool.misses;
+        let ratio = if served == 0 {
+            "1.000".to_string()
+        } else {
+            format!("{:.3}", pool.hits as f64 / served as f64)
+        };
+        out.push((
+            "pool.capacity_pages".into(),
+            pool.capacity_pages.to_string(),
+        ));
+        out.push(("pool.hits".into(), pool.hits.to_string()));
+        out.push(("pool.misses".into(), pool.misses.to_string()));
+        out.push(("pool.evictions".into(), pool.evictions.to_string()));
+        out.push(("pool.writebacks".into(), pool.writebacks.to_string()));
+        out.push(("pool.hit_ratio".into(), ratio));
+        out
     }
 
     /// A fresh shared core, ready to be handed to many sessions.
@@ -406,6 +445,13 @@ pub struct ExecCtx<'c> {
     pub(crate) stats: RefCell<ExecStats>,
     /// Guard against runaway view recursion (during planning).
     pub(crate) view_depth: RefCell<u32>,
+    /// When set, [`crate::physical::build`] instruments every operator
+    /// and execution reports per-node metrics here (`EXPLAIN ANALYZE`
+    /// and the slow-query log; plain statements carry `None`).
+    profiler: Option<crate::metrics::Profiler>,
+    /// The top-level plan executed under the profiler — kept alive so
+    /// the profiler's node addresses stay valid for rendering.
+    profiled_plan: RefCell<Option<Arc<QueryPlan>>>,
 }
 
 impl<'c> ExecCtx<'c> {
@@ -421,6 +467,8 @@ impl<'c> ExecCtx<'c> {
             plan_cache: RefCell::new(HashMap::new()),
             stats: RefCell::new(ExecStats::default()),
             view_depth: RefCell::new(0),
+            profiler: None,
+            profiled_plan: RefCell::new(None),
         }
     }
 
@@ -479,6 +527,43 @@ impl<'c> ExecCtx<'c> {
         self.spill_base.as_deref()
     }
 
+    /// Attach a per-operator profiler to this statement (builder style):
+    /// execution will run instrumented and report per-node metrics.
+    pub fn with_profiler(mut self) -> Self {
+        self.profiler = Some(crate::metrics::Profiler::new());
+        self
+    }
+
+    /// The statement's profiler, when execution runs instrumented.
+    pub fn profiler(&self) -> Option<&crate::metrics::Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The top-level plan executed under the profiler, if any.
+    pub fn profiled_plan(&self) -> Option<Arc<QueryPlan>> {
+        self.profiled_plan.borrow().clone()
+    }
+
+    /// Register `plan` as this statement's top-level profiled plan (a
+    /// no-op without a profiler, or once a plan is already registered).
+    /// The Preference SQL facade calls this for the source plan it
+    /// builds operators over directly, bypassing [`ExecCtx::run_query`].
+    pub fn profile_plan(&self, plan: &Arc<QueryPlan>) {
+        if self.profiler.is_some() {
+            let mut slot = self.profiled_plan.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(Arc::clone(plan));
+            }
+        }
+    }
+
+    /// Charge dominance comparisons to this statement (the Preference
+    /// SQL facade and view maintenance report the choke-point counter of
+    /// [`prefsql_pref::compose::Preference`] here).
+    pub fn note_dominance_tests(&self, n: u64) {
+        self.stats.borrow_mut().dominance_tests += n;
+    }
+
     /// Report one operator's spill metrics into the statement's
     /// accumulator (folded when several operators spill).
     pub fn note_spill(&self, m: SpillMetrics) {
@@ -527,6 +612,10 @@ impl<'c> ExecCtx<'c> {
     /// top-level queries, enclosing frames for correlated sub-queries).
     pub fn run_query(&self, query: &Query, outer: &[Frame<'_>]) -> Result<Relation> {
         let plan = self.plan_for(query)?;
+        // The first query of a profiled statement is the top-level one
+        // (sub-queries run nested inside it); keep its plan alive so the
+        // profile can be rendered against it.
+        self.profile_plan(&plan);
         crate::physical::execute(self, plan.root(), outer)
     }
 
@@ -627,6 +716,13 @@ pub struct Engine {
     /// Number of materialized-view maintenance applications performed by
     /// DML statements since the last [`Engine::take_view_maintenance`].
     view_maintained: std::cell::Cell<u64>,
+    /// When `true`, every statement context runs instrumented
+    /// (`EXPLAIN ANALYZE` sets it for the inner statement; the session
+    /// layer sets it durably for slow-query logging).
+    profiling: std::cell::Cell<bool>,
+    /// The analyzed-plan rendering of the most recent profiled
+    /// statement ([`Engine::take_analyzed`] reads and resets).
+    last_analyzed: RefCell<Option<String>>,
 }
 
 impl Default for Engine {
@@ -650,6 +746,8 @@ impl Engine {
             spill_base: None,
             spill: RefCell::new(None),
             view_maintained: std::cell::Cell::new(0),
+            profiling: std::cell::Cell::new(false),
+            last_analyzed: RefCell::new(None),
         }
     }
 
@@ -750,6 +848,42 @@ impl Engine {
 
     fn note_view_maintenance(&self, n: u64) {
         self.view_maintained.set(self.view_maintained.get() + n);
+        self.core.metrics().add_views_maintained(n);
+    }
+
+    /// Run every statement instrumented (`true`) or only under
+    /// `EXPLAIN ANALYZE` (`false`, the default). The session layer turns
+    /// this on for slow-query logging: after each statement,
+    /// [`Engine::take_analyzed`] then holds the analyzed plan.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling.set(on);
+    }
+
+    /// Whether statements currently run instrumented.
+    pub fn profiling(&self) -> bool {
+        self.profiling.get()
+    }
+
+    /// Read and reset the analyzed-plan rendering of the most recent
+    /// profiled statement (`None` when nothing profiled ran, e.g. DDL).
+    pub fn take_analyzed(&self) -> Option<String> {
+        self.last_analyzed.borrow_mut().take()
+    }
+
+    /// Harvest a finished profiled context: fold the per-operator
+    /// profile into the engine-wide registry and render the analyzed
+    /// plan while the plan `Arc` (and with it the profiler's node
+    /// addresses) is still alive.
+    fn harvest_profile(&self, ctx: &ExecCtx<'_>) {
+        let Some(prof) = ctx.profiler() else {
+            return;
+        };
+        self.core.metrics().absorb_profile(prof);
+        if let Some(plan) = ctx.profiled_plan() {
+            let mut text = String::new();
+            crate::explain::render_analyzed(plan.root(), prof, 0, &mut text);
+            *self.last_analyzed.borrow_mut() = Some(text);
+        }
     }
 
     /// Read and reset the session's execution counters.
@@ -759,7 +893,10 @@ impl Engine {
 
     /// Fold a finished statement's counters into the session accumulator
     /// (callers that drive [`Engine::read_ctx`] directly report here).
+    /// Also feeds the engine-wide registry — the session accumulator is
+    /// drained by [`Engine::take_stats`], the registry never is.
     pub fn note_stats(&self, stats: ExecStats) {
+        self.core.metrics().add_exec_stats(&stats);
         self.stats.borrow_mut().absorb(stats);
     }
 
@@ -768,11 +905,16 @@ impl Engine {
     /// automatically folded into [`Engine::take_stats`] — use
     /// [`Engine::with_read_ctx`] (or [`Engine::note_stats`]) for that.
     pub fn read_ctx(&self) -> Result<ExecCtx<'_>> {
-        Ok(self
+        let ctx = self
             .core
             .read_ctx()?
             .with_window(self.window_bytes)
-            .with_spill_base(self.spill_base.clone()))
+            .with_spill_base(self.spill_base.clone());
+        Ok(if self.profiling.get() {
+            ctx.with_profiler()
+        } else {
+            ctx
+        })
     }
 
     /// Run `f` inside a fresh read-statement context and fold the
@@ -781,8 +923,10 @@ impl Engine {
     pub fn with_read_ctx<R>(&self, f: impl FnOnce(&ExecCtx<'_>) -> Result<R>) -> Result<R> {
         let ctx = self.read_ctx()?;
         let out = f(&ctx);
+        self.harvest_profile(&ctx);
         self.note_stats(ctx.take_stats());
         if let Some(m) = ctx.take_spill() {
+            self.core.metrics().add_spill(&m);
             let mut slot = self.spill.borrow_mut();
             match &mut *slot {
                 Some(acc) => acc.absorb(&m),
@@ -815,9 +959,10 @@ impl Engine {
                 let mut cat = self.core.catalog_write()?;
                 let before = cat.table(table)?.len();
                 let out = self.run_insert(&mut cat, table, columns.as_deref(), source)?;
-                let m =
+                let (m, cmp) =
                     crate::matview::after_insert(&mut cat, table, before, self.core.use_indexes());
                 self.note_view_maintenance(m);
+                self.note_maintenance_dominance(cmp);
                 Ok(out)
             }
             Statement::Delete {
@@ -827,9 +972,10 @@ impl Engine {
                 let mut cat = self.core.catalog_write()?;
                 let doomed = self.matching_row_ids(&cat, table, where_clause.as_ref())?;
                 let n = cat.table_mut(table)?.delete_rows(&doomed)?;
-                let m =
+                let (m, cmp) =
                     crate::matview::after_delete(&mut cat, table, &doomed, self.core.use_indexes());
                 self.note_view_maintenance(m);
+                self.note_maintenance_dominance(cmp);
                 Ok(ExecOutcome::Count(n))
             }
             Statement::Update {
@@ -839,9 +985,10 @@ impl Engine {
             } => {
                 let mut cat = self.core.catalog_write()?;
                 let ids = self.run_update(&mut cat, table, assignments, where_clause.as_ref())?;
-                let m =
+                let (m, cmp) =
                     crate::matview::after_update(&mut cat, table, &ids, self.core.use_indexes());
                 self.note_view_maintenance(m);
+                self.note_maintenance_dominance(cmp);
                 Ok(ExecOutcome::Count(ids.len()))
             }
             Statement::CreateTable { name, columns } => {
@@ -930,10 +1077,55 @@ impl Engine {
                         .into(),
                 ))
             }
-            Statement::Explain(inner) => {
-                let text = self.with_read_ctx(|ctx| crate::explain::explain(ctx, inner))?;
+            Statement::Explain { analyze, statement } => {
+                if *analyze {
+                    return self.explain_analyze(statement);
+                }
+                let text = self.with_read_ctx(|ctx| crate::explain::explain(ctx, statement))?;
                 Ok(ExecOutcome::Explain(text))
             }
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: actually execute `stmt` — side effects
+    /// included, byte-identical to a plain run by construction — with
+    /// every operator instrumented, then return the executed plan
+    /// annotated with the observed per-node metrics. Statements without
+    /// a profiled plan (DDL, VALUES-only DML) report the execution
+    /// summary line alone.
+    fn explain_analyze(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        let was = self.profiling.replace(true);
+        self.last_analyzed.borrow_mut().take();
+        let started = std::time::Instant::now();
+        let out = self.execute(stmt);
+        let elapsed = started.elapsed();
+        self.profiling.set(was);
+        let out = out?;
+        let mut text = self.take_analyzed().unwrap_or_default();
+        let summary = match &out {
+            ExecOutcome::Rows(r) => format!("returned {} row(s)", r.rows.len()),
+            ExecOutcome::Count(n) => format!("affected {n} row(s)"),
+            ExecOutcome::Ddl(msg) => msg.clone(),
+            ExecOutcome::Explain(_) => "explained".to_string(),
+        };
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            text,
+            "Execution: {summary} in {:.3} ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+        Ok(ExecOutcome::Explain(text))
+    }
+
+    /// Charge view-maintenance dominance comparisons to the session and
+    /// the engine-wide registry (maintenance runs under the DML write
+    /// lock, outside any read-statement context).
+    fn note_maintenance_dominance(&self, n: u64) {
+        if n > 0 {
+            self.note_stats(ExecStats {
+                dominance_tests: n,
+                ..ExecStats::default()
+            });
         }
     }
 
@@ -964,7 +1156,12 @@ impl Engine {
         // `INSERT INTO t SELECT ... FROM t` well-defined). Evaluation runs
         // in a statement context borrowing the write-locked catalog.
         let incoming: Vec<Tuple> = {
-            let ctx = ExecCtx::over(cat, self.core.use_indexes());
+            let mut ctx = ExecCtx::over(cat, self.core.use_indexes());
+            if self.profiling.get() {
+                // EXPLAIN ANALYZE of `INSERT ... SELECT`: profile the
+                // source plan like any query.
+                ctx = ctx.with_profiler();
+            }
             let rows = match source {
                 InsertSource::Values(rows) => {
                     let mut out = Vec::with_capacity(rows.len());
@@ -979,6 +1176,7 @@ impl Engine {
                 }
                 InsertSource::Query(q) => ctx.run_query(q, &[])?.rows,
             };
+            self.harvest_profile(&ctx);
             self.note_stats(ctx.take_stats());
             rows
         };

@@ -5,9 +5,12 @@
 //! is no second access-path derivation, so EXPLAIN can never drift from
 //! execution. The Preference SQL facade additionally prefixes the
 //! rewritten SQL, so `EXPLAIN SELECT ... PREFERRING ...` shows both the
-//! rewrite and the host plan.
+//! rewrite and the host plan. [`render_analyzed`] prints the same tree
+//! annotated with a [`Profiler`]'s observed per-node metrics — what
+//! `EXPLAIN ANALYZE` shows after actually executing the statement.
 
 use crate::exec::ExecCtx;
+use crate::metrics::Profiler;
 use crate::plan::{PlanNode, Projection};
 use prefsql_parser::ast::Statement;
 use prefsql_types::Result;
@@ -32,7 +35,7 @@ pub fn explain(ctx: &ExecCtx<'_>, stmt: &Statement) -> Result<String> {
             }
             Ok(out)
         }
-        Statement::Explain(inner) => explain(ctx, inner),
+        Statement::Explain { statement, .. } => explain(ctx, statement),
         other => Ok(format!("Utility statement: {other}\n")),
     }
 }
@@ -44,9 +47,70 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
+    node_line(node, out);
+    out.push('\n');
+    for child in children(node) {
+        render(child, depth + 1, out);
+    }
+}
+
+/// Render a plan sub-tree annotated per node with the metrics `prof`
+/// observed while the plan actually executed — the body of
+/// `EXPLAIN ANALYZE`. A node without a profile entry never ran (a
+/// short-circuited probe, the unpulled side of an empty join).
+pub fn render_analyzed(node: &PlanNode, prof: &Profiler, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    node_line(node, out);
+    match prof.node(node) {
+        Some(m) => {
+            let _ = write!(
+                out,
+                " (actual rows={} batches={} time={:.3}ms",
+                m.rows,
+                m.batches,
+                m.total_ns() as f64 / 1e6
+            );
+            for (k, v) in &m.extras {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push(')');
+        }
+        None => out.push_str(" (never executed)"),
+    }
+    out.push('\n');
+    for child in children(node) {
+        render_analyzed(child, prof, depth + 1, out);
+    }
+}
+
+/// The direct children of a plan node, in render order.
+fn children(node: &PlanNode) -> Vec<&PlanNode> {
+    match node {
+        PlanNode::Nothing { .. }
+        | PlanNode::SeqScan { .. }
+        | PlanNode::MatViewScan { .. }
+        | PlanNode::IndexScan { .. } => Vec::new(),
+        PlanNode::Materialize { input, .. }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Aggregate { input, .. } => vec![input],
+        PlanNode::NestedLoopJoin { left, right, .. } | PlanNode::HashJoin { left, right, .. } => {
+            vec![left, right]
+        }
+    }
+}
+
+/// Append one node's description — no indentation, no newline — shared
+/// by the plain and the analyzed rendering so they can never drift.
+fn node_line(node: &PlanNode, out: &mut String) {
     match node {
         PlanNode::Nothing { .. } => {
-            out.push_str("Result: one empty row\n");
+            out.push_str("Result: one empty row");
         }
         PlanNode::SeqScan {
             table,
@@ -61,10 +125,9 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             if *backend != "mem" {
                 let _ = write!(out, " [backend={backend}]");
             }
-            out.push('\n');
         }
         PlanNode::MatViewScan { view, rows, .. } => {
-            let _ = writeln!(out, "Materialized view scan: {view} ({rows} winners)");
+            let _ = write!(out, "Materialized view scan: {view} ({rows} winners)");
         }
         PlanNode::IndexScan {
             table,
@@ -73,32 +136,23 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             describe,
             ..
         } => {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "Index probe: {}via {describe} ({} candidates)",
                 shown(table, qualifier),
                 row_ids.len()
             );
         }
-        PlanNode::Materialize { label, input, .. } => {
-            let _ = writeln!(out, "{label}");
-            render(input, depth + 1, out);
+        PlanNode::Materialize { label, .. } => {
+            let _ = write!(out, "{label}");
         }
-        PlanNode::NestedLoopJoin {
-            left, right, on, ..
-        } => {
-            match on {
-                Some(cond) => {
-                    let _ = writeln!(out, "Nested-loop join on {cond}");
-                }
-                None => out.push_str("Cross join\n"),
+        PlanNode::NestedLoopJoin { on, .. } => match on {
+            Some(cond) => {
+                let _ = write!(out, "Nested-loop join on {cond}");
             }
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
+            None => out.push_str("Cross join"),
+        },
         PlanNode::HashJoin {
-            left,
-            right,
             keys,
             residual,
             build_left,
@@ -116,18 +170,14 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
             if let Some(r) = residual {
                 let _ = write!(out, " residual={r}");
             }
-            out.push('\n');
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
         }
-        PlanNode::Filter { input, pred } => {
-            let _ = writeln!(out, "Filter: {pred}");
-            render(input, depth + 1, out);
+        PlanNode::Filter { pred, .. } => {
+            let _ = write!(out, "Filter: {pred}");
         }
         PlanNode::Project {
-            input,
             projections,
             schema,
+            ..
         } => {
             let cols: Vec<String> = schema
                 .columns()
@@ -138,22 +188,18 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
                     Projection::Computed(e) => format!("{e}"),
                 })
                 .collect();
-            let _ = writeln!(out, "Project: {}", cols.join(", "));
-            render(input, depth + 1, out);
+            let _ = write!(out, "Project: {}", cols.join(", "));
         }
-        PlanNode::Sort { input, keys } => {
-            let _ = writeln!(out, "sort({} keys)", keys.len());
-            render(input, depth + 1, out);
+        PlanNode::Sort { keys, .. } => {
+            let _ = write!(out, "sort({} keys)", keys.len());
         }
-        PlanNode::Distinct { input } => {
-            out.push_str("distinct\n");
-            render(input, depth + 1, out);
+        PlanNode::Distinct { .. } => {
+            out.push_str("distinct");
         }
-        PlanNode::Limit { input, label, .. } => {
-            let _ = writeln!(out, "{label}");
-            render(input, depth + 1, out);
+        PlanNode::Limit { label, .. } => {
+            let _ = write!(out, "{label}");
         }
-        PlanNode::Aggregate { input, spec, .. } => {
+        PlanNode::Aggregate { spec, .. } => {
             let mut steps = format!("aggregate({} keys", spec.group_by.len());
             if spec.having.is_some() {
                 steps.push_str(", having");
@@ -162,8 +208,7 @@ pub fn render(node: &PlanNode, depth: usize, out: &mut String) {
                 let _ = write!(steps, ", sort({} keys)", spec.order_by.len());
             }
             steps.push(')');
-            let _ = writeln!(out, "{steps}");
-            render(input, depth + 1, out);
+            let _ = write!(out, "{steps}");
         }
     }
 }

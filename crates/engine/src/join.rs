@@ -47,6 +47,7 @@ use prefsql_storage::spill::{
     tuple_spill_bytes, RunReader, RunWriter, SpillManager, SpillMetrics, SpillRun,
 };
 use prefsql_types::{Result, Schema, Tuple, Value};
+use std::cell::Cell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -346,6 +347,14 @@ pub struct HashJoinOp<'a> {
     schema: &'a Schema,
     outer: &'a [Frame<'a>],
     state: State,
+    /// Rows hashed into the build table (observability; `Cell` so the
+    /// Grace source closures can count while the children are borrowed).
+    build_rows: Cell<u64>,
+    /// Rows streamed through the probe side.
+    probe_rows: Cell<u64>,
+    /// Input rows written to Grace partition runs (a re-partitioned row
+    /// counts again, mirroring the `passes` semantics).
+    spilled_rows: Cell<u64>,
 }
 
 enum State {
@@ -402,6 +411,9 @@ impl<'a> HashJoinOp<'a> {
             schema,
             outer,
             state: State::Closed,
+            build_rows: Cell::new(0),
+            probe_rows: Cell::new(0),
+            spilled_rows: Cell::new(0),
         }
     }
 
@@ -449,8 +461,12 @@ impl<'a> HashJoinOp<'a> {
             }
         }
         if overflowed {
+            // Grace counts the full build side (these rows included) at
+            // its own source, so nothing is charged here.
             return self.grace_phase(&cfg, rows);
         }
+        self.build_rows
+            .set(self.build_rows.get() + rows.len() as u64);
         if self.build_left {
             self.buffered_phase(&cfg, rows)
         } else {
@@ -477,6 +493,8 @@ impl<'a> HashJoinOp<'a> {
         loop {
             batch.clear();
             let more = self.right.next_batch(&mut batch, DEFAULT_BATCH)?;
+            self.probe_rows
+                .set(self.probe_rows.get() + batch.len() as u64);
             for r in batch.drain(..) {
                 let Some(key) = cfg.key_of(&r, false)? else {
                     continue;
@@ -514,18 +532,19 @@ impl<'a> HashJoinOp<'a> {
         // Partition the build side: the rows drained so far, then the
         // rest of its operator. Sequence numbers count arrival order.
         let build_left = self.build_left;
+        let spilled = &self.spilled_rows;
         let (build_op, probe_op): (&mut BoxOperator<'a>, &mut BoxOperator<'a>) = if build_left {
             (&mut self.left, &mut self.right)
         } else {
             (&mut self.right, &mut self.left)
         };
         let build_runs = {
-            let mut src = operator_source(collected, build_op.as_mut());
-            partition_pass(cfg, &mut mgr, &mut src, build_left, 0)?
+            let mut src = operator_source(collected, build_op.as_mut(), &self.build_rows);
+            partition_pass(cfg, &mut mgr, &mut src, build_left, 0, spilled)?
         };
         let probe_runs = {
-            let mut src = operator_source(Vec::new(), probe_op.as_mut());
-            partition_pass(cfg, &mut mgr, &mut src, !build_left, 0)?
+            let mut src = operator_source(Vec::new(), probe_op.as_mut(), &self.probe_rows);
+            partition_pass(cfg, &mut mgr, &mut src, !build_left, 0, spilled)?
         };
         let (left_runs, right_runs) = if build_left {
             (build_runs, probe_runs)
@@ -535,7 +554,7 @@ impl<'a> HashJoinOp<'a> {
 
         let mut out_runs: Vec<SpillRun> = Vec::new();
         for (l, r) in left_runs.into_iter().zip(right_runs) {
-            process_pair(cfg, &mut mgr, l, r, 1, &mut out_runs, &mut passes)?;
+            process_pair(cfg, &mut mgr, l, r, 1, &mut out_runs, &mut passes, spilled)?;
         }
 
         self.ctx.note_spill(SpillMetrics {
@@ -550,6 +569,9 @@ impl<'a> HashJoinOp<'a> {
 
 impl Operator for HashJoinOp<'_> {
     fn open(&mut self) -> Result<()> {
+        self.build_rows.set(0);
+        self.probe_rows.set(0);
+        self.spilled_rows.set(0);
         self.left.open()?;
         self.right.open()?;
         self.state = State::Closed;
@@ -613,6 +635,7 @@ impl Operator for HashJoinOp<'_> {
                     }
                     let l = std::mem::take(&mut lbuf[*lpos]);
                     *lpos += 1;
+                    self.probe_rows.set(self.probe_rows.get() + 1);
                     matches.clear();
                     *midx = 0;
                     let mut vals = Vec::with_capacity(self.keys.len());
@@ -663,6 +686,14 @@ impl Operator for HashJoinOp<'_> {
         self.left.close();
         self.right.close();
         self.state = State::Closed;
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("build_rows", self.build_rows.get()),
+            ("probe_rows", self.probe_rows.get()),
+            ("spilled_rows", self.spilled_rows.get()),
+        ]
     }
 }
 
@@ -725,10 +756,12 @@ fn untag2(t: Tuple) -> ((i64, i64), Tuple) {
 }
 
 /// A `(seq, row)` source over already-collected rows followed by the
-/// remainder of a child operator, pulled in batches.
+/// remainder of a child operator, pulled in batches. Every yielded row
+/// ticks `count` — the side's observed input cardinality.
 fn operator_source<'s>(
     collected: Vec<Tuple>,
     op: &'s mut (dyn Operator + 's),
+    count: &'s Cell<u64>,
 ) -> impl FnMut() -> Result<Option<(i64, Tuple)>> + 's {
     let mut buf = collected;
     let mut pos = 0usize;
@@ -739,6 +772,7 @@ fn operator_source<'s>(
             let t = std::mem::take(&mut buf[pos]);
             pos += 1;
             seq += 1;
+            count.set(count.get() + 1);
             return Ok(Some((seq, t)));
         }
         if done {
@@ -760,6 +794,7 @@ fn partition_pass(
     src: &mut dyn FnMut() -> Result<Option<(i64, Tuple)>>,
     left_side: bool,
     depth: u32,
+    spilled: &Cell<u64>,
 ) -> Result<Vec<Option<SpillRun>>> {
     let mut writers: Vec<Option<RunWriter>> = (0..FANOUT).map(|_| None).collect();
     while let Some((seq, row)) = src()? {
@@ -774,6 +809,7 @@ fn partition_pass(
             .as_mut()
             .expect("writer created above")
             .write_tuple(&tag1(seq, &row))?;
+        spilled.set(spilled.get() + 1);
     }
     let mut runs = Vec::with_capacity(FANOUT);
     for w in writers {
@@ -804,6 +840,7 @@ fn read_run(run: &SpillRun) -> Result<Vec<(i64, Tuple)>> {
 /// pairs (skew) fall back to block nested-loop. Every path appends
 /// output runs sorted by `(left seq, right seq)` and deletes its input
 /// runs when done.
+#[allow(clippy::too_many_arguments)]
 fn process_pair(
     cfg: &JoinCfg<'_>,
     mgr: &mut SpillManager,
@@ -812,6 +849,7 @@ fn process_pair(
     depth: u32,
     out_runs: &mut Vec<SpillRun>,
     passes: &mut u32,
+    spilled: &Cell<u64>,
 ) -> Result<()> {
     let (left, right) = match (left, right) {
         (Some(l), Some(r)) => (l, r),
@@ -835,18 +873,18 @@ fn process_pair(
             let mut reader = RunReader::open(&left)?;
             let mut src =
                 move || -> Result<Option<(i64, Tuple)>> { Ok(reader.next_tuple()?.map(untag1)) };
-            partition_pass(cfg, mgr, &mut src, true, depth)?
+            partition_pass(cfg, mgr, &mut src, true, depth, spilled)?
         };
         let right_subs = {
             let mut reader = RunReader::open(&right)?;
             let mut src =
                 move || -> Result<Option<(i64, Tuple)>> { Ok(reader.next_tuple()?.map(untag1)) };
-            partition_pass(cfg, mgr, &mut src, false, depth)?
+            partition_pass(cfg, mgr, &mut src, false, depth, spilled)?
         };
         let _ = left.delete();
         let _ = right.delete();
         for (l, r) in left_subs.into_iter().zip(right_subs) {
-            process_pair(cfg, mgr, l, r, depth + 1, out_runs, passes)?;
+            process_pair(cfg, mgr, l, r, depth + 1, out_runs, passes, spilled)?;
         }
         return Ok(());
     }

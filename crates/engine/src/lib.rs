@@ -26,9 +26,11 @@ pub mod exec;
 pub mod explain;
 pub mod join;
 mod matview;
+pub mod metrics;
 pub mod physical;
 pub mod plan;
 
 pub use exec::{BackendKind, Engine, EngineCore, ExecCtx, ExecOutcome, ExecStats, Relation};
+pub use metrics::{MetricsRegistry, NodeMetrics, Profiler};
 pub use physical::{BoxOperator, Operator};
 pub use plan::{PlanNode, QueryPlan};

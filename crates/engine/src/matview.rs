@@ -348,14 +348,14 @@ fn live_views_on(cat: &Catalog, table: &str) -> Vec<String> {
 }
 
 /// Maintain every live view on `table` after an INSERT appended the rows
-/// `from_rid..len`. Returns the number of views maintained; a failing
-/// view is marked stale instead of failing the INSERT.
+/// `from_rid..len`. Returns `(views maintained, dominance comparisons)`;
+/// a failing view is marked stale instead of failing the INSERT.
 pub(crate) fn after_insert(
     cat: &mut Catalog,
     table: &str,
     from_rid: usize,
     use_indexes: bool,
-) -> u64 {
+) -> (u64, u64) {
     maintain(
         cat,
         table,
@@ -385,15 +385,16 @@ pub(crate) fn after_insert(
 
 /// Maintain every live view on `table` after `doomed` row ids were
 /// deleted (ids as of *before* the compaction — the same list handed to
-/// [`Table::delete_rows`]). Returns the number of views maintained.
+/// [`Table::delete_rows`]). Returns `(views maintained, dominance
+/// comparisons)`.
 pub(crate) fn after_delete(
     cat: &mut Catalog,
     table: &str,
     doomed: &[usize],
     use_indexes: bool,
-) -> u64 {
+) -> (u64, u64) {
     if doomed.is_empty() {
-        return 0;
+        return (0, 0);
     }
     maintain(
         cat,
@@ -411,15 +412,16 @@ pub(crate) fn after_delete(
 }
 
 /// Maintain every live view on `table` after an UPDATE replaced the rows
-/// at `ids` in place. Returns the number of views maintained.
+/// at `ids` in place. Returns `(views maintained, dominance
+/// comparisons)`.
 pub(crate) fn after_update(
     cat: &mut Catalog,
     table: &str,
     ids: &[usize],
     use_indexes: bool,
-) -> u64 {
+) -> (u64, u64) {
     if ids.is_empty() {
-        return 0;
+        return (0, 0);
     }
     maintain(
         cat,
@@ -459,15 +461,21 @@ pub(crate) fn on_drop_table(cat: &mut Catalog, table: &str) {
 /// delta against a shared catalog borrow (expression evaluation needs
 /// the whole catalog), phase 2 applies it to the view through the
 /// mutable borrow. Any phase-1 error marks the view stale; the DML
-/// statement itself never fails on view maintenance.
+/// statement itself never fails on view maintenance. Returns `(views
+/// maintained, dominance comparisons)` — the spec's freshly compiled
+/// preference counts every [`better`] call the incremental algebra
+/// makes, which the caller charges to the triggering DML statement.
+///
+/// [`better`]: prefsql_pref::compose::Preference::better
 fn maintain<D>(
     cat: &mut Catalog,
     table: &str,
     use_indexes: bool,
     prepare: impl Fn(&Catalog, &ViewSpec, bool) -> Result<D>,
     apply: impl Fn(&mut MatViewDef, &ViewSpec, D),
-) -> u64 {
+) -> (u64, u64) {
     let mut maintained = 0;
+    let mut comparisons = 0;
     for name in live_views_on(cat, table) {
         let sql = match cat.matview(&name) {
             Some(def) => def.sql.clone(),
@@ -483,12 +491,13 @@ fn maintain<D>(
         match delta {
             Ok((spec, d)) => {
                 apply(def, &spec, d);
+                comparisons += spec.compiled.preference.comparisons();
                 maintained += 1;
             }
             Err(_) => def.stale = true,
         }
     }
-    maintained
+    (maintained, comparisons)
 }
 
 #[cfg(test)]

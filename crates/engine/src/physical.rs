@@ -84,6 +84,13 @@ pub trait Operator {
     }
     /// Release resources (idempotent).
     fn close(&mut self);
+    /// Operator-specific observability counters, read at close by the
+    /// instrumentation shim (`EXPLAIN ANALYZE`): hash joins report
+    /// build/probe/spilled rows, preference operators dominance
+    /// comparisons. The default reports nothing.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// A boxed operator tied to the lifetime of its plan/context/environment.
@@ -91,8 +98,23 @@ pub type BoxOperator<'a> = Box<dyn Operator + 'a>;
 
 /// Build the physical operator tree for a plan node. `outer` is the
 /// enclosing environment for correlated sub-queries (empty for top-level
-/// queries).
+/// queries). When the statement context carries a profiler, every
+/// operator — this node and, through the recursive calls below, each of
+/// its children — is wrapped in the instrumentation shim.
 pub fn build<'a>(
+    ctx: &'a ExecCtx<'a>,
+    node: &'a PlanNode,
+    outer: &'a [Frame<'a>],
+) -> BoxOperator<'a> {
+    let op = build_plain(ctx, node, outer);
+    match ctx.profiler() {
+        Some(p) => Box::new(crate::metrics::Instrumented::new(op, p, node)),
+        None => op,
+    }
+}
+
+/// The uninstrumented construction dispatch behind [`build`].
+fn build_plain<'a>(
     ctx: &'a ExecCtx<'a>,
     node: &'a PlanNode,
     outer: &'a [Frame<'a>],
@@ -385,6 +407,16 @@ impl SeqScanOp<'_> {
         table.scan_batch(&mut self.scan_pos, &mut self.buf, max)?;
         Ok(!self.buf.is_empty())
     }
+
+    /// Charge `n` rows to the statement's scan counter. Rows are charged
+    /// as they are *produced*, not at open: a `LIMIT` (or a
+    /// short-circuiting `EXISTS`) that stops pulling early really did
+    /// touch fewer rows, and `rows_scanned` reports exactly that.
+    fn charge(&self, n: usize) {
+        if n > 0 {
+            self.ctx.stats.borrow_mut().rows_scanned += n as u64;
+        }
+    }
 }
 
 impl Operator for SeqScanOp<'_> {
@@ -394,7 +426,6 @@ impl Operator for SeqScanOp<'_> {
         self.buf.clear();
         self.buf_pos = 0;
         let table = self.ctx.catalog().table(self.table)?;
-        self.ctx.stats.borrow_mut().rows_scanned += table.len() as u64;
         match table.mem_rows() {
             Some(rows) => {
                 self.rows = rows;
@@ -413,6 +444,7 @@ impl Operator for SeqScanOp<'_> {
             return match self.rows.get(self.pos) {
                 Some(t) => {
                     self.pos += 1;
+                    self.charge(1);
                     Ok(Some(t.clone()))
                 }
                 None => Ok(None),
@@ -423,32 +455,43 @@ impl Operator for SeqScanOp<'_> {
         }
         let t = self.buf[self.buf_pos].clone();
         self.buf_pos += 1;
+        self.charge(1);
         Ok(Some(t))
     }
 
     fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<bool> {
         let Some(table) = self.paged else {
-            return Ok(batch_from(self.rows, &mut self.pos, out, max));
+            let before = out.len();
+            let more = batch_from(self.rows, &mut self.pos, out, max);
+            self.charge(out.len() - before);
+            return Ok(more);
         };
         // Emit any rows `next`/`next_slice` already decoded first, then
         // pull straight from the backend into the caller's buffer.
         if self.buf_pos < self.buf.len() {
             let end = (self.buf_pos + max).min(self.buf.len());
             out.extend_from_slice(&self.buf[self.buf_pos..end]);
+            self.charge(end - self.buf_pos);
             self.buf_pos = end;
             return Ok(true);
         }
-        table.scan_batch(&mut self.scan_pos, out, max)
+        let before = out.len();
+        let more = table.scan_batch(&mut self.scan_pos, out, max)?;
+        self.charge(out.len() - before);
+        Ok(more)
     }
 
     fn next_slice(&mut self, max: usize) -> Result<Option<&[Tuple]>> {
         if self.paged.is_none() {
-            return Ok(Some(slice_from(self.rows, &mut self.pos, max)));
+            let slice = slice_from(self.rows, &mut self.pos, max);
+            self.charge(slice.len());
+            return Ok(Some(slice));
         }
         if self.buf_pos >= self.buf.len() && !self.refill(max)? {
             return Ok(Some(&[]));
         }
         let end = (self.buf_pos + max).min(self.buf.len());
+        self.charge(end - self.buf_pos);
         let slice = &self.buf[self.buf_pos..end];
         self.buf_pos = end;
         Ok(Some(slice))

@@ -86,8 +86,15 @@ pub enum Statement {
     RefreshMaterializedView(String),
     /// `DROP PREFERENCE p`
     DropPreference(String),
-    /// `EXPLAIN <statement>`
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>` — with `ANALYZE` the statement is
+    /// actually executed (side effects included) and the plan comes back
+    /// annotated with the observed per-operator metrics.
+    Explain {
+        /// `EXPLAIN ANALYZE`: execute and annotate with observed metrics.
+        analyze: bool,
+        /// The statement being explained.
+        statement: Box<Statement>,
+    },
 }
 
 /// Source of rows for INSERT.

@@ -136,7 +136,13 @@ impl fmt::Display for Statement {
                 write!(f, "REFRESH MATERIALIZED PREFERENCE VIEW {n}")
             }
             Statement::DropPreference(n) => write!(f, "DROP PREFERENCE {n}"),
-            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+            Statement::Explain { analyze, statement } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{statement}",
+                    if *analyze { "ANALYZE " } else { "" }
+                )
+            }
         }
     }
 }

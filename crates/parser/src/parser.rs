@@ -175,7 +175,11 @@ impl Parser {
     /// Parse one statement.
     pub fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw(Keyword::Explain) {
-            return Ok(Statement::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw(Keyword::Analyze);
+            return Ok(Statement::Explain {
+                analyze,
+                statement: Box::new(self.statement()?),
+            });
         }
         match self.peek() {
             TokenKind::Keyword(Keyword::Select) => Ok(Statement::Select(Box::new(self.query()?))),

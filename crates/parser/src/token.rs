@@ -65,6 +65,7 @@ pub enum Keyword {
     Key,
     Limit,
     Explain,
+    Analyze,
     Delete,
     Update,
     Set,
@@ -154,6 +155,7 @@ impl Keyword {
             "KEY" => Key,
             "LIMIT" => Limit,
             "EXPLAIN" => Explain,
+            "ANALYZE" => Analyze,
             "DELETE" => Delete,
             "UPDATE" => Update,
             "SET" => Set,

@@ -405,6 +405,8 @@ fn standard_sql_suite() {
         "UPDATE t SET x = 1",
         "UPDATE t SET x = x + 1, y = 'z' WHERE x IS NOT NULL",
         "EXPLAIN SELECT * FROM t",
+        "EXPLAIN ANALYZE SELECT * FROM t",
+        "EXPLAIN ANALYZE INSERT INTO t VALUES (1)",
         "SELECT * FROM t WHERE d = DATE '1999-07-03'",
         "SELECT -price, +price, 2 * (price + 1) FROM t",
         "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
@@ -480,6 +482,9 @@ fn display_roundtrip_statements() {
          SELECT id FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)",
         "DROP MATERIALIZED VIEW best",
         "REFRESH MATERIALIZED VIEW best",
+        "EXPLAIN SELECT * FROM t PREFERRING LOWEST(x)",
+        "EXPLAIN ANALYZE SELECT * FROM t PREFERRING LOWEST(x)",
+        "EXPLAIN ANALYZE DELETE FROM t WHERE x > 3",
     ] {
         let ast1 = parse_statement(sql).unwrap();
         let printed = ast1.to_string();
@@ -517,6 +522,24 @@ fn materialized_view_statements_parse() {
     assert_eq!(
         parse_statement("REFRESH MATERIALIZED VIEW v").unwrap(),
         Statement::RefreshMaterializedView("v".into())
+    );
+}
+
+#[test]
+fn explain_analyze_sets_the_flag() {
+    match parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap() {
+        Statement::Explain { analyze, .. } => assert!(analyze),
+        other => panic!("expected EXPLAIN, got {other:?}"),
+    }
+    match parse_statement("EXPLAIN SELECT 1").unwrap() {
+        Statement::Explain { analyze, .. } => assert!(!analyze),
+        other => panic!("expected EXPLAIN, got {other:?}"),
+    }
+    assert_eq!(
+        parse_statement("EXPLAIN ANALYZE SELECT 1")
+            .unwrap()
+            .to_string(),
+        "EXPLAIN ANALYZE SELECT 1"
     );
 }
 

@@ -9,6 +9,7 @@
 
 use crate::base::BasePref;
 use prefsql_types::{Error, Result, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A node of the preference composition tree. Leaves index into the slot
 /// vector.
@@ -44,10 +45,37 @@ pub enum PrefNode {
 /// assert!(!p.better(&big_slow, &small_fast)); // incomparable trade-off
 /// assert!(p.better(&big_slow, &small_slow));  // dominates
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Preference {
     root: PrefNode,
     bases: Vec<BasePref>,
+    /// Dominance tests performed through [`Preference::better`] — the
+    /// paper's real cost unit. Every skyline algorithm (in-memory,
+    /// external, incremental maintenance) funnels through `better`, so
+    /// this one counter observes them all. Relaxed atomics: the parallel
+    /// skyline shares one `&Preference` across scoped threads and only
+    /// the total matters.
+    comparisons: AtomicU64,
+}
+
+impl Clone for Preference {
+    fn clone(&self) -> Self {
+        Preference {
+            root: self.root.clone(),
+            bases: self.bases.clone(),
+            // A clone is a fresh preference instance: it starts with a
+            // zeroed comparison tally of its own.
+            comparisons: AtomicU64::new(0),
+        }
+    }
+}
+
+// Value equality ignores the instrumentation counter: two preferences
+// are the same preference iff they order tuples identically.
+impl PartialEq for Preference {
+    fn eq(&self, other: &Preference) -> bool {
+        self.root == other.root && self.bases == other.bases
+    }
 }
 
 impl Preference {
@@ -78,7 +106,11 @@ impl Preference {
         for b in &bases {
             b.validate()?;
         }
-        Ok(Preference { root, bases })
+        Ok(Preference {
+            root,
+            bases,
+            comparisons: AtomicU64::new(0),
+        })
     }
 
     /// A single-base preference.
@@ -103,7 +135,19 @@ impl Preference {
 
     /// Strict dominance: is slot vector `a` better than `b`?
     pub fn better(&self, a: &[Value], b: &[Value]) -> bool {
+        self.comparisons.fetch_add(1, Ordering::Relaxed);
         self.node_better(&self.root, a, b)
+    }
+
+    /// Dominance tests performed so far through [`Preference::better`].
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.load(Ordering::Relaxed)
+    }
+
+    /// Read and reset the dominance-test tally (per-statement harvesting:
+    /// the executor drains this into its stats after each run).
+    pub fn take_comparisons(&self) -> u64 {
+        self.comparisons.swap(0, Ordering::Relaxed)
     }
 
     /// Substitutability: are `a` and `b` interchangeable?
@@ -246,6 +290,22 @@ mod tests {
         assert!(p.better(&a, &c));
         assert!(p.better(&b, &c));
         assert!(!p.better(&c, &b));
+    }
+
+    #[test]
+    fn dominance_tests_are_counted() {
+        let p = pareto2();
+        assert_eq!(p.comparisons(), 0);
+        p.better(&vi(&[4, 4]), &vi(&[3, 4]));
+        p.better(&vi(&[4, 3]), &vi(&[3, 4]));
+        assert_eq!(p.comparisons(), 2);
+        // Clones start a fresh tally; equality ignores the counter.
+        let cloned = p.clone();
+        assert_eq!(cloned.comparisons(), 0);
+        assert_eq!(p, cloned);
+        // Harvesting drains the tally.
+        assert_eq!(p.take_comparisons(), 2);
+        assert_eq!(p.comparisons(), 0);
     }
 
     #[test]

@@ -121,9 +121,17 @@ pub fn rewrite_statement(
                 )
             }))
         }
-        Statement::Explain(inner) => {
-            let r = rewrite_statement(inner, registry)?;
-            Ok(r.map(|(s, c)| (Statement::Explain(Box::new(s)), c)))
+        Statement::Explain { analyze, statement } => {
+            let r = rewrite_statement(statement, registry)?;
+            Ok(r.map(|(s, c)| {
+                (
+                    Statement::Explain {
+                        analyze: *analyze,
+                        statement: Box::new(s),
+                    },
+                    c,
+                )
+            }))
         }
         _ => Ok(None),
     }

@@ -1,14 +1,17 @@
 //! `prefsql-server` — serve one shared Preference SQL catalog over TCP.
 //!
 //! ```sh
-//! prefsql-server [ADDR] [--max-connections N]   # default 127.0.0.1:5433
+//! prefsql-server [ADDR] [--max-connections N] [--slow-query-ms N]
+//! # default 127.0.0.1:5433
 //! ```
 //!
 //! Thread-per-connection; every connection gets its own session (mode,
 //! `\algo`, `\threads`, `\window`, spill dir) over the shared catalog.
 //! Connections beyond `--max-connections` are refused with one `ERROR:`
-//! line instead of queuing. See `prefsql_server::protocol` for the wire
-//! format; `prefsql-client` is the matching line client.
+//! line instead of queuing. With `--slow-query-ms N`, any statement
+//! taking at least N milliseconds is logged to stderr with its analyzed
+//! execution plan. See `prefsql_server::protocol` for the wire format;
+//! `prefsql-client` is the matching line client.
 
 use prefsql_engine::EngineCore;
 use prefsql_server::{Server, DEFAULT_MAX_CONNECTIONS};
@@ -17,7 +20,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:5433";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prefsql-server [ADDR] [--max-connections N]\n\
+        "usage: prefsql-server [ADDR] [--max-connections N] [--slow-query-ms N]\n\
          \x20      (default {DEFAULT_ADDR}, {DEFAULT_MAX_CONNECTIONS} connections)"
     );
     std::process::exit(2);
@@ -26,12 +29,13 @@ fn usage() -> ! {
 fn main() {
     let mut addr: Option<String> = None;
     let mut max_connections = DEFAULT_MAX_CONNECTIONS;
+    let mut slow_query_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: prefsql-server [ADDR] [--max-connections N]   \
+                    "usage: prefsql-server [ADDR] [--max-connections N] [--slow-query-ms N]   \
                      (default {DEFAULT_ADDR}, {DEFAULT_MAX_CONNECTIONS} connections)"
                 );
                 return;
@@ -42,13 +46,21 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--slow-query-ms" => {
+                slow_query_ms = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) => Some(n),
+                    _ => usage(),
+                };
+            }
             _ if addr.is_none() && !a.starts_with('-') => addr = Some(a),
             _ => usage(),
         }
     }
     let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.to_string());
     let server = match Server::bind(&addr, EngineCore::shared()) {
-        Ok(s) => s.with_max_connections(max_connections),
+        Ok(s) => s
+            .with_max_connections(max_connections)
+            .with_slow_query_ms(slow_query_ms),
         Err(e) => {
             eprintln!("prefsql-server: cannot bind {addr}: {e}");
             std::process::exit(1);

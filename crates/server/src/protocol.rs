@@ -1,9 +1,12 @@
 //! The wire protocol: line-oriented, human-readable, trivially
 //! scriptable with `nc`.
 //!
-//! Requests are single lines (UTF-8, `\n`-terminated): either one SQL
-//! statement (a trailing `;` is tolerated) or a `\`-meta-command
-//! (`\mode`, `\algo`, `\threads`, `\window`, `\rewrite`, `\d`, `\q`).
+//! Requests are single lines (UTF-8, `\n`-terminated): one SQL
+//! statement (a trailing `;` is tolerated), a `\`-meta-command
+//! (`\mode`, `\algo`, `\threads`, `\window`, `\metrics`, `\rewrite`,
+//! `\d`, `\q`), or the bare verb `METRICS` (the engine-wide metrics
+//! registry as machine-parseable `key<TAB>value` payload lines, one
+//! counter per line, terminated by `OK`).
 //!
 //! Every response is zero or more *payload* lines followed by exactly
 //! one *terminator* line:
@@ -13,9 +16,10 @@
 //! | `# a<TAB>b` | column header of a row result |
 //! | `\| 1<TAB>x` | one row, cells tab-separated and escaped |
 //! | `\| text` | one line of message/EXPLAIN/meta-command output |
+//! | `\| key<TAB>value` | one counter of a `METRICS` reply |
 //! | `OK <n> rows` | row-result terminator |
 //! | `OK INSERT <n>` | DML terminator |
-//! | `OK` | message/meta terminator |
+//! | `OK` | message/meta/`METRICS` terminator |
 //! | `ERROR: <msg>` | failure terminator (session stays usable) |
 //! | `BYE` | reply to `\q`; the server closes the connection |
 //!
@@ -30,6 +34,10 @@ use prefsql_types::Error;
 
 /// The banner the server sends on accept (protocol version 1).
 pub const GREETING: &str = "PREFSQL 1 ready";
+
+/// Request verb returning the engine-wide metrics registry as
+/// `key<TAB>value` payload lines.
+pub const METRICS_VERB: &str = "METRICS";
 
 /// Prefix of a column-header payload line.
 pub const HEADER_PREFIX: &str = "# ";

@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 /// Default cap on concurrent connections (`--max-connections`):
 /// generous for a thread-per-connection design, but finite, so a
@@ -28,6 +29,9 @@ pub struct Server {
     core: Arc<EngineCore>,
     shutdown: Arc<AtomicBool>,
     max_connections: usize,
+    /// `--slow-query-ms`: statements at or over this many milliseconds
+    /// are logged to stderr with their analyzed plan. `None` = off.
+    slow_query_ms: Option<u64>,
 }
 
 /// Decrements the live-connection gauge when a connection thread exits,
@@ -80,6 +84,7 @@ impl Server {
             core,
             shutdown: Arc::new(AtomicBool::new(false)),
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            slow_query_ms: None,
         })
     }
 
@@ -89,6 +94,14 @@ impl Server {
     /// surfaces as a failed connect instead of a hang.
     pub fn with_max_connections(mut self, max: usize) -> Server {
         self.max_connections = max.max(1);
+        self
+    }
+
+    /// Log every statement taking at least `ms` milliseconds to stderr,
+    /// together with its analyzed execution plan (sessions run with
+    /// always-on profiling when this is set). `None` disables the log.
+    pub fn with_slow_query_ms(mut self, ms: Option<u64>) -> Server {
+        self.slow_query_ms = ms;
         self
     }
 
@@ -129,10 +142,11 @@ impl Server {
             active.fetch_add(1, Ordering::SeqCst);
             let guard = ConnectionGuard(Arc::clone(&active));
             let core = Arc::clone(&self.core);
+            let slow_query_ms = self.slow_query_ms;
             workers.push(thread::spawn(move || {
                 let _guard = guard;
                 // Connection I/O errors just end that connection.
-                let _ = serve_connection(stream, core);
+                let _ = serve_connection(stream, core, slow_query_ms);
             }));
             workers.retain(|w| !w.is_finished());
         }
@@ -159,13 +173,23 @@ impl Server {
 /// Serve one connection: greet, then answer request lines until `\q`
 /// or EOF. Each connection owns a private [`Session`] over the shared
 /// core.
-fn serve_connection(stream: TcpStream, core: Arc<EngineCore>) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    core: Arc<EngineCore>,
+    slow_query_ms: Option<u64>,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     writeln!(writer, "{}", protocol::GREETING)?;
     writer.flush()?;
 
-    let mut session = Session::with_core(core);
+    let mut session = Session::with_core(Arc::clone(&core));
+    // The slow-query log needs every statement's analyzed plan, so
+    // threshold-bearing servers run their sessions with always-on
+    // profiling.
+    if slow_query_ms.is_some() {
+        session.set_profile_all(true);
+    }
     let mut line = String::new();
     loop {
         line.clear();
@@ -186,10 +210,22 @@ fn serve_connection(stream: TcpStream, core: Arc<EngineCore>) -> io::Result<()> 
             match session.command(&head, arg) {
                 Some(text) => protocol::render_text(&text, &mut out),
                 None => out.push(format!(
-                    "ERROR: unknown command '{}' (\\mode \\algo \\threads \\window \\rewrite \\d \\q)",
+                    "ERROR: unknown command '{}' (\\mode \\algo \\threads \\window \\metrics \\rewrite \\d \\q)",
                     protocol::escape(&head)
                 )),
             }
+        } else if request == protocol::METRICS_VERB {
+            // Engine-wide counters as machine-parseable key/value pairs:
+            // one `| key<TAB>value` payload line each, then `OK`.
+            for (k, v) in core.metrics_report() {
+                out.push(format!(
+                    "{}{}\t{}",
+                    protocol::PAYLOAD_PREFIX,
+                    protocol::escape(&k),
+                    protocol::escape(&v)
+                ));
+            }
+            out.push("OK".into());
         } else {
             let sql = request.trim_end_matches(';').trim();
             if sql.is_empty() {
@@ -202,15 +238,36 @@ fn serve_connection(stream: TcpStream, core: Arc<EngineCore>) -> io::Result<()> 
                 // panics, so the regression suite injects one through
                 // PREFSQL_PANIC_SQL: a request matching the variable's
                 // value panics mid-execution instead of executing.
+                let started = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     if std::env::var("PREFSQL_PANIC_SQL").is_ok_and(|p| p == sql) {
                         panic!("injected test panic");
                     }
                     session.execute(sql)
                 }));
+                let elapsed = started.elapsed();
                 match result {
                     Ok(result) => protocol::render_result(&result, &mut out),
                     Err(_) => out.push("ERROR: exec error: statement panicked".into()),
+                }
+                if let Some(threshold) = slow_query_ms {
+                    // Drain the analyzed plan on every statement so a
+                    // fast statement's plan can never masquerade as a
+                    // later slow one's.
+                    let analyzed = session.take_analyzed();
+                    if elapsed.as_millis() as u64 >= threshold {
+                        core.metrics().note_slow_statement();
+                        eprintln!(
+                            "[slow query] {:.3} ms: {}",
+                            elapsed.as_secs_f64() * 1e3,
+                            sql
+                        );
+                        if let Some(plan) = analyzed {
+                            for l in plan.lines() {
+                                eprintln!("  {l}");
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -254,6 +311,87 @@ mod tests {
         assert_eq!(r.payload, vec!["mode: native (auto)"]);
         let r = c.request("\\nosuch").unwrap();
         assert!(r.is_err(), "{r:?}");
+
+        c.quit().unwrap();
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn metrics_verb_reports_engine_totals() {
+        let server = Server::bind("127.0.0.1:0", EngineCore::shared()).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        c.request("CREATE TABLE t (x INTEGER, y INTEGER)").unwrap();
+        c.request("INSERT INTO t VALUES (1, 2), (2, 1), (3, 3)")
+            .unwrap();
+        c.request("\\mode native").unwrap();
+        let r = c
+            .request("SELECT x FROM t PREFERRING LOWEST(x) AND LOWEST(y)")
+            .unwrap();
+        assert_eq!(r.rows().len(), 2);
+
+        let r = c.request("METRICS").unwrap();
+        assert_eq!(r.status, "OK");
+        let kv: std::collections::HashMap<String, String> = r
+            .rows()
+            .into_iter()
+            .map(|row| {
+                assert_eq!(row.len(), 2, "every METRICS line is key\\tvalue: {row:?}");
+                (row[0].clone(), row[1].clone())
+            })
+            .collect();
+        // The registry saw every statement this connection ran (meta
+        // commands are not statements).
+        let statements: u64 = kv["statements.total"].parse().unwrap();
+        assert!(statements >= 3, "{kv:?}");
+        assert_eq!(kv["statements.errored"], "0");
+        let returned: u64 = kv["rows.returned"].parse().unwrap();
+        assert!(returned >= 2, "{kv:?}");
+        assert_eq!(kv["rows.affected"], "3");
+        // The native skyline charged its dominance comparisons.
+        let dominance: u64 = kv["exec.dominance_tests"].parse().unwrap();
+        assert!(dominance >= 1, "{kv:?}");
+        // This connection's session is open right now.
+        let open: u64 = kv["sessions.open"].parse().unwrap();
+        assert!(open >= 1, "{kv:?}");
+
+        // Another statement moves the totals — the registry is live.
+        c.request("SELECT x FROM t ORDER BY x").unwrap();
+        let r2 = c.request("METRICS").unwrap();
+        let statements_after: u64 = r2
+            .rows()
+            .into_iter()
+            .find(|row| row[0] == "statements.total")
+            .map(|row| row[1].parse().unwrap())
+            .unwrap();
+        assert!(statements_after > statements, "{statements_after}");
+
+        c.quit().unwrap();
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn slow_query_threshold_counts_statements() {
+        let server = Server::bind("127.0.0.1:0", EngineCore::shared())
+            .unwrap()
+            .with_slow_query_ms(Some(0)); // everything is "slow"
+        let handle = server.spawn().unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        c.request("CREATE TABLE t (x INTEGER)").unwrap();
+        c.request("INSERT INTO t VALUES (2), (1)").unwrap();
+        let r = c.request("SELECT x FROM t ORDER BY x").unwrap();
+        assert_eq!(r.rows().len(), 2);
+
+        let r = c.request("METRICS").unwrap();
+        let slow: u64 = r
+            .rows()
+            .into_iter()
+            .find(|row| row[0] == "statements.slow")
+            .map(|row| row[1].parse().unwrap())
+            .unwrap();
+        assert!(slow >= 3, "every statement crossed the 0 ms bar: {slow}");
 
         c.quit().unwrap();
         handle.stop().unwrap();
